@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gupt/internal/mathutil"
+	"gupt/internal/sandbox"
+)
+
+func TestBuildProgram(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"mean", "mean(col=1)"},
+		{"median", "median(col=1)"},
+		{"variance", "variance(col=1)"},
+		{"percentile", "percentile(col=1,p=0.9)"},
+		{"kmeans", "kmeans(k=3,iters=7)"},
+		{"logreg", "logreg(d=2,iters=7)"},
+	}
+	for _, c := range cases {
+		prog, err := buildProgram(c.name, 1, 0.9, 3, 2, 2, 7, 0.1, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if prog.Name() != c.want {
+			t.Errorf("%s: Name() = %q, want %q", c.name, prog.Name(), c.want)
+		}
+	}
+	if _, err := buildProgram("", 0, 0, 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("empty program accepted")
+	}
+	if _, err := buildProgram("sorcery", 0, 0, 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+// The app loop speaks the chamber protocol end to end.
+func TestAppServesProtocol(t *testing.T) {
+	prog, err := buildProgram("mean", 0, 0.5, 2, 1, 0, 10, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, out strings.Builder
+	if err := sandbox.WriteRequest(&in, []mathutil.Vec{{2}, {4}, {6}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sandbox.ServeApp(strings.NewReader(in.String()), &out, prog.Run); err != nil {
+		t.Fatal(err)
+	}
+	result, err := sandbox.ReadResponse(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result[0] != 4 {
+		t.Errorf("app mean = %v, want 4", result[0])
+	}
+}

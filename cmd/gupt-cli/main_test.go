@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRangeFlagsParse(t *testing.T) {
+	var r rangeFlags
+	if err := r.Set("0,150"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("-5,5"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || r[0].Hi != 150 || r[1].Lo != -5 {
+		t.Errorf("ranges = %v", r)
+	}
+	if r.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestRangeFlagsErrors(t *testing.T) {
+	var r rangeFlags
+	for _, bad := range []string{"", "1", "1,2,3", "a,b", "1,b"} {
+		if err := r.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Command gupt-worker is the per-node client component of GUPT's
+// computation manager: it executes single data blocks inside local
+// isolation chambers on behalf of a guptd server. Run one per cluster node
+// and list their addresses in guptd's -workers flag.
+//
+// Usage:
+//
+//	gupt-worker -listen 127.0.0.1:7201
+//	guptd ... -workers 127.0.0.1:7201,127.0.0.1:7202
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"gupt/internal/compman"
+)
+
+func main() {
+	log.SetPrefix("gupt-worker: ")
+	log.SetFlags(log.LstdFlags)
+
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7201", "address to listen on")
+		scratch = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
+	)
+	flag.Parse()
+
+	w := compman.NewWorker(compman.WorkerConfig{
+		ScratchRoot: *scratch,
+		Logger:      log.Default(),
+	})
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("executing blocks on %s", l.Addr())
+	if err := w.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Command guptd is the hosted GUPT service: the trusted computation manager
+// plus dataset manager behind a TCP endpoint. The data owner registers CSV
+// datasets at startup; analysts connect with gupt-cli (or any client
+// speaking the newline-delimited JSON protocol of internal/compman) and can
+// only ever obtain differentially private answers.
+//
+// Usage:
+//
+//	guptd -listen 127.0.0.1:7113 \
+//	      -dataset census=./census.csv:budget=10:aged=0.1:header \
+//	      -dataset ads=./ads.csv:budget=5
+//
+// Each -dataset flag is name=path followed by colon-separated options:
+//
+//	budget=F   lifetime privacy budget (required)
+//	aged=F     fraction of rows carved into the aged, non-private sample
+//	header     the CSV file has a header row
+//	quantum=D  per-block timing quantum for queries on this server
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"gupt/internal/compman"
+	"gupt/internal/dataset"
+)
+
+type datasetFlags []string
+
+func (d *datasetFlags) String() string     { return strings.Join(*d, ", ") }
+func (d *datasetFlags) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	log.SetPrefix("guptd: ")
+	log.SetFlags(log.LstdFlags)
+
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7113", "address to listen on")
+		quantum  = flag.Duration("quantum", 0, "per-block timing quantum applied to all queries (0 disables)")
+		scratch  = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
+		state    = flag.String("state", "", "budget ledger state file; spent budget survives restarts")
+		workers  = flag.String("workers", "", "comma-separated gupt-worker addresses for cluster execution")
+		idle     = flag.Duration("idle", 0, "disconnect clients idle for this long (0 disables)")
+		datasets datasetFlags
+	)
+	flag.Var(&datasets, "dataset", "dataset spec name=path[:budget=F][:aged=F][:header] (repeatable)")
+	flag.Parse()
+
+	if len(datasets) == 0 {
+		fmt.Fprintln(os.Stderr, "guptd: at least one -dataset is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := dataset.NewRegistry()
+	for _, spec := range datasets {
+		if err := registerSpec(reg, spec); err != nil {
+			log.Fatalf("dataset %q: %v", spec, err)
+		}
+	}
+
+	if *state != "" {
+		if _, err := os.Stat(*state); err == nil {
+			if err := reg.RestoreBudgets(*state); err != nil {
+				log.Fatalf("restoring budget ledger: %v", err)
+			}
+			log.Printf("restored budget ledger from %s", *state)
+		}
+	}
+
+	var workerAddrs []string
+	if *workers != "" {
+		workerAddrs = strings.Split(*workers, ",")
+	}
+
+	srv := compman.NewServer(reg, compman.ServerConfig{
+		DefaultQuantum: *quantum,
+		ScratchRoot:    *scratch,
+		StatePath:      *state,
+		WorkerAddrs:    workerAddrs,
+		IdleTimeout:    *idle,
+		Logger:         log.Default(),
+	})
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM, stop serving and flush the
+	// budget ledger one final time so no spend is lost.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("shutting down")
+		if *state != "" {
+			if err := reg.SaveBudgets(*state); err != nil {
+				log.Printf("final ledger flush failed: %v", err)
+			}
+		}
+		srv.Close()
+	}()
+
+	log.Printf("serving %d dataset(s) %v on %s", len(reg.Names()), reg.Names(), l.Addr())
+	if err := srv.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// registerSpec parses one -dataset flag value and registers the table.
+func registerSpec(reg *dataset.Registry, spec string) error {
+	nameAndRest := strings.SplitN(spec, "=", 2)
+	if len(nameAndRest) != 2 || nameAndRest[0] == "" {
+		return fmt.Errorf("want name=path[:opts], got %q", spec)
+	}
+	name := nameAndRest[0]
+	parts := strings.Split(nameAndRest[1], ":")
+	path := parts[0]
+
+	opts := dataset.RegisterOptions{}
+	header := false
+	for _, opt := range parts[1:] {
+		kv := strings.SplitN(opt, "=", 2)
+		switch kv[0] {
+		case "header":
+			header = true
+		case "budget":
+			if len(kv) != 2 {
+				return fmt.Errorf("budget needs a value")
+			}
+			v, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return fmt.Errorf("budget: %w", err)
+			}
+			opts.TotalBudget = v
+		case "aged":
+			if len(kv) != 2 {
+				return fmt.Errorf("aged needs a value")
+			}
+			v, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return fmt.Errorf("aged: %w", err)
+			}
+			opts.AgedFraction = v
+		case "seed":
+			if len(kv) != 2 {
+				return fmt.Errorf("seed needs a value")
+			}
+			v, err := strconv.ParseInt(kv[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("seed: %w", err)
+			}
+			opts.Seed = v
+		default:
+			return fmt.Errorf("unknown option %q", kv[0])
+		}
+	}
+
+	tbl, err := dataset.LoadCSVFile(path, header)
+	if err != nil {
+		return err
+	}
+	_, err = reg.Register(name, tbl, opts)
+	if err != nil {
+		return err
+	}
+	log.Printf("registered %q: %d rows x %d cols, budget %v", name, tbl.NumRows(), tbl.Dims(), opts.TotalBudget)
+	return nil
+}

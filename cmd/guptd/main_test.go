@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gupt/internal/dataset"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRegisterSpecBasic(t *testing.T) {
+	path := writeCSV(t, "age\n30\n40\n50\n")
+	reg := dataset.NewRegistry()
+	if err := registerSpec(reg, "census="+path+":budget=5:header"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := reg.Lookup("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Private.NumRows() != 3 || r.Accountant.Total() != 5 {
+		t.Errorf("rows=%d budget=%v", r.Private.NumRows(), r.Accountant.Total())
+	}
+}
+
+func TestRegisterSpecAgedAndSeed(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("42\n")
+	}
+	path := writeCSV(t, sb.String())
+	reg := dataset.NewRegistry()
+	if err := registerSpec(reg, "d="+path+":budget=1:aged=0.2:seed=7"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := reg.Lookup("d")
+	if !r.HasAged() || r.Aged.NumRows() != 20 {
+		t.Errorf("aged rows = %v", r.Aged)
+	}
+}
+
+func TestRegisterSpecErrors(t *testing.T) {
+	path := writeCSV(t, "1\n2\n")
+	reg := dataset.NewRegistry()
+	cases := []string{
+		"",                      // empty
+		"noequals",              // missing =
+		"=path",                 // empty name
+		"d=" + path,             // missing budget
+		"d=" + path + ":budget", // budget without value
+		"d=" + path + ":budget=x",
+		"d=" + path + ":budget=1:aged",
+		"d=" + path + ":budget=1:aged=x",
+		"d=" + path + ":budget=1:seed=x",
+		"d=" + path + ":budget=1:mystery=1",
+		"d=/nonexistent.csv:budget=1",
+	}
+	for _, spec := range cases {
+		if err := registerSpec(reg, spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

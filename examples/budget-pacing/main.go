@@ -1,0 +1,104 @@
+// Budget pacing: the paper's usability pitch (§5) — analysts state accuracy
+// goals instead of abstract ε values, GUPT translates them using the aged
+// sample and stretches the dataset's lifetime budget across more queries
+// (Figs. 7–8); and a fixed budget is split across heterogeneous queries in
+// proportion to their noise scales (§5.2, Example 4).
+//
+//	go run ./examples/budget-pacing
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"gupt"
+	"gupt/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	census := workload.CensusIncome(2, workload.CensusRows)
+	rows := make([][]float64, census.NumRows())
+	for i := range rows {
+		rows[i] = census.Row(i)
+	}
+
+	platform := gupt.New()
+	err := platform.Register("census", rows, []string{"age"}, gupt.DatasetOptions{
+		TotalBudget:  25,
+		Ranges:       []gupt.Range{{Lo: 0, Hi: 150}},
+		AgedFraction: 0.1, // 10% of rows have aged out of privacy protection (§3.3)
+		Seed:         4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: accuracy goals instead of epsilons. "90% accuracy with 90%
+	// confidence" — GUPT works out the cheapest ε from the aged sample.
+	goal := gupt.AccuracyGoal{Rho: 0.9, Confidence: 0.9}
+	ranges := []gupt.Range{{Lo: 0, Hi: 150}}
+	blockSize := census.NumRows() / 300
+
+	preview, err := platform.EstimateEpsilon("census", gupt.Mean{Col: 0}, blockSize, ranges, goal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the accuracy goal costs eps=%.3f per query (vs a naive constant eps=1)\n", preview)
+	fmt.Printf("-> the same lifetime budget runs %.1fx more queries\n\n", 1/preview)
+
+	res, err := platform.Run(context.Background(), gupt.Query{
+		Dataset:      "census",
+		Program:      gupt.Mean{Col: 0},
+		OutputRanges: ranges,
+		Accuracy:     &goal,
+		BlockSize:    blockSize,
+		Seed:         9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("private average age %.2f (true %.2f), eps charged %.3f\n\n",
+		res.Output[0], workload.CensusTrueMean, res.EpsilonSpent)
+
+	// Part 2: splitting a fixed budget between a mean and a variance query
+	// (Example 4). The variance's output range is wider by a factor of
+	// ~max, so an equal split would drown it in noise; the zeta-
+	// proportional split equalizes the two queries' noise.
+	const sessionBudget = 2.0
+	maxAge := 150.0
+	n := census.NumRows()
+	zetaMean := maxAge * float64(blockSize) / float64(n)
+	zetaVar := maxAge * maxAge / 4 * float64(blockSize) / float64(n)
+	split, err := gupt.DistributeBudget(sessionBudget, []float64{zetaMean, zetaVar})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("splitting a session budget of %.1f between mean and variance queries:\n", sessionBudget)
+	fmt.Printf("  mean:     eps=%.4f (zeta %.3f)\n", split[0], zetaMean)
+	fmt.Printf("  variance: eps=%.4f (zeta %.3f)\n", split[1], zetaVar)
+
+	mean, err := platform.Run(context.Background(), gupt.Query{
+		Dataset: "census", Program: gupt.Mean{Col: 0},
+		OutputRanges: []gupt.Range{{Lo: 0, Hi: maxAge}},
+		Epsilon:      split[0], BlockSize: blockSize, Seed: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	variance, err := platform.Run(context.Background(), gupt.Query{
+		Dataset: "census", Program: gupt.Variance{Col: 0},
+		OutputRanges: []gupt.Range{{Lo: 0, Hi: maxAge * maxAge / 4}},
+		Epsilon:      split[1], BlockSize: blockSize, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  private mean     = %8.2f\n", mean.Output[0])
+	fmt.Printf("  private variance = %8.2f\n", variance.Output[0])
+
+	remaining, _ := platform.RemainingBudget("census")
+	fmt.Printf("\nremaining lifetime budget: %.3f\n", remaining)
+}

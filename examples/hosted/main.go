@@ -1,0 +1,83 @@
+// Hosted: the full service topology in one process — two gupt-worker
+// daemons, a guptd-style computation-manager server distributing blocks
+// across them, and an analyst client speaking the wire protocol. In
+// production these are three binaries on separate machines (cmd/guptd,
+// cmd/gupt-worker, cmd/gupt-cli); the pieces are identical.
+//
+//	go run ./examples/hosted
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"gupt/internal/compman"
+	"gupt/internal/dataset"
+	"gupt/internal/dp"
+	"gupt/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Two worker daemons: the per-node client component of the computation
+	// manager (paper §6).
+	var workerAddrs []string
+	for i := 0; i < 2; i++ {
+		w := compman.NewWorker(compman.WorkerConfig{})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() { _ = w.Serve(l) }()
+		defer w.Close()
+		workerAddrs = append(workerAddrs, l.Addr().String())
+	}
+
+	// The trusted server: dataset manager + budget ledger + dispatch.
+	reg := dataset.NewRegistry()
+	census := workload.CensusIncome(1, workload.CensusRows)
+	if _, err := reg.Register("census", census, dataset.RegisterOptions{
+		TotalBudget: 10,
+		Ranges:      []dp.Range{workload.CensusLooseRange()},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	srv := compman.NewServer(reg, compman.ServerConfig{WorkerAddrs: workerAddrs})
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(sl) }()
+	defer srv.Close()
+	fmt.Printf("server on %s, %d workers\n", sl.Addr(), len(workerAddrs))
+
+	// The analyst: only ever sees the wire protocol and private answers.
+	client, err := compman.Dial(sl.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	resp, err := client.Query(&compman.Request{
+		Dataset:      "census",
+		Program:      &compman.ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges: []compman.RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      1,
+		Seed:         5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed private average age: %.2f (true %.2f)\n",
+		resp.Output[0], workload.CensusTrueMean)
+	fmt.Printf("computed across %d blocks on the worker pool, eps spent %.1f\n",
+		resp.NumBlocks, resp.EpsilonSpent)
+
+	rem, err := client.RemainingBudget("census")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remaining lifetime budget: %.1f\n", rem)
+}

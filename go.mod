@@ -1,0 +1,3 @@
+module gupt
+
+go 1.22

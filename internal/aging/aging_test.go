@@ -1,0 +1,239 @@
+package aging
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gupt/internal/analytics"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+// agedSample builds nnp one-column rows from a log-normal (skewed, so block
+// medians vary with block size).
+func agedSample(seed int64, n int) []mathutil.Vec {
+	rng := mathutil.NewRNG(seed)
+	rows := make([]mathutil.Vec, n)
+	for i := range rows {
+		rows[i] = mathutil.Vec{mathutil.Clamp(rng.LogNormal(3, 0.6), 0, 150)}
+	}
+	return rows
+}
+
+func TestBlockOutputs(t *testing.T) {
+	aged := agedSample(1, 100)
+	outs, err := BlockOutputs(analytics.Mean{Col: 0}, aged, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 10 {
+		t.Fatalf("got %d blocks, want 10", len(outs))
+	}
+	// The mean of the block means equals the grand mean when blocks tile
+	// the data evenly.
+	var m float64
+	for _, o := range outs {
+		m += o[0]
+	}
+	m /= 10
+	col := make([]float64, 100)
+	for i, r := range aged {
+		col[i] = r[0]
+	}
+	if math.Abs(m-mathutil.Mean(col)) > 1e-9 {
+		t.Errorf("block-mean average %v != grand mean %v", m, mathutil.Mean(col))
+	}
+	if _, err := BlockOutputs(analytics.Mean{Col: 0}, aged, 0); err == nil {
+		t.Error("beta=0 accepted")
+	}
+	if _, err := BlockOutputs(analytics.Mean{Col: 0}, aged, 101); err == nil {
+		t.Error("beta>nnp accepted")
+	}
+}
+
+// For the mean statistic, the estimation error is ~0 at any block size, so
+// the optimizer should drive the block size small, where noise is minimal
+// (the paper's Example 3: optimal block size for the average is 1).
+func TestOptimizeBlockSizeMeanPrefersSmallBlocks(t *testing.T) {
+	aged := agedSample(2, 2000)
+	choice, err := OptimizeBlockSize(analytics.Mean{Col: 0}, aged, 10000, 2, []dp.Range{{Lo: 0, Hi: 150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.BlockSize > 5 {
+		t.Errorf("mean query block size = %d, want near 1 (Example 3)", choice.BlockSize)
+	}
+	if choice.TotalErr() <= 0 {
+		t.Errorf("TotalErr = %v", choice.TotalErr())
+	}
+}
+
+// For the median on skewed data, tiny blocks carry real estimation bias, so
+// the optimum should be interior: strictly larger than 1.
+func TestOptimizeBlockSizeMedianPrefersLargerBlocks(t *testing.T) {
+	aged := agedSample(3, 3000)
+	choice, err := OptimizeBlockSize(analytics.Median{Col: 0}, aged, 3279, 2, []dp.Range{{Lo: 0, Hi: 150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.BlockSize <= 1 {
+		t.Errorf("median query block size = %d, want > 1", choice.BlockSize)
+	}
+}
+
+// The optimizer's choice must beat the paper's default n^0.6 on its own
+// objective — otherwise it isn't optimizing.
+func TestOptimizeBlockSizeBeatsDefault(t *testing.T) {
+	aged := agedSample(4, 3000)
+	n, eps := 10000, 2.0
+	ranges := []dp.Range{{Lo: 0, Hi: 150}}
+	prog := analytics.Mean{Col: 0}
+	choice, err := OptimizeBlockSize(prog, aged, n, eps, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := prog.Run(aged)
+	ev := newEvaluator(prog, aged, n, eps, ranges, full)
+	def, err := ev.at(int(math.Round(math.Pow(float64(n), 0.6))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.TotalErr() > def.TotalErr()+1e-12 {
+		t.Errorf("optimized err %v worse than default err %v", choice.TotalErr(), def.TotalErr())
+	}
+}
+
+func TestOptimizeBlockSizeValidation(t *testing.T) {
+	aged := agedSample(5, 100)
+	ranges := []dp.Range{{Lo: 0, Hi: 1}}
+	if _, err := OptimizeBlockSize(analytics.Mean{Col: 0}, nil, 100, 1, ranges); !errors.Is(err, ErrNoAgedData) {
+		t.Errorf("no aged data, err = %v", err)
+	}
+	if _, err := OptimizeBlockSize(nil, aged, 100, 1, ranges); err == nil {
+		t.Error("nil program accepted")
+	}
+	if _, err := OptimizeBlockSize(analytics.Mean{Col: 0}, aged, 0, 1, ranges); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := OptimizeBlockSize(analytics.Mean{Col: 0}, aged, 100, 0, ranges); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := OptimizeBlockSize(analytics.Mean{Col: 0}, aged, 100, 1, nil); err == nil {
+		t.Error("missing ranges accepted")
+	}
+}
+
+func TestAccuracyGoalValidate(t *testing.T) {
+	bad := []AccuracyGoal{
+		{Rho: 0, Confidence: 0.9},
+		{Rho: 1, Confidence: 0.9},
+		{Rho: 0.9, Confidence: 0},
+		{Rho: 0.9, Confidence: 1},
+		{Rho: -0.5, Confidence: 0.9},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("goal %+v accepted", g)
+		}
+	}
+	if err := (AccuracyGoal{Rho: 0.9, Confidence: 0.9}).Validate(); err != nil {
+		t.Errorf("valid goal rejected: %v", err)
+	}
+	if d := (AccuracyGoal{Rho: 0.9, Confidence: 0.9}).Delta(); math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("Delta = %v", d)
+	}
+}
+
+func TestEstimateEpsilonBasic(t *testing.T) {
+	aged := agedSample(6, 3000)
+	est, err := EstimateEpsilon(analytics.Mean{Col: 0}, aged, 30000, 60,
+		[]dp.Range{{Lo: 0, Hi: 150}}, AccuracyGoal{Rho: 0.9, Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Epsilon <= 0 {
+		t.Fatalf("Epsilon = %v", est.Epsilon)
+	}
+	if est.BlockSize != 60 {
+		t.Errorf("BlockSize = %d", est.BlockSize)
+	}
+	if est.PermittedStd <= 0 || est.EstimationVar < 0 {
+		t.Errorf("estimate diagnostics wrong: %+v", est)
+	}
+}
+
+// A stricter accuracy goal must never require less budget.
+func TestEstimateEpsilonMonotoneInAccuracy(t *testing.T) {
+	aged := agedSample(7, 3000)
+	ranges := []dp.Range{{Lo: 0, Hi: 150}}
+	lax, err := EstimateEpsilon(analytics.Mean{Col: 0}, aged, 30000, 60, ranges, AccuracyGoal{Rho: 0.8, Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := EstimateEpsilon(analytics.Mean{Col: 0}, aged, 30000, 60, ranges, AccuracyGoal{Rho: 0.95, Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Epsilon <= lax.Epsilon {
+		t.Errorf("strict goal eps %v <= lax goal eps %v", strict.Epsilon, lax.Epsilon)
+	}
+}
+
+// The estimated epsilon must actually deliver: running SAF's noise model at
+// that budget keeps the standard deviation within sigma.
+func TestEstimateEpsilonSufficient(t *testing.T) {
+	aged := agedSample(8, 3000)
+	n, beta := 30000, 60
+	ranges := []dp.Range{{Lo: 0, Hi: 150}}
+	goal := AccuracyGoal{Rho: 0.9, Confidence: 0.9}
+	est, err := EstimateEpsilon(analytics.Mean{Col: 0}, aged, n, beta, ranges, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ell := float64(n) / float64(beta)
+	laplaceVar := 2 * math.Pow(ranges[0].Width()/(est.Epsilon*ell), 2)
+	total := est.EstimationVar + laplaceVar
+	if total > est.PermittedStd*est.PermittedStd*(1+1e-9) {
+		t.Errorf("variance budget violated: C+D = %v > sigma^2 = %v", total, est.PermittedStd*est.PermittedStd)
+	}
+}
+
+func TestEstimateEpsilonInfeasible(t *testing.T) {
+	// Tiny blocks of a high-variance statistic with an absurdly tight goal:
+	// estimation variance alone exceeds what the goal allows.
+	rng := mathutil.NewRNG(9)
+	aged := make([]mathutil.Vec, 400)
+	for i := range aged {
+		aged[i] = mathutil.Vec{rng.Float64() * 150}
+	}
+	_, err := EstimateEpsilon(analytics.Median{Col: 0}, aged, 400, 2,
+		[]dp.Range{{Lo: 0, Hi: 150}}, AccuracyGoal{Rho: 0.9999, Confidence: 0.9999})
+	if !errors.Is(err, ErrInfeasibleAccuracy) {
+		t.Errorf("err = %v, want ErrInfeasibleAccuracy", err)
+	}
+}
+
+func TestEstimateEpsilonValidation(t *testing.T) {
+	aged := agedSample(10, 100)
+	ranges := []dp.Range{{Lo: 0, Hi: 150}}
+	goal := AccuracyGoal{Rho: 0.9, Confidence: 0.9}
+	if _, err := EstimateEpsilon(analytics.Mean{Col: 0}, nil, 100, 10, ranges, goal); !errors.Is(err, ErrNoAgedData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := EstimateEpsilon(analytics.Mean{Col: 0}, aged, 100, 10, ranges, AccuracyGoal{}); err == nil {
+		t.Error("invalid goal accepted")
+	}
+	if _, err := EstimateEpsilon(analytics.Mean{Col: 0}, aged, 0, 10, ranges, goal); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := EstimateEpsilon(analytics.Mean{Col: 0}, aged, 100, 0, ranges, goal); err == nil {
+		t.Error("beta=0 accepted")
+	}
+	if _, err := EstimateEpsilon(analytics.Mean{Col: 0}, aged, 100, 10, nil, goal); err == nil {
+		t.Error("missing ranges accepted")
+	}
+	if _, err := EstimateEpsilon(nil, aged, 100, 10, ranges, goal); err == nil {
+		t.Error("nil program accepted")
+	}
+}

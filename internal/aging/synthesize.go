@@ -1,0 +1,100 @@
+package aging
+
+import (
+	"fmt"
+
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+// SynthesizeAged implements the opportunity the paper sketches at the end
+// of §3.3: when no naturally aged data exists, spend a small slice of the
+// privacy budget once to build a differentially private sketch of the data
+// distribution, and use *synthetic* draws from that sketch as the training
+// sample for the block-size and ε-estimation optimizers.
+//
+// The sketch is a per-column DP histogram (the budget splits evenly across
+// columns, then across bins via a single Laplace release each — one record
+// changes one bin per column, so each column's histogram costs its full
+// column share under parallel composition). Synthetic rows sample each
+// column independently; correlations are not preserved, which is fine for
+// the optimizers (they only need marginal spreads), and is documented here
+// so nobody mistakes the output for real data.
+//
+// The returned rows are safe to treat as non-private: they are a
+// post-processing of an eps-DP release.
+func SynthesizeAged(rng *mathutil.RNG, rows []mathutil.Vec, ranges []dp.Range, bins, count int, eps float64) ([]mathutil.Vec, error) {
+	if len(rows) == 0 {
+		return nil, ErrNoAgedData
+	}
+	dims := len(rows[0])
+	if len(ranges) != dims {
+		return nil, fmt.Errorf("aging: %d ranges for %d columns", len(ranges), dims)
+	}
+	if bins <= 0 || count <= 0 {
+		return nil, fmt.Errorf("aging: bins=%d count=%d must be positive", bins, count)
+	}
+	if !(eps > 0) {
+		return nil, fmt.Errorf("%w: got %v", dp.ErrInvalidEpsilon, eps)
+	}
+	epsCol := eps / float64(dims)
+
+	// Per-column DP histograms.
+	hists := make([][]float64, dims)
+	mids := make([][]float64, dims)
+	widths := make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		r := ranges[d]
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("aging: column %d: %w", d, err)
+		}
+		width := r.Width() / float64(bins)
+		if width <= 0 {
+			// Degenerate column: all mass at one point.
+			hists[d] = []float64{1}
+			mids[d] = []float64{r.Lo}
+			widths[d] = 0
+			continue
+		}
+		counts := make([]float64, bins)
+		for _, row := range rows {
+			idx := int((r.Clamp(row[d]) - r.Lo) / width)
+			if idx >= bins {
+				idx = bins - 1
+			}
+			counts[idx]++
+		}
+		// One record moves one unit of one bin: sensitivity 1 per bin
+		// under parallel composition across bins.
+		for b := range counts {
+			noisy, err := dp.Laplace(rng, counts[b], 1, epsCol)
+			if err != nil {
+				return nil, err
+			}
+			if noisy < 0 {
+				noisy = 0
+			}
+			counts[b] = noisy
+		}
+		m := make([]float64, bins)
+		for b := range m {
+			m[b] = r.Lo + (float64(b)+0.5)*width
+		}
+		hists[d] = counts
+		mids[d] = m
+		widths[d] = width
+	}
+
+	// Sample synthetic rows from the product of the noisy marginals.
+	out := make([]mathutil.Vec, count)
+	for i := range out {
+		row := make(mathutil.Vec, dims)
+		for d := 0; d < dims; d++ {
+			b := rng.Categorical(hists[d])
+			jitter := (rng.Float64() - 0.5) * widths[d]
+			row[d] = ranges[d].Clamp(mids[d][b] + jitter)
+		}
+		out[i] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package aging
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gupt/internal/analytics"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+func TestSynthesizeAgedPreservesMarginals(t *testing.T) {
+	rng := mathutil.NewRNG(1)
+	rows := make([]mathutil.Vec, 5000)
+	for i := range rows {
+		rows[i] = mathutil.Vec{mathutil.Clamp(40+10*rng.NormFloat64(), 0, 150)}
+	}
+	ranges := []dp.Range{{Lo: 0, Hi: 150}}
+	synth, err := SynthesizeAged(rng, rows, ranges, 30, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(synth) != 2000 {
+		t.Fatalf("count = %d", len(synth))
+	}
+	realCol := make([]float64, len(rows))
+	for i, r := range rows {
+		realCol[i] = r[0]
+	}
+	synthCol := make([]float64, len(synth))
+	for i, r := range synth {
+		synthCol[i] = r[0]
+		if !ranges[0].Contains(r[0]) {
+			t.Fatalf("synthetic value %v outside range", r[0])
+		}
+	}
+	if math.Abs(mathutil.Mean(synthCol)-mathutil.Mean(realCol)) > 3 {
+		t.Errorf("synthetic mean %v vs real %v", mathutil.Mean(synthCol), mathutil.Mean(realCol))
+	}
+	if math.Abs(mathutil.StdDev(synthCol)-mathutil.StdDev(realCol)) > 4 {
+		t.Errorf("synthetic std %v vs real %v", mathutil.StdDev(synthCol), mathutil.StdDev(realCol))
+	}
+}
+
+// The synthetic sample is good enough to drive the optimizers — the whole
+// point of §3.3's suggestion.
+func TestSynthesizeAgedDrivesEstimateEpsilon(t *testing.T) {
+	rng := mathutil.NewRNG(2)
+	rows := make([]mathutil.Vec, 4000)
+	for i := range rows {
+		rows[i] = mathutil.Vec{mathutil.Clamp(40+10*rng.NormFloat64(), 0, 150)}
+	}
+	ranges := []dp.Range{{Lo: 0, Hi: 150}}
+	synth, err := SynthesizeAged(rng, rows, ranges, 30, 1500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateEpsilon(analytics.Mean{Col: 0}, synth, len(rows), 64, ranges,
+		AccuracyGoal{Rho: 0.9, Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Epsilon <= 0 || est.Epsilon > 100 {
+		t.Errorf("synthetic-sample epsilon estimate = %v", est.Epsilon)
+	}
+}
+
+func TestSynthesizeAgedMultiColumn(t *testing.T) {
+	rng := mathutil.NewRNG(3)
+	rows := make([]mathutil.Vec, 2000)
+	for i := range rows {
+		rows[i] = mathutil.Vec{rng.Float64() * 10, 100 + rng.Float64()*50}
+	}
+	ranges := []dp.Range{{Lo: 0, Hi: 10}, {Lo: 100, Hi: 150}}
+	synth, err := SynthesizeAged(rng, rows, ranges, 20, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range synth {
+		if len(r) != 2 || !ranges[0].Contains(r[0]) || !ranges[1].Contains(r[1]) {
+			t.Fatalf("bad synthetic row %v", r)
+		}
+	}
+}
+
+func TestSynthesizeAgedDegenerateColumn(t *testing.T) {
+	rng := mathutil.NewRNG(4)
+	rows := []mathutil.Vec{{5}, {5}, {5}}
+	synth, err := SynthesizeAged(rng, rows, []dp.Range{{Lo: 5, Hi: 5}}, 10, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range synth {
+		if r[0] != 5 {
+			t.Fatalf("degenerate column synthesized %v", r[0])
+		}
+	}
+}
+
+func TestSynthesizeAgedValidation(t *testing.T) {
+	rng := mathutil.NewRNG(5)
+	rows := []mathutil.Vec{{1}}
+	ranges := []dp.Range{{Lo: 0, Hi: 1}}
+	if _, err := SynthesizeAged(rng, nil, ranges, 10, 10, 1); !errors.Is(err, ErrNoAgedData) {
+		t.Errorf("empty rows err = %v", err)
+	}
+	if _, err := SynthesizeAged(rng, rows, nil, 10, 10, 1); err == nil {
+		t.Error("missing ranges accepted")
+	}
+	if _, err := SynthesizeAged(rng, rows, ranges, 0, 10, 1); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := SynthesizeAged(rng, rows, ranges, 10, 0, 1); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := SynthesizeAged(rng, rows, ranges, 10, 10, 0); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := SynthesizeAged(rng, rows, []dp.Range{{Lo: 1, Hi: 0}}, 10, 10, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+}

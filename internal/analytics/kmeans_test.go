@@ -1,0 +1,204 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gupt/internal/mathutil"
+)
+
+// twoBlobs returns n points split between tight blobs at (0,0) and (10,10).
+func twoBlobs(seed int64, n int) []mathutil.Vec {
+	rng := mathutil.NewRNG(seed)
+	out := make([]mathutil.Vec, n)
+	for i := range out {
+		cx, cy := 0.0, 0.0
+		if i%2 == 1 {
+			cx, cy = 10, 10
+		}
+		out[i] = mathutil.Vec{cx + rng.NormFloat64()*0.3, cy + rng.NormFloat64()*0.3}
+	}
+	return out
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	block := twoBlobs(1, 200)
+	km := KMeans{K: 2, FeatureDims: 2, Iters: 20, Seed: 7}
+	out, err := km.Run(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers, err := UnflattenCenters(out, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical order sorts by first coordinate: centers[0] near (0,0).
+	if centers[0].Dist(mathutil.Vec{0, 0}) > 0.5 {
+		t.Errorf("center 0 = %v, want near (0,0)", centers[0])
+	}
+	if centers[1].Dist(mathutil.Vec{10, 10}) > 0.5 {
+		t.Errorf("center 1 = %v, want near (10,10)", centers[1])
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	block := twoBlobs(3, 100)
+	km := KMeans{K: 2, FeatureDims: 2, Iters: 10, Seed: 5}
+	a, err := km.Run(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := km.Run(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b, 0) {
+		t.Error("KMeans not deterministic for fixed seed")
+	}
+}
+
+func TestKMeansIgnoresExtraColumns(t *testing.T) {
+	block := twoBlobs(4, 100)
+	for i := range block {
+		block[i] = append(block[i], 999) // label column the program must ignore
+	}
+	km := KMeans{K: 2, FeatureDims: 2, Iters: 10, Seed: 1}
+	out, err := km.Run(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("output dims %d, want 4", len(out))
+	}
+	for _, v := range out {
+		if math.Abs(v) > 15 {
+			t.Errorf("center coordinate %v contaminated by label column", v)
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	block := twoBlobs(1, 10)
+	cases := []KMeans{
+		{K: 0, FeatureDims: 2, Iters: 1},
+		{K: 2, FeatureDims: 0, Iters: 1},
+		{K: 2, FeatureDims: 2, Iters: 0},
+		{K: 2, FeatureDims: 5, Iters: 1}, // more dims than data
+	}
+	for i, c := range cases {
+		if _, err := c.Run(block); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := (KMeans{K: 2, FeatureDims: 2, Iters: 1}).Run(nil); err == nil {
+		t.Error("empty block accepted")
+	}
+}
+
+func TestKMeansMoreClustersThanPoints(t *testing.T) {
+	// K > n must still return K centers (reseeded from data points).
+	block := twoBlobs(1, 3)
+	km := KMeans{K: 5, FeatureDims: 2, Iters: 3, Seed: 2}
+	out, err := km.Run(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 {
+		t.Errorf("output dims %d, want 10", len(out))
+	}
+}
+
+func TestSortCentersCanonical(t *testing.T) {
+	centers := []mathutil.Vec{{5, 1}, {1, 9}, {1, 2}}
+	SortCenters(centers)
+	want := []mathutil.Vec{{1, 2}, {1, 9}, {5, 1}}
+	for i := range want {
+		if !centers[i].Equal(want[i], 0) {
+			t.Fatalf("sorted = %v", centers)
+		}
+	}
+	// Idempotent.
+	before := append([]mathutil.Vec(nil), centers...)
+	SortCenters(centers)
+	for i := range before {
+		if !centers[i].Equal(before[i], 0) {
+			t.Fatal("SortCenters not idempotent")
+		}
+	}
+}
+
+// Property: SortCenters is a permutation (no centers lost or invented).
+func TestSortCentersPermutationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var centers []mathutil.Vec
+		for _, x := range raw {
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				continue // sums of near-max floats overflow the checksum
+			}
+			centers = append(centers, mathutil.Vec{x})
+		}
+		sum := 0.0
+		for _, c := range centers {
+			sum += c[0]
+		}
+		SortCenters(centers)
+		sum2 := 0.0
+		sorted := true
+		for i, c := range centers {
+			sum2 += c[0]
+			if i > 0 && centers[i-1][0] > c[0] {
+				sorted = false
+			}
+		}
+		return sorted && math.Abs(sum-sum2) < 1e-9*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnflattenCenters(t *testing.T) {
+	cs, err := UnflattenCenters(mathutil.Vec{1, 2, 3, 4, 5, 6}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs[2].Equal(mathutil.Vec{5, 6}, 0) {
+		t.Errorf("UnflattenCenters = %v", cs)
+	}
+	if _, err := UnflattenCenters(mathutil.Vec{1, 2, 3}, 2, 2); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestIntraClusterVariance(t *testing.T) {
+	rows := []mathutil.Vec{{0, 0}, {2, 0}, {10, 10}}
+	centers := []mathutil.Vec{{1, 0}, {10, 10}}
+	// First two rows are distance 1 from (1,0); the last is 0 from (10,10).
+	got := IntraClusterVariance(rows, centers)
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("ICV = %v, want 2/3", got)
+	}
+	if IntraClusterVariance(nil, centers) != 0 {
+		t.Error("empty rows should give 0")
+	}
+	// Perfect clustering gives zero.
+	if v := IntraClusterVariance([]mathutil.Vec{{1, 0}}, centers); v != 0 {
+		t.Errorf("exact point ICV = %v", v)
+	}
+}
+
+func TestKMeansLowersICV(t *testing.T) {
+	block := twoBlobs(8, 300)
+	km := KMeans{K: 2, FeatureDims: 2, Iters: 15, Seed: 3}
+	out, err := km.Run(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers, _ := UnflattenCenters(out, 2, 2)
+	fitted := IntraClusterVariance(block, centers)
+	random := IntraClusterVariance(block, []mathutil.Vec{{5, 5}, {6, 6}})
+	if fitted >= random {
+		t.Errorf("fitted ICV %v not better than arbitrary centers %v", fitted, random)
+	}
+}

@@ -1,0 +1,217 @@
+package analytics
+
+import (
+	"errors"
+	"fmt"
+
+	"gupt/internal/mathutil"
+)
+
+// LinearRegression fits ordinary least squares on the first FeatureDims
+// columns against the target column, solving the normal equations with
+// ridge damping for numerical safety. The output is the coefficient vector
+// followed by the intercept: FeatureDims+1 values.
+//
+// Like every Program it is a black box to GUPT: the platform averages
+// per-block parameter vectors and perturbs the average.
+type LinearRegression struct {
+	FeatureDims int
+	TargetCol   int
+	// Ridge is the L2 damping added to the normal equations' diagonal;
+	// 0 selects a small default that keeps near-singular blocks solvable.
+	Ridge float64
+}
+
+// Name implements Program.
+func (l LinearRegression) Name() string {
+	return fmt.Sprintf("linreg(d=%d,target=%d)", l.FeatureDims, l.TargetCol)
+}
+
+// OutputDims implements Program.
+func (l LinearRegression) OutputDims() int { return l.FeatureDims + 1 }
+
+// Run implements Program.
+func (l LinearRegression) Run(block []mathutil.Vec) (mathutil.Vec, error) {
+	if len(block) == 0 {
+		return nil, ErrEmptyBlock
+	}
+	if l.FeatureDims <= 0 {
+		return nil, fmt.Errorf("analytics: linreg needs positive FeatureDims, got %d", l.FeatureDims)
+	}
+	if len(block[0]) <= l.TargetCol || len(block[0]) < l.FeatureDims {
+		return nil, fmt.Errorf("analytics: rows have %d dims, linreg needs features %d and target col %d",
+			len(block[0]), l.FeatureDims, l.TargetCol)
+	}
+	ridge := l.Ridge
+	if ridge == 0 {
+		ridge = 1e-8
+	}
+
+	// Augmented design: d feature columns plus a constant-1 column for the
+	// intercept. Accumulate X'X and X'y.
+	d := l.FeatureDims + 1
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	xi := make([]float64, d)
+	for _, row := range block {
+		copy(xi, row[:l.FeatureDims])
+		xi[d-1] = 1
+		y := row[l.TargetCol]
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				xtx[i][j] += xi[i] * xi[j]
+			}
+			xty[i] += xi[i] * y
+		}
+	}
+	for i := 0; i < d; i++ {
+		xtx[i][i] += ridge
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+
+	params, err := solveLinearSystem(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("analytics: linreg: %w", err)
+	}
+	return params, nil
+}
+
+// solveLinearSystem solves Ax = b by Gaussian elimination with partial
+// pivoting. A and b are consumed.
+func solveLinearSystem(a [][]float64, b []float64) (mathutil.Vec, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) < 1e-15 {
+			return nil, errors.New("singular system")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make(mathutil.Vec, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// PredictLinear evaluates a fitted parameter vector (coefficients followed
+// by intercept) on a feature vector.
+func PredictLinear(params, x mathutil.Vec) float64 {
+	w, b := params[:len(params)-1], params[len(params)-1]
+	return mathutil.Vec(w).Dot(x) + b
+}
+
+// Covariance computes the population covariance between two columns.
+type Covariance struct {
+	ColA, ColB int
+}
+
+// Name implements Program.
+func (c Covariance) Name() string { return fmt.Sprintf("cov(%d,%d)", c.ColA, c.ColB) }
+
+// OutputDims implements Program.
+func (Covariance) OutputDims() int { return 1 }
+
+// Run implements Program.
+func (c Covariance) Run(block []mathutil.Vec) (mathutil.Vec, error) {
+	if err := checkBlock(block, c.ColA); err != nil {
+		return nil, err
+	}
+	if err := checkBlock(block, c.ColB); err != nil {
+		return nil, err
+	}
+	n := float64(len(block))
+	var ma, mb float64
+	for _, r := range block {
+		ma += r[c.ColA]
+		mb += r[c.ColB]
+	}
+	ma /= n
+	mb /= n
+	var cov float64
+	for _, r := range block {
+		cov += (r[c.ColA] - ma) * (r[c.ColB] - mb)
+	}
+	return mathutil.Vec{cov / n}, nil
+}
+
+// Histogram computes the fraction of a column's values falling in each of
+// Bins equal-width buckets over [Lo, Hi]; out-of-range values clamp to the
+// edge buckets. Its output is a Bins-dimensional vector of fractions — run
+// through GUPT this yields a differentially private histogram, each bucket
+// naturally bounded in [0, 1].
+type Histogram struct {
+	Col    int
+	Lo, Hi float64
+	Bins   int
+}
+
+// Name implements Program.
+func (h Histogram) Name() string {
+	return fmt.Sprintf("histogram(col=%d,bins=%d)", h.Col, h.Bins)
+}
+
+// OutputDims implements Program.
+func (h Histogram) OutputDims() int { return h.Bins }
+
+// Run implements Program.
+func (h Histogram) Run(block []mathutil.Vec) (mathutil.Vec, error) {
+	if err := checkBlock(block, h.Col); err != nil {
+		return nil, err
+	}
+	if h.Bins <= 0 {
+		return nil, fmt.Errorf("analytics: histogram needs positive Bins, got %d", h.Bins)
+	}
+	if !(h.Hi > h.Lo) {
+		return nil, fmt.Errorf("analytics: histogram range [%v, %v] is empty", h.Lo, h.Hi)
+	}
+	out := make(mathutil.Vec, h.Bins)
+	width := (h.Hi - h.Lo) / float64(h.Bins)
+	for _, r := range block {
+		idx := int((r[h.Col] - h.Lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= h.Bins {
+			idx = h.Bins - 1
+		}
+		out[idx]++
+	}
+	out.ScaleInPlace(1 / float64(len(block)))
+	return out, nil
+}

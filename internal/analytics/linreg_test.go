@@ -1,0 +1,164 @@
+package analytics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gupt/internal/mathutil"
+)
+
+func TestLinearRegressionRecoversCoefficients(t *testing.T) {
+	rng := mathutil.NewRNG(1)
+	// y = 3x0 - 2x1 + 5 + small noise
+	var block []mathutil.Vec
+	for i := 0; i < 500; i++ {
+		x0, x1 := rng.NormFloat64(), rng.NormFloat64()
+		y := 3*x0 - 2*x1 + 5 + 0.01*rng.NormFloat64()
+		block = append(block, mathutil.Vec{x0, x1, y})
+	}
+	lr := LinearRegression{FeatureDims: 2, TargetCol: 2}
+	params, err := lr.Run(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != lr.OutputDims() {
+		t.Fatalf("params len %d", len(params))
+	}
+	want := mathutil.Vec{3, -2, 5}
+	if !params.Equal(want, 0.05) {
+		t.Errorf("params = %v, want ~%v", params, want)
+	}
+	// PredictLinear agrees with the model.
+	if got := PredictLinear(params, mathutil.Vec{1, 1}); math.Abs(got-6) > 0.1 {
+		t.Errorf("PredictLinear = %v, want ~6", got)
+	}
+}
+
+func TestLinearRegressionDegenerateData(t *testing.T) {
+	// Constant feature: ridge damping keeps the system solvable.
+	block := []mathutil.Vec{{1, 5}, {1, 5}, {1, 5}}
+	lr := LinearRegression{FeatureDims: 1, TargetCol: 1}
+	if _, err := lr.Run(block); err != nil {
+		t.Errorf("degenerate block failed: %v", err)
+	}
+}
+
+func TestLinearRegressionValidation(t *testing.T) {
+	if _, err := (LinearRegression{FeatureDims: 1, TargetCol: 1}).Run(nil); !errors.Is(err, ErrEmptyBlock) {
+		t.Error("empty block accepted")
+	}
+	block := []mathutil.Vec{{1, 2}}
+	if _, err := (LinearRegression{FeatureDims: 0, TargetCol: 1}).Run(block); err == nil {
+		t.Error("zero dims accepted")
+	}
+	if _, err := (LinearRegression{FeatureDims: 1, TargetCol: 9}).Run(block); err == nil {
+		t.Error("bad target col accepted")
+	}
+	if _, err := (LinearRegression{FeatureDims: 5, TargetCol: 1}).Run(block); err == nil {
+		t.Error("more features than columns accepted")
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1 → x=2, y=1.
+	a := [][]float64{{2, 1}, {1, -1}}
+	b := []float64{5, 1}
+	x, err := solveLinearSystem(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(mathutil.Vec{2, 1}, 1e-9) {
+		t.Errorf("solution = %v", x)
+	}
+	// Singular system is rejected.
+	if _, err := solveLinearSystem([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("singular system accepted")
+	}
+	// Zero pivot needing a row swap.
+	x, err = solveLinearSystem([][]float64{{0, 1}, {1, 0}}, []float64{3, 4})
+	if err != nil || !x.Equal(mathutil.Vec{4, 3}, 1e-12) {
+		t.Errorf("pivoting solution = %v, %v", x, err)
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	block := []mathutil.Vec{{1, 2}, {2, 4}, {3, 6}} // y = 2x, perfectly correlated
+	out, err := Covariance{ColA: 0, ColB: 1}.Run(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Var(x) = 2/3, Cov = 2·Var(x) = 4/3.
+	if math.Abs(out[0]-4.0/3.0) > 1e-12 {
+		t.Errorf("Cov = %v, want 4/3", out[0])
+	}
+	// Cov(x, x) == Var(x).
+	vv, _ := Variance{Col: 0}.Run(block)
+	cc, _ := Covariance{ColA: 0, ColB: 0}.Run(block)
+	if math.Abs(vv[0]-cc[0]) > 1e-12 {
+		t.Errorf("Cov(x,x)=%v != Var(x)=%v", cc[0], vv[0])
+	}
+	if _, err := (Covariance{ColA: 0, ColB: 9}).Run(block); err == nil {
+		t.Error("bad column accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	block := rowsOf(0.5, 1.5, 1.6, 2.5, 99, -99)
+	h := Histogram{Col: 0, Lo: 0, Hi: 3, Bins: 3}
+	out, err := h.Run(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets [0,1):{0.5, -99 clamped}, [1,2):{1.5,1.6}, [2,3]:{2.5, 99 clamped}.
+	want := mathutil.Vec{2.0 / 6, 2.0 / 6, 2.0 / 6}
+	if !out.Equal(want, 1e-12) {
+		t.Errorf("Histogram = %v, want %v", out, want)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	block := rowsOf(1)
+	if _, err := (Histogram{Col: 0, Lo: 0, Hi: 1, Bins: 0}).Run(block); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := (Histogram{Col: 0, Lo: 1, Hi: 1, Bins: 2}).Run(block); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := (Histogram{Col: 0, Lo: 0, Hi: 1, Bins: 2}).Run(nil); !errors.Is(err, ErrEmptyBlock) {
+		t.Error("empty block accepted")
+	}
+}
+
+// Property: histogram fractions are non-negative and sum to 1.
+func TestHistogramSumsToOneProperty(t *testing.T) {
+	f := func(raw []float64, binsRaw uint8) bool {
+		var block []mathutil.Vec
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			block = append(block, mathutil.Vec{x})
+		}
+		if len(block) == 0 {
+			return true
+		}
+		bins := int(binsRaw%16) + 1
+		out, err := (Histogram{Col: 0, Lo: -10, Hi: 10, Bins: bins}).Run(block)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+
+	"gupt/internal/mathutil"
+)
+
+// LogisticRegression trains an L2-regularized (optionally L1 via a proximal
+// step) binary classifier with batch gradient descent. Records are the
+// first FeatureDims columns; the label, in LabelCol, must be 0 or 1
+// (values are thresholded at 0.5). The output is the weight vector followed
+// by the bias: FeatureDims+1 values.
+//
+// It stands in for the paper's black-box MSR OWL-QN package: GUPT only ever
+// calls Run on a block and averages the resulting parameter vectors.
+type LogisticRegression struct {
+	FeatureDims int
+	LabelCol    int
+	Iters       int
+	LearnRate   float64
+	L2          float64
+	L1          float64 // 0 disables the proximal step
+}
+
+// Name implements Program.
+func (l LogisticRegression) Name() string {
+	return fmt.Sprintf("logreg(d=%d,iters=%d)", l.FeatureDims, l.Iters)
+}
+
+// OutputDims implements Program.
+func (l LogisticRegression) OutputDims() int { return l.FeatureDims + 1 }
+
+// Run implements Program.
+func (l LogisticRegression) Run(block []mathutil.Vec) (mathutil.Vec, error) {
+	if len(block) == 0 {
+		return nil, ErrEmptyBlock
+	}
+	if l.FeatureDims <= 0 || l.Iters <= 0 || l.LearnRate <= 0 {
+		return nil, fmt.Errorf("analytics: logreg needs positive FeatureDims, Iters, LearnRate; got %+v", l)
+	}
+	if len(block[0]) <= l.LabelCol || len(block[0]) < l.FeatureDims {
+		return nil, fmt.Errorf("analytics: rows have %d dims, logreg needs features %d and label col %d",
+			len(block[0]), l.FeatureDims, l.LabelCol)
+	}
+
+	w := make(mathutil.Vec, l.FeatureDims)
+	var b float64
+	n := float64(len(block))
+	grad := make(mathutil.Vec, l.FeatureDims)
+
+	for iter := 0; iter < l.Iters; iter++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		var gradB float64
+		for _, row := range block {
+			x := row[:l.FeatureDims]
+			y := 0.0
+			if row[l.LabelCol] >= 0.5 {
+				y = 1
+			}
+			err := Sigmoid(w.Dot(x)+b) - y
+			for j := range grad {
+				grad[j] += err * x[j]
+			}
+			gradB += err
+		}
+		for j := range w {
+			w[j] -= l.LearnRate * (grad[j]/n + l.L2*w[j])
+			if l.L1 > 0 {
+				w[j] = softThreshold(w[j], l.LearnRate*l.L1)
+			}
+		}
+		b -= l.LearnRate * gradB / n
+	}
+	return append(w, b), nil
+}
+
+// Sigmoid is the logistic function 1/(1+e^-z), computed stably.
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func softThreshold(x, t float64) float64 {
+	switch {
+	case x > t:
+		return x - t
+	case x < -t:
+		return x + t
+	default:
+		return 0
+	}
+}
+
+// PredictLogistic classifies a feature vector with a trained parameter
+// vector (weights followed by bias), returning 0 or 1.
+func PredictLogistic(params mathutil.Vec, x mathutil.Vec) float64 {
+	w, b := params[:len(params)-1], params[len(params)-1]
+	if Sigmoid(mathutil.Vec(w).Dot(x)+b) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// ClassificationAccuracy evaluates a trained parameter vector on labeled
+// rows (features in the first featureDims columns, label in labelCol),
+// returning the fraction of correct predictions.
+func ClassificationAccuracy(params mathutil.Vec, rows []mathutil.Vec, featureDims, labelCol int) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, r := range rows {
+		want := 0.0
+		if r[labelCol] >= 0.5 {
+			want = 1
+		}
+		if PredictLogistic(params, r[:featureDims]) == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(rows))
+}

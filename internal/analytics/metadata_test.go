@@ -1,0 +1,40 @@
+package analytics
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every built-in program has a stable, informative Name and a consistent
+// OutputDims declaration.
+func TestProgramMetadata(t *testing.T) {
+	cases := []struct {
+		prog     Program
+		wantName string
+		wantDims int
+	}{
+		{Mean{Col: 2}, "mean(col=2)", 1},
+		{Median{Col: 0}, "median(col=0)", 1},
+		{Variance{Col: 1}, "variance(col=1)", 1},
+		{Percentile{Col: 0, P: 0.25}, "percentile(col=0,p=0.25)", 1},
+		{Covariance{ColA: 1, ColB: 2}, "cov(1,2)", 1},
+		{Histogram{Col: 0, Lo: 0, Hi: 1, Bins: 7}, "histogram(col=0,bins=7)", 7},
+		{KMeans{K: 3, FeatureDims: 4, Iters: 9}, "kmeans(k=3,iters=9)", 12},
+		{LogisticRegression{FeatureDims: 5, Iters: 3, LearnRate: 0.1}, "logreg(d=5,iters=3)", 6},
+		{LinearRegression{FeatureDims: 5, TargetCol: 5}, "linreg(d=5,target=5)", 6},
+		{NaiveBayes{FeatureDims: 3, LabelCol: 3}, "naivebayes(d=3)", 13},
+		{Pad{Inner: Mean{Col: 0}, Dims: 4}, "pad(mean(col=0),dims=4)", 4},
+		{Func{ProgName: "custom", Dims: 2}, "custom", 2},
+	}
+	for _, c := range cases {
+		if got := c.prog.Name(); got != c.wantName {
+			t.Errorf("Name() = %q, want %q", got, c.wantName)
+		}
+		if got := c.prog.OutputDims(); got != c.wantDims {
+			t.Errorf("%s: OutputDims() = %d, want %d", c.wantName, got, c.wantDims)
+		}
+		if strings.TrimSpace(c.prog.Name()) == "" {
+			t.Errorf("empty program name for %T", c.prog)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+
+	"gupt/internal/mathutil"
+)
+
+// NaiveBayes trains a Gaussian naive Bayes binary classifier: per class,
+// a prior plus per-feature mean and variance. Features are the first
+// FeatureDims columns; the {0,1} label is in LabelCol.
+//
+// The flattened output is [prior1, mean1..., var1..., mean0..., var0...]:
+// 1 + 4·FeatureDims values, each averaging meaningfully across blocks —
+// which is exactly what makes it a good citizen under sample-and-aggregate.
+type NaiveBayes struct {
+	FeatureDims int
+	LabelCol    int
+}
+
+// Name implements Program.
+func (nb NaiveBayes) Name() string { return fmt.Sprintf("naivebayes(d=%d)", nb.FeatureDims) }
+
+// OutputDims implements Program.
+func (nb NaiveBayes) OutputDims() int { return 1 + 4*nb.FeatureDims }
+
+// Run implements Program.
+func (nb NaiveBayes) Run(block []mathutil.Vec) (mathutil.Vec, error) {
+	if len(block) == 0 {
+		return nil, ErrEmptyBlock
+	}
+	if nb.FeatureDims <= 0 {
+		return nil, fmt.Errorf("analytics: naive bayes needs positive FeatureDims, got %d", nb.FeatureDims)
+	}
+	if len(block[0]) <= nb.LabelCol || len(block[0]) < nb.FeatureDims {
+		return nil, fmt.Errorf("analytics: rows have %d dims, naive bayes needs features %d and label col %d",
+			len(block[0]), nb.FeatureDims, nb.LabelCol)
+	}
+	d := nb.FeatureDims
+	var n1, n0 float64
+	sum1 := make(mathutil.Vec, d)
+	sum0 := make(mathutil.Vec, d)
+	sq1 := make(mathutil.Vec, d)
+	sq0 := make(mathutil.Vec, d)
+	for _, row := range block {
+		x := row[:d]
+		if row[nb.LabelCol] >= 0.5 {
+			n1++
+			for j, v := range x {
+				sum1[j] += v
+				sq1[j] += v * v
+			}
+		} else {
+			n0++
+			for j, v := range x {
+				sum0[j] += v
+				sq0[j] += v * v
+			}
+		}
+	}
+
+	out := make(mathutil.Vec, nb.OutputDims())
+	out[0] = n1 / float64(len(block))
+	const varFloor = 1e-3 // keep class-conditional variances usable
+	fill := func(offset int, n float64, sum, sq mathutil.Vec, fallback mathutil.Vec) {
+		for j := 0; j < d; j++ {
+			if n == 0 {
+				// A block may miss one class entirely; fall back to the
+				// pooled statistics so the averaged model stays sane.
+				out[offset+j] = fallback[j]
+				out[offset+d+j] = fallback[d+j]
+				continue
+			}
+			mean := sum[j] / n
+			variance := sq[j]/n - mean*mean
+			if variance < varFloor {
+				variance = varFloor
+			}
+			out[offset+j] = mean
+			out[offset+d+j] = variance
+		}
+	}
+	pooled := make(mathutil.Vec, 2*d)
+	total := n1 + n0
+	for j := 0; j < d; j++ {
+		mean := (sum1[j] + sum0[j]) / total
+		variance := (sq1[j]+sq0[j])/total - mean*mean
+		if variance < varFloor {
+			variance = varFloor
+		}
+		pooled[j] = mean
+		pooled[d+j] = variance
+	}
+	fill(1, n1, sum1, sq1, pooled)
+	fill(1+2*d, n0, sum0, sq0, pooled)
+	return out, nil
+}
+
+// PredictNaiveBayes classifies a feature vector with a trained (possibly
+// noisy) parameter vector produced by NaiveBayes.Run.
+func PredictNaiveBayes(params mathutil.Vec, x mathutil.Vec) float64 {
+	d := len(x)
+	prior1 := mathutil.Clamp(params[0], 1e-6, 1-1e-6)
+	score1 := math.Log(prior1)
+	score0 := math.Log(1 - prior1)
+	for j := 0; j < d; j++ {
+		score1 += logGauss(x[j], params[1+j], params[1+d+j])
+		score0 += logGauss(x[j], params[1+2*d+j], params[1+3*d+j])
+	}
+	if score1 >= score0 {
+		return 1
+	}
+	return 0
+}
+
+func logGauss(x, mean, variance float64) float64 {
+	if variance < 1e-6 {
+		variance = 1e-6
+	}
+	diff := x - mean
+	return -0.5*math.Log(2*math.Pi*variance) - diff*diff/(2*variance)
+}
+
+// NaiveBayesAccuracy evaluates a trained parameter vector on labeled rows.
+func NaiveBayesAccuracy(params mathutil.Vec, rows []mathutil.Vec, featureDims, labelCol int) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, r := range rows {
+		want := 0.0
+		if r[labelCol] >= 0.5 {
+			want = 1
+		}
+		if PredictNaiveBayes(params, r[:featureDims]) == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(rows))
+}

@@ -1,0 +1,92 @@
+package analytics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gupt/internal/mathutil"
+)
+
+// nbData builds two Gaussian classes: class 1 around +2, class 0 around -2.
+func nbData(seed int64, n int) []mathutil.Vec {
+	rng := mathutil.NewRNG(seed)
+	rows := make([]mathutil.Vec, n)
+	for i := range rows {
+		y := float64(i % 2)
+		center := -2.0
+		if y == 1 {
+			center = 2
+		}
+		rows[i] = mathutil.Vec{center + rng.NormFloat64(), center + rng.NormFloat64(), y}
+	}
+	return rows
+}
+
+func TestNaiveBayesLearns(t *testing.T) {
+	rows := nbData(1, 1000)
+	nb := NaiveBayes{FeatureDims: 2, LabelCol: 2}
+	params, err := nb.Run(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != nb.OutputDims() {
+		t.Fatalf("params len %d, want %d", len(params), nb.OutputDims())
+	}
+	if math.Abs(params[0]-0.5) > 0.05 {
+		t.Errorf("prior = %v, want ~0.5", params[0])
+	}
+	// Class-1 means near +2.
+	if math.Abs(params[1]-2) > 0.2 || math.Abs(params[2]-2) > 0.2 {
+		t.Errorf("class-1 means = %v, %v", params[1], params[2])
+	}
+	if acc := NaiveBayesAccuracy(params, rows, 2, 2); acc < 0.95 {
+		t.Errorf("training accuracy %v", acc)
+	}
+}
+
+func TestNaiveBayesSingleClassBlock(t *testing.T) {
+	// A block containing only class 1 must still produce usable (pooled)
+	// statistics for class 0, not NaN.
+	rng := mathutil.NewRNG(2)
+	rows := make([]mathutil.Vec, 50)
+	for i := range rows {
+		rows[i] = mathutil.Vec{2 + rng.NormFloat64(), 1}
+	}
+	params, err := (NaiveBayes{FeatureDims: 1, LabelCol: 1}).Run(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range params {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("param %d is %v", i, v)
+		}
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	if _, err := (NaiveBayes{FeatureDims: 1, LabelCol: 1}).Run(nil); !errors.Is(err, ErrEmptyBlock) {
+		t.Error("empty block accepted")
+	}
+	block := []mathutil.Vec{{1, 0}}
+	if _, err := (NaiveBayes{FeatureDims: 0, LabelCol: 1}).Run(block); err == nil {
+		t.Error("zero dims accepted")
+	}
+	if _, err := (NaiveBayes{FeatureDims: 1, LabelCol: 5}).Run(block); err == nil {
+		t.Error("bad label col accepted")
+	}
+}
+
+func TestPredictNaiveBayesDegenerate(t *testing.T) {
+	// Extreme prior and tiny variance must not produce NaN decisions.
+	params := mathutil.Vec{0, 0, 1e-12, 5, 1e-12}
+	if got := PredictNaiveBayes(params, mathutil.Vec{0}); got != 0 && got != 1 {
+		t.Errorf("prediction = %v", got)
+	}
+}
+
+func TestNaiveBayesAccuracyEmpty(t *testing.T) {
+	if got := NaiveBayesAccuracy(nil, nil, 1, 1); got != 0 {
+		t.Errorf("empty accuracy = %v", got)
+	}
+}

@@ -1,0 +1,49 @@
+package analytics
+
+import (
+	"fmt"
+
+	"gupt/internal/mathutil"
+)
+
+// Pad wraps a program whose raw output length can vary from block to block
+// (the paper's §8.1 example: SVMs emit an indefinite number of support
+// vectors) and forces it to the fixed dimensionality GUPT requires: longer
+// outputs are truncated, shorter ones are padded with Fill. Because every
+// block then reports exactly Dims values, the output dimension itself can
+// no longer leak information.
+type Pad struct {
+	// Inner is the wrapped computation (its OutputDims is ignored).
+	Inner Program
+	// Dims is the fixed output dimensionality presented to GUPT.
+	Dims int
+	// Fill is the pad value; pick something inside the declared output
+	// range (it will be clamped like any block output).
+	Fill float64
+}
+
+// Name implements Program.
+func (p Pad) Name() string { return fmt.Sprintf("pad(%s,dims=%d)", p.Inner.Name(), p.Dims) }
+
+// OutputDims implements Program.
+func (p Pad) OutputDims() int { return p.Dims }
+
+// Run implements Program.
+func (p Pad) Run(block []mathutil.Vec) (mathutil.Vec, error) {
+	if p.Inner == nil {
+		return nil, fmt.Errorf("analytics: pad with nil inner program")
+	}
+	if p.Dims <= 0 {
+		return nil, fmt.Errorf("analytics: pad needs positive Dims, got %d", p.Dims)
+	}
+	raw, err := p.Inner.Run(block)
+	if err != nil {
+		return nil, err
+	}
+	out := make(mathutil.Vec, p.Dims)
+	n := copy(out, raw)
+	for i := n; i < p.Dims; i++ {
+		out[i] = p.Fill
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package analytics
+
+import (
+	"errors"
+	"testing"
+
+	"gupt/internal/mathutil"
+)
+
+// varying emits one value per distinct label it sees — a program whose raw
+// output width is data-dependent, like the paper's SVM example.
+var varying = Func{ProgName: "varying", Dims: -1, F: func(block []mathutil.Vec) (mathutil.Vec, error) {
+	seen := map[float64]bool{}
+	var out mathutil.Vec
+	for _, r := range block {
+		if !seen[r[0]] {
+			seen[r[0]] = true
+			out = append(out, r[0])
+		}
+	}
+	return out, nil
+}}
+
+func TestPadTruncatesAndFills(t *testing.T) {
+	p := Pad{Inner: varying, Dims: 3, Fill: -1}
+	// Short raw output: padded.
+	out, err := p.Run([]mathutil.Vec{{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(mathutil.Vec{7, -1, -1}, 0) {
+		t.Errorf("padded = %v", out)
+	}
+	// Long raw output: truncated.
+	out, err = p.Run([]mathutil.Vec{{1}, {2}, {3}, {4}, {5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Errorf("truncated len = %d", len(out))
+	}
+	if p.OutputDims() != 3 {
+		t.Errorf("OutputDims = %d", p.OutputDims())
+	}
+}
+
+func TestPadValidation(t *testing.T) {
+	if _, err := (Pad{Dims: 2}).Run(nil); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := (Pad{Inner: varying, Dims: 0}).Run(nil); err == nil {
+		t.Error("zero dims accepted")
+	}
+	// Inner errors propagate.
+	bomb := Func{ProgName: "err", Dims: 1, F: func([]mathutil.Vec) (mathutil.Vec, error) {
+		return nil, errors.New("inner failure")
+	}}
+	if _, err := (Pad{Inner: bomb, Dims: 1}).Run(nil); err == nil {
+		t.Error("inner error swallowed")
+	}
+}

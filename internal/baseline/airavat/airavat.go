@@ -1,0 +1,189 @@
+// Package airavat is a minimal reimplementation of Airavat (Roy et al.,
+// NSDI '10) sufficient for the paper's Table 1 comparison: a map-reduce
+// pipeline in which the analyst supplies an *untrusted* mapper that runs
+// per record, while the reducer is a *trusted*, platform-supplied
+// differentially private aggregator.
+//
+// The reproduced restrictions match the original system:
+//
+//   - The mapper's output is clamped to an analyst-declared range; the
+//     declared range, not the data, calibrates the noise.
+//   - Each mapper invocation sees exactly one record and must emit a fixed
+//     number of values; complex aggregations must live in the trusted
+//     reducer, which is why Airavat cannot express k-means or logistic
+//     regression end-to-end (Table 1, "Allows expressive programs: No").
+//   - Mapper invocations are sequential per record but nothing stops a
+//     malicious mapper closure from keeping global state: like the real
+//     system, this baseline is vulnerable to state attacks (Table 1).
+//     It does defend against budget attacks — the platform owns the ledger.
+package airavat
+
+import (
+	"errors"
+	"fmt"
+
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+// Mapper is the analyst's untrusted per-record function. It receives a copy
+// of one record and returns one value per declared output slot.
+type Mapper func(record mathutil.Vec) []float64
+
+// Job describes one map-reduce computation.
+type Job struct {
+	// Map is the untrusted mapper.
+	Map Mapper
+	// Outputs is the fixed number of values the mapper must emit per
+	// record; emissions with any other arity are discarded (Airavat
+	// enforces a fixed key-value count per mapper).
+	Outputs int
+	// Range clamps every mapper output value; it also sets the noise
+	// sensitivity.
+	Range dp.Range
+	// Epsilon is the budget this job spends.
+	Epsilon float64
+}
+
+func (j Job) validate() error {
+	if j.Map == nil {
+		return errors.New("airavat: nil mapper")
+	}
+	if j.Outputs <= 0 {
+		return fmt.Errorf("airavat: job declares %d outputs", j.Outputs)
+	}
+	if err := j.Range.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Platform owns the data and the privacy ledger; the analyst only submits
+// jobs. Unlike PINQ, a malicious job cannot overspend — the accountant is
+// platform-side (Table 1, "Protection against privacy budget attack: Yes").
+type Platform struct {
+	rows []mathutil.Vec
+	acct *dp.Accountant
+	rng  *mathutil.RNG
+}
+
+// NewPlatform wraps rows with a total budget.
+func NewPlatform(rows []mathutil.Vec, totalEps float64, seed int64) *Platform {
+	return &Platform{rows: rows, acct: dp.NewAccountant(totalEps), rng: mathutil.NewRNG(seed)}
+}
+
+// Remaining reports the unspent budget (platform-side observability only).
+func (p *Platform) Remaining() float64 { return p.acct.Remaining() }
+
+// SumReduce runs the job with the trusted noisy-sum reducer: the clamped
+// mapper outputs are summed per slot and released with Laplace noise
+// calibrated to the declared range. The job's ε is split evenly across the
+// output slots.
+func (p *Platform) SumReduce(job Job) ([]float64, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if err := p.acct.Spend("airavat-sum", job.Epsilon); err != nil {
+		return nil, err
+	}
+	epsSlot, err := dp.SplitUniform(job.Epsilon, job.Outputs)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, job.Outputs)
+	for _, row := range p.rows {
+		vals := job.Map(row.Clone())
+		if len(vals) != job.Outputs {
+			continue // wrong arity: Airavat drops the emission
+		}
+		for s, v := range vals {
+			sums[s] += job.Range.Clamp(v)
+		}
+	}
+	sens := maxAbs(job.Range)
+	out := make([]float64, job.Outputs)
+	for s, sum := range sums {
+		noisy, err := dp.Laplace(p.rng, sum, sens, epsSlot)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = noisy
+	}
+	return out, nil
+}
+
+// CountReduce runs the job with the trusted noisy-count reducer: it counts
+// records for which the mapper's first output is positive.
+func (p *Platform) CountReduce(job Job) (float64, error) {
+	if err := job.validate(); err != nil {
+		return 0, err
+	}
+	if err := p.acct.Spend("airavat-count", job.Epsilon); err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, row := range p.rows {
+		vals := job.Map(row.Clone())
+		if len(vals) == job.Outputs && vals[0] > 0 {
+			count++
+		}
+	}
+	return dp.NoisyCount(p.rng, count, job.Epsilon)
+}
+
+// AvgReduce composes SumReduce with a noisy count to release per-slot
+// means, spending the job's ε half on sums and half on the count.
+func (p *Platform) AvgReduce(job Job) ([]float64, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if err := p.acct.Spend("airavat-avg", job.Epsilon); err != nil {
+		return nil, err
+	}
+	half := job.Epsilon / 2
+	epsSlot, err := dp.SplitUniform(half, job.Outputs)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, job.Outputs)
+	for _, row := range p.rows {
+		vals := job.Map(row.Clone())
+		if len(vals) != job.Outputs {
+			continue
+		}
+		for s, v := range vals {
+			sums[s] += job.Range.Clamp(v)
+		}
+	}
+	count, err := dp.NoisyCount(p.rng, len(p.rows), half)
+	if err != nil {
+		return nil, err
+	}
+	if count < 1 {
+		count = 1
+	}
+	sens := maxAbs(job.Range)
+	out := make([]float64, job.Outputs)
+	for s, sum := range sums {
+		noisy, err := dp.Laplace(p.rng, sum, sens, epsSlot)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = noisy / count
+	}
+	return out, nil
+}
+
+func maxAbs(r dp.Range) float64 {
+	a, b := r.Lo, r.Hi
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

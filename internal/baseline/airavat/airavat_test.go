@@ -1,0 +1,184 @@
+package airavat
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+func valueRows(vals ...float64) []mathutil.Vec {
+	out := make([]mathutil.Vec, len(vals))
+	for i, v := range vals {
+		out[i] = mathutil.Vec{v}
+	}
+	return out
+}
+
+func identityJob(eps float64) Job {
+	return Job{
+		Map:     func(r mathutil.Vec) []float64 { return []float64{r[0]} },
+		Outputs: 1,
+		Range:   dp.Range{Lo: 0, Hi: 10},
+		Epsilon: eps,
+	}
+}
+
+func TestSumReduce(t *testing.T) {
+	p := NewPlatform(valueRows(1, 2, 3, 4), 1e12, 1)
+	out, err := p.SumReduce(identityJob(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-10) > 0.01 {
+		t.Errorf("SumReduce = %v, want ~10", out[0])
+	}
+}
+
+func TestSumReduceClampsMaliciousMapper(t *testing.T) {
+	p := NewPlatform(valueRows(1, 2), 1e12, 1)
+	job := Job{
+		Map:     func(mathutil.Vec) []float64 { return []float64{1e15} },
+		Outputs: 1,
+		Range:   dp.Range{Lo: 0, Hi: 10},
+		Epsilon: 1e9,
+	}
+	out, err := p.SumReduce(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] > 21 {
+		t.Errorf("clamped sum = %v, want <= 20", out[0])
+	}
+}
+
+func TestWrongArityEmissionsDropped(t *testing.T) {
+	p := NewPlatform(valueRows(1, 2, 3), 1e12, 1)
+	job := Job{
+		Map: func(r mathutil.Vec) []float64 {
+			if r[0] == 2 {
+				return []float64{5, 5, 5} // wrong arity: dropped
+			}
+			return []float64{r[0]}
+		},
+		Outputs: 1,
+		Range:   dp.Range{Lo: 0, Hi: 10},
+		Epsilon: 1e9,
+	}
+	out, err := p.SumReduce(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-4) > 0.01 { // 1 + 3
+		t.Errorf("SumReduce = %v, want ~4", out[0])
+	}
+}
+
+func TestCountReduce(t *testing.T) {
+	p := NewPlatform(valueRows(1, -2, 3, -4, 5), 1e12, 1)
+	job := Job{
+		Map:     func(r mathutil.Vec) []float64 { return []float64{r[0]} },
+		Outputs: 1,
+		Range:   dp.Range{Lo: -10, Hi: 10},
+		Epsilon: 1e9,
+	}
+	out, err := p.CountReduce(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out-3) > 0.01 {
+		t.Errorf("CountReduce = %v, want ~3", out)
+	}
+}
+
+func TestAvgReduce(t *testing.T) {
+	p := NewPlatform(valueRows(2, 4, 6), 1e12, 1)
+	out, err := p.AvgReduce(identityJob(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-4) > 0.01 {
+		t.Errorf("AvgReduce = %v, want ~4", out[0])
+	}
+}
+
+// Budget-attack defense (Table 1): the ledger is platform-side; a job that
+// tries to overspend is refused and consumes nothing.
+func TestBudgetAttackDefeated(t *testing.T) {
+	p := NewPlatform(valueRows(1, 2), 1.0, 1)
+	if _, err := p.SumReduce(identityJob(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SumReduce(identityJob(0.5)); !errors.Is(err, dp.ErrBudgetExhausted) {
+		t.Errorf("overspend err = %v", err)
+	}
+	if r := p.Remaining(); math.Abs(r-0.2) > 1e-9 {
+		t.Errorf("Remaining = %v, want 0.2", r)
+	}
+}
+
+// State-attack vulnerability (Table 1): a malicious mapper closure CAN keep
+// state across records in this architecture — the attack works, as the
+// paper reports for the real Airavat. GUPT's subprocess chambers are what
+// close this channel (see internal/sandbox tests).
+func TestStateAttackSucceedsAgainstAiravat(t *testing.T) {
+	p := NewPlatform(valueRows(1, 2, 3), 1e12, 1)
+	leaked := 0.0
+	job := Job{
+		Map: func(r mathutil.Vec) []float64 {
+			leaked += r[0] // exfiltrate through shared state
+			return []float64{0}
+		},
+		Outputs: 1,
+		Range:   dp.Range{Lo: 0, Hi: 1},
+		Epsilon: 1e9,
+	}
+	if _, err := p.SumReduce(job); err != nil {
+		t.Fatal(err)
+	}
+	if leaked != 6 {
+		t.Errorf("state attack leaked %v, expected 6 (the attack is supposed to work here)", leaked)
+	}
+}
+
+func TestMapperGetsCopies(t *testing.T) {
+	rows := valueRows(1, 2)
+	p := NewPlatform(rows, 1e12, 1)
+	job := Job{
+		Map: func(r mathutil.Vec) []float64 {
+			r[0] = -999
+			return []float64{0}
+		},
+		Outputs: 1,
+		Range:   dp.Range{Lo: 0, Hi: 1},
+		Epsilon: 1e9,
+	}
+	if _, err := p.SumReduce(job); err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != 1 {
+		t.Error("mapper mutated protected rows")
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	p := NewPlatform(valueRows(1), 10, 1)
+	bad := []Job{
+		{Outputs: 1, Range: dp.Range{Lo: 0, Hi: 1}, Epsilon: 1},                                                   // nil map
+		{Map: func(mathutil.Vec) []float64 { return nil }, Outputs: 0, Range: dp.Range{Lo: 0, Hi: 1}, Epsilon: 1}, // zero outputs
+		{Map: func(mathutil.Vec) []float64 { return nil }, Outputs: 1, Range: dp.Range{Lo: 1, Hi: 0}, Epsilon: 1}, // inverted range
+	}
+	for i, j := range bad {
+		if _, err := p.SumReduce(j); err == nil {
+			t.Errorf("job %d accepted", i)
+		}
+		if _, err := p.AvgReduce(j); err == nil {
+			t.Errorf("avg job %d accepted", i)
+		}
+		if _, err := p.CountReduce(j); err == nil {
+			t.Errorf("count job %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package pinq is a minimal reimplementation of PINQ (McSherry, SIGMOD '09)
+// sufficient for the paper's comparisons: an analyst-driven query API over a
+// protected dataset offering per-operation differentially private
+// primitives (NoisyCount, NoisySum, NoisyAverage) and partitioning with
+// parallel composition.
+//
+// Two PINQ properties matter for GUPT's evaluation and are reproduced
+// faithfully:
+//
+//  1. The *analyst* decides how much ε each operation spends. For iterative
+//     algorithms the analyst must pre-declare an iteration count and divide
+//     the budget by it, so over-estimating iterations wastes budget on
+//     noise (Fig. 5).
+//  2. Analyst code runs with the Queryable in hand, so a malicious program
+//     can spend the remaining budget conditionally on data it has observed
+//     (the privacy-budget side channel of Haeberlen et al., Table 1), and
+//     its closures execute in-process where they can keep global state
+//     (the state side channel).
+package pinq
+
+import (
+	"errors"
+	"fmt"
+
+	"gupt/internal/analytics"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+// Queryable is PINQ's protected data handle: analysts call DP primitives on
+// it, each spending from the associated budget. Unlike GUPT, the handle is
+// given directly to untrusted analyst code.
+type Queryable struct {
+	rows []mathutil.Vec
+	acct *dp.Accountant
+	rng  *mathutil.RNG
+}
+
+// NewQueryable wraps rows with a total privacy budget.
+func NewQueryable(rows []mathutil.Vec, totalEps float64, seed int64) *Queryable {
+	return &Queryable{
+		rows: rows,
+		acct: dp.NewAccountant(totalEps),
+		rng:  mathutil.NewRNG(seed),
+	}
+}
+
+// Remaining exposes the unspent budget. PINQ makes this visible to the
+// analyst; GUPT deliberately does not.
+func (q *Queryable) Remaining() float64 { return q.acct.Remaining() }
+
+// NoisyCount returns a DP count of the rows, spending eps.
+func (q *Queryable) NoisyCount(eps float64) (float64, error) {
+	if err := q.acct.Spend("NoisyCount", eps); err != nil {
+		return 0, err
+	}
+	return dp.NoisyCount(q.rng, len(q.rows), eps)
+}
+
+// NoisySum returns a DP sum of column col clamped to r, spending eps.
+func (q *Queryable) NoisySum(col int, r dp.Range, eps float64) (float64, error) {
+	if err := q.checkCol(col); err != nil {
+		return 0, err
+	}
+	if err := q.acct.Spend("NoisySum", eps); err != nil {
+		return 0, err
+	}
+	return dp.NoisySum(q.rng, q.column(col), r, eps)
+}
+
+// NoisyAverage returns a DP mean of column col clamped to r, spending eps.
+func (q *Queryable) NoisyAverage(col int, r dp.Range, eps float64) (float64, error) {
+	if err := q.checkCol(col); err != nil {
+		return 0, err
+	}
+	if len(q.rows) == 0 {
+		return 0, errors.New("pinq: empty queryable")
+	}
+	if err := q.acct.Spend("NoisyAverage", eps); err != nil {
+		return 0, err
+	}
+	return dp.NoisyAvg(q.rng, q.column(col), r, eps)
+}
+
+// Partition splits the queryable into k disjoint parts by the analyst's
+// key function. The parts share the parent's accountant: PINQ's parallel
+// composition means one logical operation applied to every part should be
+// charged once, which ChargeParallel below provides.
+func (q *Queryable) Partition(k int, key func(mathutil.Vec) int) ([]*Queryable, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("pinq: partition into %d parts", k)
+	}
+	parts := make([]*Queryable, k)
+	for i := range parts {
+		parts[i] = &Queryable{acct: q.acct, rng: q.rng}
+	}
+	for _, r := range q.rows {
+		i := key(r.Clone()) // analyst code sees a copy, like PINQ's LINQ values
+		if i < 0 || i >= k {
+			continue // PINQ drops out-of-range keys
+		}
+		parts[i].rows = append(parts[i].rows, r)
+	}
+	return parts, nil
+}
+
+// ChargeParallel debits eps once for an operation applied across disjoint
+// partitions (parallel composition), returning a noise helper bound to the
+// shared RNG. The caller then uses Unsafe* methods on each part without
+// further charges.
+func (q *Queryable) ChargeParallel(label string, eps float64) error {
+	return q.acct.Spend(label, eps)
+}
+
+// UnsafeCount is NoisyCount without a budget charge, for use after
+// ChargeParallel across a partition family.
+func (q *Queryable) UnsafeCount(eps float64) (float64, error) {
+	return dp.NoisyCount(q.rng, len(q.rows), eps)
+}
+
+// UnsafeSum is NoisySum without a budget charge, for use after
+// ChargeParallel across a partition family.
+func (q *Queryable) UnsafeSum(col int, r dp.Range, eps float64) (float64, error) {
+	if err := q.checkCol(col); err != nil {
+		return 0, err
+	}
+	return dp.NoisySum(q.rng, q.column(col), r, eps)
+}
+
+func (q *Queryable) checkCol(col int) error {
+	if len(q.rows) == 0 {
+		return nil // empty partitions are fine; sums are just noise
+	}
+	if col < 0 || col >= len(q.rows[0]) {
+		return fmt.Errorf("pinq: column %d out of range", col)
+	}
+	return nil
+}
+
+func (q *Queryable) column(col int) []float64 {
+	if len(q.rows) == 0 {
+		return nil
+	}
+	out := make([]float64, len(q.rows))
+	for i, r := range q.rows {
+		out[i] = r[col]
+	}
+	return out
+}
+
+// KMeans is the PINQ-style private k-means of the Fig. 5 comparison: the
+// analyst pre-declares the iteration count and the total budget is divided
+// evenly across iterations. Each iteration partitions points by nearest
+// center (parallel composition) and refines every center from a noisy
+// count and noisy per-dimension sums. Declared iterations beyond what the
+// algorithm needs dilute the per-iteration budget and degrade the result —
+// exactly the behavior GUPT's black-box model avoids.
+func KMeans(q *Queryable, k, dims, declaredIters int, bounds dp.Range, totalEps float64, seed int64) ([]mathutil.Vec, error) {
+	if k <= 0 || dims <= 0 || declaredIters <= 0 {
+		return nil, fmt.Errorf("pinq: invalid kmeans parameters k=%d dims=%d iters=%d", k, dims, declaredIters)
+	}
+	epsIter, err := dp.SplitUniform(totalEps, declaredIters)
+	if err != nil {
+		return nil, err
+	}
+	// Within an iteration: half the budget to counts, half to the
+	// per-dimension sums.
+	epsCount := epsIter / 2
+	epsSum := epsIter / (2 * float64(dims))
+
+	// Deterministic initial centers spread across the bounds; PINQ gives no
+	// private seeding primitive, so a data-independent grid is standard.
+	rng := mathutil.NewRNG(seed)
+	centers := make([]mathutil.Vec, k)
+	for c := range centers {
+		centers[c] = make(mathutil.Vec, dims)
+		for d := range centers[c] {
+			centers[c][d] = bounds.Lo + bounds.Width()*(float64(c)+0.5)/float64(k) +
+				0.01*bounds.Width()*rng.Float64()
+		}
+	}
+
+	for iter := 0; iter < declaredIters; iter++ {
+		parts, err := q.Partition(k, func(row mathutil.Vec) int {
+			return nearestCenter(centers, row[:dims])
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := q.ChargeParallel("kmeans-counts", epsCount); err != nil {
+			return nil, err
+		}
+		if err := q.ChargeParallel("kmeans-sums", epsSum*float64(dims)); err != nil {
+			return nil, err
+		}
+		for c, part := range parts {
+			count, err := part.UnsafeCount(epsCount)
+			if err != nil {
+				return nil, err
+			}
+			if count < 1 {
+				count = 1
+			}
+			for d := 0; d < dims; d++ {
+				sum, err := part.UnsafeSum(d, bounds, epsSum)
+				if err != nil {
+					return nil, err
+				}
+				centers[c][d] = bounds.Clamp(sum / count)
+			}
+		}
+	}
+	analytics.SortCenters(centers)
+	return centers, nil
+}
+
+func nearestCenter(centers []mathutil.Vec, p mathutil.Vec) int {
+	best, bestIdx := -1.0, 0
+	for c, center := range centers {
+		d := p.Dist2(center)
+		if best < 0 || d < best {
+			best, bestIdx = d, c
+		}
+	}
+	return bestIdx
+}

@@ -1,0 +1,212 @@
+package pinq
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+func valueRows(vals ...float64) []mathutil.Vec {
+	out := make([]mathutil.Vec, len(vals))
+	for i, v := range vals {
+		out[i] = mathutil.Vec{v}
+	}
+	return out
+}
+
+func TestNoisyPrimitives(t *testing.T) {
+	q := NewQueryable(valueRows(1, 2, 3, 4), 1e12, 1)
+	c, err := q.NoisyCount(1e9)
+	if err != nil || math.Abs(c-4) > 0.01 {
+		t.Errorf("NoisyCount = %v, %v", c, err)
+	}
+	s, err := q.NoisySum(0, dp.Range{Lo: 0, Hi: 10}, 1e9)
+	if err != nil || math.Abs(s-10) > 0.01 {
+		t.Errorf("NoisySum = %v, %v", s, err)
+	}
+	a, err := q.NoisyAverage(0, dp.Range{Lo: 0, Hi: 10}, 1e9)
+	if err != nil || math.Abs(a-2.5) > 0.01 {
+		t.Errorf("NoisyAverage = %v, %v", a, err)
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	q := NewQueryable(valueRows(1, 2, 3), 1.0, 1)
+	if _, err := q.NoisyCount(0.8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.NoisyCount(0.5); !errors.Is(err, dp.ErrBudgetExhausted) {
+		t.Errorf("overspend err = %v", err)
+	}
+	if r := q.Remaining(); math.Abs(r-0.2) > 1e-9 {
+		t.Errorf("Remaining = %v", r)
+	}
+}
+
+// The privacy-budget side channel PINQ exposes (and GUPT closes): analyst
+// code can observe data-dependent results and conditionally burn the
+// remaining budget, so the final budget level itself encodes one bit about
+// the data.
+func TestBudgetAttackSucceedsAgainstPINQ(t *testing.T) {
+	run := func(vals ...float64) float64 {
+		q := NewQueryable(valueRows(vals...), 10, 1)
+		avg, err := q.NoisyAverage(0, dp.Range{Lo: 0, Hi: 100}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avg > 50 {
+			// Malicious analyst: burn everything when the secret is large.
+			_, _ = q.NoisyCount(q.Remaining())
+		}
+		return q.Remaining()
+	}
+	lowRemaining := run(90, 95, 99) // secret-dependent burn fires
+	highRemaining := run(1, 2, 3)   // burn does not fire
+	if !(lowRemaining < highRemaining) {
+		t.Errorf("budget attack failed to leak: remaining %v vs %v", lowRemaining, highRemaining)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	q := NewQueryable(valueRows(1, 2, 3, 10, 20), 100, 1)
+	parts, err := q.Partition(2, func(r mathutil.Vec) int {
+		if r[0] < 5 {
+			return 0
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts[0].rows) != 3 || len(parts[1].rows) != 2 {
+		t.Errorf("partition sizes %d/%d", len(parts[0].rows), len(parts[1].rows))
+	}
+	// Shared accountant: spends through a child drain the parent budget.
+	if err := parts[0].ChargeParallel("op", 60); err != nil {
+		t.Fatal(err)
+	}
+	if q.Remaining() > 40+1e-9 {
+		t.Errorf("child spend invisible to parent: remaining %v", q.Remaining())
+	}
+	if _, err := q.Partition(0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// Out-of-range keys are dropped, not a crash.
+	parts2, err := q.Partition(1, func(mathutil.Vec) int { return 7 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts2[0].rows) != 0 {
+		t.Error("out-of-range keys not dropped")
+	}
+}
+
+// Partition hands analyst key functions copies of rows, not the originals.
+func TestPartitionKeyFuncGetsCopies(t *testing.T) {
+	rows := valueRows(1, 2, 3)
+	q := NewQueryable(rows, 100, 1)
+	_, err := q.Partition(1, func(r mathutil.Vec) int {
+		r[0] = -999
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != 1 {
+		t.Error("key function mutated protected rows")
+	}
+}
+
+func TestKMeansConvergesWithAdequateBudget(t *testing.T) {
+	rng := mathutil.NewRNG(3)
+	var rows []mathutil.Vec
+	for i := 0; i < 600; i++ {
+		c := 2.0
+		if i%2 == 0 {
+			c = 8
+		}
+		rows = append(rows, mathutil.Vec{c + 0.2*rng.NormFloat64(), c + 0.2*rng.NormFloat64()})
+	}
+	q := NewQueryable(rows, 1e6, 1)
+	centers, err := KMeans(q, 2, 2, 10, dp.Range{Lo: 0, Hi: 10}, 1e5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if centers[0].Dist(mathutil.Vec{2, 2}) > 1 || centers[1].Dist(mathutil.Vec{8, 8}) > 1 {
+		t.Errorf("centers = %v, want near (2,2) and (8,8)", centers)
+	}
+}
+
+// Fig. 5's mechanism: the same total budget spread over many declared
+// iterations yields worse clustering than over few.
+func TestKMeansDegradesWithDeclaredIterations(t *testing.T) {
+	rng := mathutil.NewRNG(4)
+	var rows []mathutil.Vec
+	for i := 0; i < 800; i++ {
+		c := 2.0
+		if i%2 == 0 {
+			c = 8
+		}
+		rows = append(rows, mathutil.Vec{c + 0.3*rng.NormFloat64(), c + 0.3*rng.NormFloat64()})
+	}
+	icv := func(iters int) float64 {
+		var worst float64
+		for seed := int64(0); seed < 5; seed++ {
+			q := NewQueryable(rows, 1e9, seed)
+			centers, err := KMeans(q, 2, 2, iters, dp.Range{Lo: 0, Hi: 10}, 2.0, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst += icvOf(rows, centers)
+		}
+		return worst / 5
+	}
+	few, many := icv(5), icv(200)
+	if many <= few {
+		t.Errorf("200 declared iters ICV %v not worse than 5 iters ICV %v", many, few)
+	}
+}
+
+func icvOf(rows, centers []mathutil.Vec) float64 {
+	var total float64
+	for _, r := range rows {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if d := r.Dist2(c); d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total / float64(len(rows))
+}
+
+func TestKMeansBudgetExhaustion(t *testing.T) {
+	q := NewQueryable(valueRows(1, 2, 3), 0.1, 1)
+	if _, err := KMeans(q, 2, 1, 5, dp.Range{Lo: 0, Hi: 10}, 1.0, 1); !errors.Is(err, dp.ErrBudgetExhausted) {
+		t.Errorf("err = %v, want budget exhausted", err)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	q := NewQueryable(valueRows(1), 1, 1)
+	if _, err := KMeans(q, 0, 1, 1, dp.Range{Lo: 0, Hi: 1}, 1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(q, 1, 0, 1, dp.Range{Lo: 0, Hi: 1}, 1, 1); err == nil {
+		t.Error("dims=0 accepted")
+	}
+	if _, err := KMeans(q, 1, 1, 0, dp.Range{Lo: 0, Hi: 1}, 1, 1); err == nil {
+		t.Error("iters=0 accepted")
+	}
+}
+
+func TestColumnValidation(t *testing.T) {
+	q := NewQueryable(valueRows(1, 2), 100, 1)
+	if _, err := q.NoisySum(5, dp.Range{Lo: 0, Hi: 1}, 1); err == nil {
+		t.Error("bad column accepted")
+	}
+}

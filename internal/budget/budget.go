@@ -1,0 +1,128 @@
+// Package budget implements GUPT's privacy budget management (paper §5):
+// automatic distribution of a total budget across queries in proportion to
+// their noise scales (§5.2, Example 4), and a manager that charges each
+// dataset's platform-owned accountant — the defense against privacy-budget
+// attacks (§6.2), since analyst code never holds the ledger.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gupt/internal/aging"
+	"gupt/internal/analytics"
+	"gupt/internal/core"
+	"gupt/internal/dataset"
+	"gupt/internal/dp"
+)
+
+// Distribute splits a total privacy budget across m queries in proportion
+// to their noise scales ζ_i: ε_i = ζ_i/Σζ · ε (paper §5.2). With this
+// allocation every query's Laplace noise has the same standard deviation,
+// instead of queries with wide output ranges drowning in noise (the
+// average-vs-variance example: ζ ratio 1:max equalizes their errors).
+//
+// ζ_i is the numerator of query i's Laplace scale — for a
+// sample-and-aggregate query, outputRange_i · β_i / n_i.
+func Distribute(total float64, zetas []float64) ([]float64, error) {
+	if !(total > 0) || math.IsInf(total, 0) || math.IsNaN(total) {
+		return nil, fmt.Errorf("%w: total %v", dp.ErrInvalidEpsilon, total)
+	}
+	if len(zetas) == 0 {
+		return nil, errors.New("budget: no queries to distribute across")
+	}
+	var sum float64
+	for i, z := range zetas {
+		if !(z > 0) || math.IsInf(z, 0) || math.IsNaN(z) {
+			return nil, fmt.Errorf("budget: noise scale %d must be positive and finite, got %v", i, z)
+		}
+		sum += z
+	}
+	out := make([]float64, len(zetas))
+	for i, z := range zetas {
+		out[i] = total * z / sum
+	}
+	return out, nil
+}
+
+// Zeta computes the noise-scale weight of a sample-and-aggregate query:
+// the width of its output range times β/n. For multi-dimensional outputs
+// the per-dimension widths are summed, reflecting that the per-dimension
+// budget is ε/p.
+func Zeta(ranges []dp.Range, blockSize, n int) (float64, error) {
+	if blockSize < 1 || n < blockSize {
+		return 0, fmt.Errorf("budget: invalid blockSize=%d n=%d", blockSize, n)
+	}
+	if len(ranges) == 0 {
+		return 0, errors.New("budget: no output ranges")
+	}
+	var w float64
+	for i, r := range ranges {
+		if err := r.Validate(); err != nil {
+			return 0, fmt.Errorf("budget: range %d: %w", i, err)
+		}
+		w += r.Width()
+	}
+	z := w * float64(blockSize) / float64(n)
+	if z <= 0 {
+		return 0, fmt.Errorf("budget: degenerate ranges give zero noise scale")
+	}
+	return z, nil
+}
+
+// Manager charges privacy spends to datasets in a registry. All spends
+// flow through here; analyst-side code never sees an accountant.
+type Manager struct {
+	reg *dataset.Registry
+}
+
+// NewManager returns a manager over the given registry.
+func NewManager(reg *dataset.Registry) *Manager {
+	return &Manager{reg: reg}
+}
+
+// Charge debits eps from the named dataset's budget, labeled for audit.
+// It fails atomically: either the full charge is recorded or nothing is.
+func (m *Manager) Charge(datasetName, label string, eps float64) error {
+	r, err := m.reg.Lookup(datasetName)
+	if err != nil {
+		return err
+	}
+	return r.Accountant.Spend(label, eps)
+}
+
+// Remaining reports the named dataset's unspent budget.
+func (m *Manager) Remaining(datasetName string) (float64, error) {
+	r, err := m.reg.Lookup(datasetName)
+	if err != nil {
+		return 0, err
+	}
+	return r.Accountant.Remaining(), nil
+}
+
+// ChargeForAccuracy translates an accuracy goal into the minimal ε using
+// the dataset's aged sample (paper §5.1) and debits exactly that amount.
+// It returns the estimate so the caller can run the query at the granted
+// budget. The estimate itself touches only aged data and costs nothing.
+func (m *Manager) ChargeForAccuracy(datasetName, label string, program analytics.Program, blockSize int, ranges []dp.Range, goal aging.AccuracyGoal) (aging.EpsilonEstimate, error) {
+	r, err := m.reg.Lookup(datasetName)
+	if err != nil {
+		return aging.EpsilonEstimate{}, err
+	}
+	if !r.HasAged() {
+		return aging.EpsilonEstimate{}, aging.ErrNoAgedData
+	}
+	n := r.Private.NumRows()
+	if blockSize == 0 {
+		blockSize = core.DefaultBlockSize(n)
+	}
+	est, err := aging.EstimateEpsilon(program, r.Aged.Rows(), n, blockSize, ranges, goal)
+	if err != nil {
+		return aging.EpsilonEstimate{}, err
+	}
+	if err := r.Accountant.Spend(label, est.Epsilon); err != nil {
+		return aging.EpsilonEstimate{}, err
+	}
+	return est, nil
+}

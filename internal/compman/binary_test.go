@@ -1,0 +1,96 @@
+package compman
+
+import (
+	"context"
+	"math"
+	"os"
+	"testing"
+
+	"gupt/internal/analytics"
+	"gupt/internal/mathutil"
+	"gupt/internal/sandbox"
+)
+
+// TestMain lets this test binary double as an uploaded analyst executable
+// (the "binary" program type): when GUPT_COMPMAN_APP is set it speaks the
+// sandbox chamber protocol instead of running tests.
+func TestMain(m *testing.M) {
+	if os.Getenv("GUPT_COMPMAN_APP") == "mean" {
+		err := sandbox.ServeApp(os.Stdin, os.Stdout, func(block []mathutil.Vec) (mathutil.Vec, error) {
+			return analytics.Mean{Col: 0}.Run(block)
+		})
+		if err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// End-to-end: an analyst-uploaded binary runs under subprocess chambers
+// through the full server path — query, budget charge, sample-and-aggregate
+// over isolated processes, private answer.
+func TestQueryBinaryProgramEndToEnd(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chambers clear the environment, so the app-mode selector is baked
+	// into a wrapper script that sets it and execs the test binary.
+	script := t.TempDir() + "/app.sh"
+	if err := os.WriteFile(script,
+		[]byte("#!/bin/sh\nGUPT_COMPMAN_APP=mean exec "+exe+" \"$@\"\n"), 0o700); err != nil {
+		t.Fatal(err)
+	}
+
+	client, _ := startServer(t, 100)
+	resp, err := client.Query(&Request{
+		Dataset: "census",
+		Program: &ProgramSpec{
+			Type:       "binary",
+			Path:       script,
+			OutputDims: 1,
+		},
+		OutputRanges: []RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      20,
+		Seed:         3,
+		BlockSize:    500, // few blocks keep the subprocess fan-out quick
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resp.Output[0]-40) > 6 {
+		t.Errorf("binary-program mean = %v, want ~40", resp.Output[0])
+	}
+	if resp.FailedBlocks != 0 {
+		t.Errorf("FailedBlocks = %d", resp.FailedBlocks)
+	}
+}
+
+// The same uploaded binary dispatched through worker daemons: the worker
+// runs it in its local subprocess chambers.
+func TestWorkerBinaryProgram(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := t.TempDir() + "/app.sh"
+	if err := os.WriteFile(script,
+		[]byte("#!/bin/sh\nGUPT_COMPMAN_APP=mean exec "+exe+" \"$@\"\n"), 0o700); err != nil {
+		t.Fatal(err)
+	}
+	addr := startWorker(t)
+	pool, err := NewWorkerPool([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "binary", Path: script, OutputDims: 1}})
+	out, err := chamber.Execute(context.Background(), workerBlock(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 {
+		t.Errorf("worker binary mean = %v, want 2", out[0])
+	}
+}

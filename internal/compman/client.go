@@ -1,0 +1,127 @@
+package compman
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is the analyst-side computation-manager component: a thin,
+// synchronized wrapper over the newline-delimited JSON protocol. It is safe
+// for concurrent use; requests are serialized on the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+}
+
+// Dial connects to a computation-manager server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("compman: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<20),
+		enc:  json.NewEncoder(conn),
+	}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes one response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("compman: send: %w", err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("compman: receive: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("compman: decode: %w", err)
+	}
+	if !resp.OK {
+		if resp.Error == "" {
+			resp.Error = "unspecified server error"
+		}
+		return nil, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: OpQuantum})
+	return err
+}
+
+// Datasets lists the names registered on the server.
+func (c *Client) Datasets() ([]string, error) {
+	resp, err := c.roundTrip(&Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Datasets, nil
+}
+
+// Stats reads the server's activity counters.
+func (c *Client) Stats() (ServerStats, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStats})
+	if err != nil {
+		return ServerStats{}, err
+	}
+	if resp.Stats == nil {
+		return ServerStats{}, errors.New("compman: server returned no stats")
+	}
+	return *resp.Stats, nil
+}
+
+// RemainingBudget reads a dataset's unspent privacy budget.
+func (c *Client) RemainingBudget(dataset string) (float64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpBudget, Dataset: dataset})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Remaining, nil
+}
+
+// Query runs one differentially private computation. The request must have
+// Op unset or OpQuery; all other fields are as documented on Request.
+func (c *Client) Query(req *Request) (*Response, error) {
+	q := *req
+	q.Op = OpQuery
+	return c.roundTrip(&q)
+}
+
+// RegisterDataset pushes a dataset to the server (the data-owner
+// interface).
+func (c *Client) RegisterDataset(spec *RegisterSpec) error {
+	_, err := c.roundTrip(&Request{Op: OpRegister, Register: spec})
+	return err
+}
+
+// Session runs a budget-distributed query batch (§5.2) against one
+// dataset: the total ε splits across the queries in proportion to their
+// noise scales and is charged atomically.
+func (c *Client) Session(dataset string, spec *SessionSpec) ([]SessionResult, error) {
+	resp, err := c.roundTrip(&Request{Op: OpSession, Dataset: dataset, Session: spec})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Session, nil
+}

@@ -1,0 +1,466 @@
+package compman
+
+import (
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gupt/internal/dataset"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+// startServer spins up a server on a loopback listener with a census-like
+// dataset registered, returning a connected client.
+func startServer(t *testing.T, totalBudget float64) (*Client, *Server) {
+	t.Helper()
+	reg := dataset.NewRegistry()
+	rng := mathutil.NewRNG(1)
+	tbl := dataset.New([]string{"age"})
+	for i := 0; i < 5000; i++ {
+		if err := tbl.Append(mathutil.Vec{mathutil.Clamp(40+10*rng.NormFloat64(), 0, 150)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Register("census", tbl, dataset.RegisterOptions{
+		TotalBudget:  totalBudget,
+		Ranges:       []dp.Range{{Lo: 0, Hi: 150}},
+		AgedFraction: 0.1,
+		Seed:         2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(reg, ServerConfig{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		wg.Wait()
+	})
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, srv
+}
+
+func TestPingAndList(t *testing.T) {
+	client, _ := startServer(t, 100)
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := client.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "census" {
+		t.Errorf("Datasets = %v", names)
+	}
+}
+
+func TestQueryMeanEndToEnd(t *testing.T) {
+	client, _ := startServer(t, 100)
+	resp, err := client.Query(&Request{
+		Dataset:      "census",
+		Program:      &ProgramSpec{Type: "mean", Col: 0},
+		Mode:         "tight",
+		OutputRanges: []RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      5,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resp.Output[0]-40) > 5 {
+		t.Errorf("mean = %v, want ~40", resp.Output[0])
+	}
+	if resp.EpsilonSpent != 5 {
+		t.Errorf("EpsilonSpent = %v", resp.EpsilonSpent)
+	}
+
+	rem, err := client.RemainingBudget("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rem-95) > 1e-9 {
+		t.Errorf("remaining = %v, want 95", rem)
+	}
+}
+
+func TestQueryBudgetEnforcedAcrossQueries(t *testing.T) {
+	client, _ := startServer(t, 1.0)
+	req := &Request{
+		Dataset:      "census",
+		Program:      &ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges: []RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      0.6,
+	}
+	if _, err := client.Query(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query(req); err == nil || !strings.Contains(err.Error(), "budget exhausted") {
+		t.Errorf("second query err = %v, want budget exhausted", err)
+	}
+	// The refused query consumed nothing.
+	rem, _ := client.RemainingBudget("census")
+	if math.Abs(rem-0.4) > 1e-9 {
+		t.Errorf("remaining = %v, want 0.4", rem)
+	}
+}
+
+func TestQueryLooseMode(t *testing.T) {
+	client, _ := startServer(t, 100)
+	resp, err := client.Query(&Request{
+		Dataset:      "census",
+		Program:      &ProgramSpec{Type: "mean", Col: 0},
+		Mode:         "loose",
+		OutputRanges: []RangeSpec{{Lo: 0, Hi: 300}},
+		Epsilon:      4,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resp.Output[0]-40) > 15 {
+		t.Errorf("loose mean = %v", resp.Output[0])
+	}
+	if len(resp.EffectiveRanges) != 1 || resp.EffectiveRanges[0].Hi > 300 {
+		t.Errorf("effective ranges = %v", resp.EffectiveRanges)
+	}
+}
+
+func TestQueryHelperModeWithTranslateSpec(t *testing.T) {
+	client, _ := startServer(t, 100)
+	resp, err := client.Query(&Request{
+		Dataset: "census",
+		Program: &ProgramSpec{Type: "mean", Col: 0},
+		Mode:    "helper",
+		Translate: &TranslateSpec{
+			InputDim: []int{0},
+			Scale:    []float64{1},
+			Offset:   []float64{0},
+		},
+		Epsilon: 4,
+		Seed:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The IQR of N(40,10) is ~[33, 47]; the mean 40 lies inside, and the
+	// output should land near it.
+	if math.Abs(resp.Output[0]-40) > 15 {
+		t.Errorf("helper mean = %v", resp.Output[0])
+	}
+}
+
+func TestQueryAccuracyGoal(t *testing.T) {
+	client, _ := startServer(t, 100)
+	resp, err := client.Query(&Request{
+		Dataset:      "census",
+		Program:      &ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges: []RangeSpec{{Lo: 0, Hi: 150}},
+		Accuracy:     &AccuracySpec{Rho: 0.9, Confidence: 0.9},
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.EpsilonSpent <= 0 {
+		t.Fatalf("accuracy-mode query spent %v", resp.EpsilonSpent)
+	}
+	// Accuracy goal met: within 10% of the true ~40.
+	if math.Abs(resp.Output[0]-40)/40 > 0.2 {
+		t.Errorf("output %v violates even a doubled accuracy margin", resp.Output[0])
+	}
+	rem, _ := client.RemainingBudget("census")
+	if math.Abs((100-rem)-resp.EpsilonSpent) > 1e-9 {
+		t.Errorf("ledger charged %v, response says %v", 100-rem, resp.EpsilonSpent)
+	}
+}
+
+func TestQueryAutoBlockSize(t *testing.T) {
+	client, _ := startServer(t, 100)
+	resp, err := client.Query(&Request{
+		Dataset:       "census",
+		Program:       &ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges:  []RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:       2,
+		AutoBlockSize: true,
+		Seed:          8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a mean query the optimizer should choose small blocks (Example 3),
+	// far below the n^0.6 default of ~166.
+	if resp.BlockSize >= 100 {
+		t.Errorf("auto block size = %d, expected small for a mean query", resp.BlockSize)
+	}
+}
+
+func TestQueryValidationErrors(t *testing.T) {
+	client, _ := startServer(t, 100)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"unknown dataset", Request{Dataset: "nope", Program: &ProgramSpec{Type: "mean"}, OutputRanges: []RangeSpec{{Lo: 0, Hi: 1}}, Epsilon: 1}},
+		{"missing program", Request{Dataset: "census", OutputRanges: []RangeSpec{{Lo: 0, Hi: 1}}, Epsilon: 1}},
+		{"unknown program", Request{Dataset: "census", Program: &ProgramSpec{Type: "sorcery"}, Epsilon: 1}},
+		{"no epsilon or accuracy", Request{Dataset: "census", Program: &ProgramSpec{Type: "mean"}, OutputRanges: []RangeSpec{{Lo: 0, Hi: 1}}}},
+		{"both epsilon and accuracy", Request{Dataset: "census", Program: &ProgramSpec{Type: "mean"}, OutputRanges: []RangeSpec{{Lo: 0, Hi: 1}}, Epsilon: 1, Accuracy: &AccuracySpec{Rho: 0.9, Confidence: 0.9}}},
+		{"bad mode", Request{Dataset: "census", Program: &ProgramSpec{Type: "mean"}, Mode: "psychic", Epsilon: 1}},
+		{"inverted range", Request{Dataset: "census", Program: &ProgramSpec{Type: "mean"}, OutputRanges: []RangeSpec{{Lo: 5, Hi: 1}}, Epsilon: 1}},
+		{"helper without translate", Request{Dataset: "census", Program: &ProgramSpec{Type: "mean"}, Mode: "helper", Epsilon: 1}},
+		{"bad percentile", Request{Dataset: "census", Program: &ProgramSpec{Type: "percentile", P: 2}, OutputRanges: []RangeSpec{{Lo: 0, Hi: 1}}, Epsilon: 1}},
+		{"binary missing path", Request{Dataset: "census", Program: &ProgramSpec{Type: "binary"}, OutputRanges: []RangeSpec{{Lo: 0, Hi: 1}}, Epsilon: 1}},
+	}
+	for _, c := range cases {
+		if _, err := client.Query(&c.req); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Failed queries must not have consumed budget.
+	rem, _ := client.RemainingBudget("census")
+	if rem != 100 {
+		t.Errorf("failed queries consumed budget: remaining %v", rem)
+	}
+}
+
+func TestMalformedWireRequest(t *testing.T) {
+	client, _ := startServer(t, 100)
+	// Write garbage directly on the wire; the server should answer with an
+	// error response, not drop the connection.
+	if _, err := client.conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := client.r.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(line), "malformed") {
+		t.Errorf("response to garbage = %s", line)
+	}
+	// The connection is still usable.
+	if err := client.Ping(); err != nil {
+		t.Errorf("connection unusable after garbage: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	client, srv := startServer(t, 1000)
+	_ = client
+	addr := srv.Addr().String()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			_, err = c.Query(&Request{
+				Dataset:      "census",
+				Program:      &ProgramSpec{Type: "mean", Col: 0},
+				OutputRanges: []RangeSpec{{Lo: 0, Hi: 150}},
+				Epsilon:      1,
+				Seed:         int64(i),
+			})
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	rem, _ := client.RemainingBudget("census")
+	if math.Abs(rem-992) > 1e-6 {
+		t.Errorf("remaining = %v, want 992", rem)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	client, _ := startServer(t, 1.0)
+	// One success, one budget refusal, one validation failure.
+	ok := &Request{
+		Dataset:      "census",
+		Program:      &ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges: []RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      0.8,
+	}
+	if _, err := client.Query(ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query(ok); err == nil { // budget now short
+		t.Fatal("expected budget refusal")
+	}
+	if _, err := client.Query(&Request{Dataset: "census", Epsilon: 1}); err == nil {
+		t.Fatal("expected validation failure")
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.QueriesOK != 1 || stats.BudgetRefusals != 1 || stats.QueriesFailed != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.TotalQueryMillis < 0 {
+		t.Errorf("negative latency: %+v", stats)
+	}
+}
+
+func TestRegisterDatasetOverWire(t *testing.T) {
+	client, _ := startServer(t, 100)
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{float64(20 + i%50)}
+	}
+	err := client.RegisterDataset(&RegisterSpec{
+		Name:         "pushed",
+		Rows:         rows,
+		Columns:      []string{"age"},
+		TotalBudget:  5,
+		Ranges:       []RangeSpec{{Lo: 0, Hi: 150}},
+		AgedFraction: 0.1,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := client.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("datasets = %v", names)
+	}
+	// The pushed dataset is immediately queryable.
+	resp, err := client.Query(&Request{
+		Dataset:      "pushed",
+		Program:      &ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges: []RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      3,
+		BlockSize:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Output[0] < 20 || resp.Output[0] > 70 {
+		t.Errorf("pushed dataset mean = %v", resp.Output[0])
+	}
+
+	// Validation flows through.
+	if err := client.RegisterDataset(&RegisterSpec{Name: "bad", Rows: rows}); err == nil {
+		t.Error("zero-budget registration accepted")
+	}
+	if err := client.RegisterDataset(&RegisterSpec{Name: "pushed", Rows: rows, TotalBudget: 1}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := client.RegisterDataset(&RegisterSpec{
+		Name: "ragged", Rows: [][]float64{{1}, {1, 2}}, TotalBudget: 1,
+	}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	_, err = client.roundTrip(&Request{Op: OpRegister})
+	if err == nil {
+		t.Error("register without payload accepted")
+	}
+}
+
+func TestServerIdleTimeout(t *testing.T) {
+	reg := buildCensusRegistry(t, 10)
+	srv := NewServer(reg, ServerConfig{IdleTimeout: 150 * time.Millisecond})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		wg.Wait()
+	})
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Go idle past the timeout: the server hangs up, so the next round
+	// trip fails.
+	time.Sleep(400 * time.Millisecond)
+	if err := client.Ping(); err == nil {
+		t.Error("idle connection survived the timeout")
+	}
+	// Fresh connections still work.
+	c2, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Ping(); err != nil {
+		t.Errorf("fresh connection refused: %v", err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	_, srv := startServer(t, 1)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramSpecResolve(t *testing.T) {
+	good := []ProgramSpec{
+		{Type: "mean", Col: 0},
+		{Type: "median", Col: 1},
+		{Type: "variance"},
+		{Type: "percentile", P: 0.5},
+		{Type: "covariance", Col: 0, ColB: 1},
+		{Type: "histogram", Col: 0, Lo: 0, Hi: 10, Bins: 5},
+		{Type: "kmeans", K: 2, FeatureDims: 2, Iters: 5},
+		{Type: "logreg", FeatureDims: 2, LabelCol: 2, Iters: 5},
+		{Type: "linreg", FeatureDims: 2, LabelCol: 2},
+		{Type: "naivebayes", FeatureDims: 2, LabelCol: 2},
+	}
+	for _, ps := range good {
+		prog, isBin, err := ps.resolve()
+		if err != nil || isBin || prog == nil {
+			t.Errorf("resolve(%+v) = %v, %v, %v", ps, prog, isBin, err)
+		}
+	}
+	bin := ProgramSpec{Type: "binary", Path: "/bin/app", OutputDims: 2}
+	if _, isBin, err := bin.resolve(); err != nil || !isBin {
+		t.Errorf("binary resolve: %v, %v", isBin, err)
+	}
+}

@@ -1,0 +1,104 @@
+package compman
+
+import (
+	"math"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"gupt/internal/dataset"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+// buildCensusRegistry mirrors startServer's dataset without the server.
+func buildCensusRegistry(t *testing.T, totalBudget float64) *dataset.Registry {
+	t.Helper()
+	reg := dataset.NewRegistry()
+	rng := mathutil.NewRNG(1)
+	tbl := dataset.New([]string{"age"})
+	for i := 0; i < 2000; i++ {
+		if err := tbl.Append(mathutil.Vec{mathutil.Clamp(40+10*rng.NormFloat64(), 0, 150)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Register("census", tbl, dataset.RegisterOptions{
+		TotalBudget: totalBudget,
+		Ranges:      []dp.Range{{Lo: 0, Hi: 150}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func serveOnce(t *testing.T, reg *dataset.Registry, statePath string) (*Client, func()) {
+	t.Helper()
+	srv := NewServer(reg, ServerConfig{StatePath: statePath})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(l)
+	}()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := func() {
+		client.Close()
+		srv.Close()
+		wg.Wait()
+	}
+	return client, stop
+}
+
+// The security property the ledger journal exists for: spent privacy budget
+// survives a server restart, so crashing the server never refunds epsilon.
+func TestBudgetSurvivesServerRestart(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "ledger.json")
+
+	// First server lifetime: spend 7 of 10.
+	client, stop := serveOnce(t, buildCensusRegistry(t, 10), statePath)
+	_, err := client.Query(&Request{
+		Dataset:      "census",
+		Program:      &ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges: []RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	// "Restart": a fresh registry restored from the journal.
+	reg2 := buildCensusRegistry(t, 10)
+	if err := reg2.RestoreBudgets(statePath); err != nil {
+		t.Fatal(err)
+	}
+	client2, stop2 := serveOnce(t, reg2, statePath)
+	defer stop2()
+
+	rem, err := client2.RemainingBudget("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rem-3) > 1e-9 {
+		t.Fatalf("remaining after restart = %v, want 3", rem)
+	}
+	// A query that would have fit the original budget is now refused.
+	_, err = client2.Query(&Request{
+		Dataset:      "census",
+		Program:      &ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges: []RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      5,
+	})
+	if err == nil || !strings.Contains(err.Error(), "budget exhausted") {
+		t.Fatalf("post-restart overspend err = %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package compman implements GUPT's computation manager (paper Fig. 2): a
+// server component that fronts the dataset manager and privacy budget for
+// analysts, and a client library. Analysts never touch datasets or
+// accountants directly — they submit a query over a newline-delimited JSON
+// protocol; the trusted server resolves the dataset, charges the budget,
+// runs the sample-and-aggregate engine across isolated chambers, and
+// returns only the differentially private answer.
+package compman
+
+import (
+	"errors"
+	"fmt"
+
+	"gupt/internal/analytics"
+	"gupt/internal/dp"
+)
+
+// Op names the protocol operations.
+type Op string
+
+// Protocol operations.
+const (
+	OpQuery    Op = "query"    // run a DP computation
+	OpBudget   Op = "budget"   // read a dataset's remaining budget
+	OpList     Op = "list"     // list registered dataset names
+	OpStats    Op = "stats"    // read server activity counters
+	OpRegister Op = "register" // register a dataset (data-owner side)
+	OpSession  Op = "session"  // run a budget-distributed query batch (§5.2)
+	OpQuantum  Op = "quantum"  // no-op liveness check
+)
+
+// RangeSpec is a serializable [lo, hi] interval.
+type RangeSpec struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+func (r RangeSpec) toRange() (dp.Range, error) { return dp.NewRange(r.Lo, r.Hi) }
+
+func rangesToWire(rs []dp.Range) []RangeSpec {
+	out := make([]RangeSpec, len(rs))
+	for i, r := range rs {
+		out[i] = RangeSpec{Lo: r.Lo, Hi: r.Hi}
+	}
+	return out
+}
+
+func rangesFromWire(rs []RangeSpec) ([]dp.Range, error) {
+	if rs == nil {
+		return nil, nil
+	}
+	out := make([]dp.Range, len(rs))
+	for i, r := range rs {
+		rr, err := r.toRange()
+		if err != nil {
+			return nil, fmt.Errorf("range %d: %w", i, err)
+		}
+		out[i] = rr
+	}
+	return out, nil
+}
+
+// ProgramSpec names an analysis program over the wire. Closures cannot
+// cross the network, so analysts choose between the platform's built-in
+// program library and an uploaded executable run under subprocess
+// isolation.
+type ProgramSpec struct {
+	// Type selects the program: "mean", "median", "variance", "percentile",
+	// "covariance", "histogram", "kmeans", "logreg", "linreg",
+	// "naivebayes", or "binary".
+	Type string `json:"type"`
+	// Col is the target column for the scalar statistics; ColB is the
+	// second column for "covariance".
+	Col  int `json:"col,omitempty"`
+	ColB int `json:"colB,omitempty"`
+	// P is the quantile for "percentile".
+	P float64 `json:"p,omitempty"`
+	// Lo, Hi and Bins parameterize "histogram".
+	Lo   float64 `json:"lo,omitempty"`
+	Hi   float64 `json:"hi,omitempty"`
+	Bins int     `json:"bins,omitempty"`
+	// K, FeatureDims, Iters, Seed parameterize "kmeans"; FeatureDims,
+	// LabelCol, Iters also parameterize "logreg".
+	K           int     `json:"k,omitempty"`
+	FeatureDims int     `json:"featureDims,omitempty"`
+	LabelCol    int     `json:"labelCol,omitempty"`
+	Iters       int     `json:"iters,omitempty"`
+	LearnRate   float64 `json:"learnRate,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	// Path, Args and OutputDims describe an uploaded executable for
+	// Type "binary": it speaks the sandbox stdin/stdout protocol and is
+	// always run inside a subprocess chamber.
+	Path       string   `json:"path,omitempty"`
+	Args       []string `json:"args,omitempty"`
+	OutputDims int      `json:"outputDims,omitempty"`
+}
+
+// ErrBadProgram is returned for unresolvable program specifications.
+var ErrBadProgram = errors.New("compman: invalid program spec")
+
+// resolve builds the in-process Program for a spec, or reports that the
+// spec names a binary (which the server runs via subprocess chambers).
+func (ps ProgramSpec) resolve() (analytics.Program, bool, error) {
+	switch ps.Type {
+	case "mean":
+		return analytics.Mean{Col: ps.Col}, false, nil
+	case "median":
+		return analytics.Median{Col: ps.Col}, false, nil
+	case "variance":
+		return analytics.Variance{Col: ps.Col}, false, nil
+	case "percentile":
+		if ps.P <= 0 || ps.P >= 1 {
+			return nil, false, fmt.Errorf("%w: percentile p=%v", ErrBadProgram, ps.P)
+		}
+		return analytics.Percentile{Col: ps.Col, P: ps.P}, false, nil
+	case "kmeans":
+		return analytics.KMeans{K: ps.K, FeatureDims: ps.FeatureDims, Iters: ps.Iters, Seed: ps.Seed}, false, nil
+	case "covariance":
+		return analytics.Covariance{ColA: ps.Col, ColB: ps.ColB}, false, nil
+	case "histogram":
+		if ps.Bins <= 0 || !(ps.Hi > ps.Lo) {
+			return nil, false, fmt.Errorf("%w: histogram needs bins>0 and hi>lo", ErrBadProgram)
+		}
+		return analytics.Histogram{Col: ps.Col, Lo: ps.Lo, Hi: ps.Hi, Bins: ps.Bins}, false, nil
+	case "logreg":
+		lr := ps.LearnRate
+		if lr == 0 {
+			lr = 0.1
+		}
+		return analytics.LogisticRegression{
+			FeatureDims: ps.FeatureDims, LabelCol: ps.LabelCol, Iters: ps.Iters, LearnRate: lr,
+		}, false, nil
+	case "linreg":
+		return analytics.LinearRegression{FeatureDims: ps.FeatureDims, TargetCol: ps.LabelCol}, false, nil
+	case "naivebayes":
+		return analytics.NaiveBayes{FeatureDims: ps.FeatureDims, LabelCol: ps.LabelCol}, false, nil
+	case "binary":
+		if ps.Path == "" || ps.OutputDims <= 0 {
+			return nil, false, fmt.Errorf("%w: binary needs path and outputDims", ErrBadProgram)
+		}
+		return nil, true, nil
+	default:
+		return nil, false, fmt.Errorf("%w: unknown type %q", ErrBadProgram, ps.Type)
+	}
+}
+
+// TranslateSpec is a serializable stand-in for GUPT-helper's range
+// translation function: output dimension i gets the (scaled, shifted)
+// estimated input range of input dimension InputDim[i].
+type TranslateSpec struct {
+	InputDim []int     `json:"inputDim"`
+	Scale    []float64 `json:"scale"`
+	Offset   []float64 `json:"offset"`
+}
+
+func (ts *TranslateSpec) toFunc(outputDims int) (func([]dp.Range) []dp.Range, error) {
+	if ts == nil {
+		return nil, nil
+	}
+	if len(ts.InputDim) != outputDims || len(ts.Scale) != outputDims || len(ts.Offset) != outputDims {
+		return nil, fmt.Errorf("compman: translate spec arity %d/%d/%d, want %d",
+			len(ts.InputDim), len(ts.Scale), len(ts.Offset), outputDims)
+	}
+	dims := append([]int(nil), ts.InputDim...)
+	scale := append([]float64(nil), ts.Scale...)
+	offset := append([]float64(nil), ts.Offset...)
+	return func(in []dp.Range) []dp.Range {
+		out := make([]dp.Range, outputDims)
+		for i := range out {
+			d := dims[i]
+			if d < 0 || d >= len(in) {
+				d = 0
+			}
+			r := in[d].Scale(scale[i])
+			out[i] = dp.Range{Lo: r.Lo + offset[i], Hi: r.Hi + offset[i]}
+		}
+		return out
+	}, nil
+}
+
+// AccuracySpec is a serializable accuracy goal (paper §5.1).
+type AccuracySpec struct {
+	Rho        float64 `json:"rho"`
+	Confidence float64 `json:"confidence"`
+}
+
+// RegisterSpec is the data-owner side of the protocol (paper Fig. 2): a
+// dataset pushed over the wire with its lifetime budget. Registration is an
+// owner/operator operation; deployments exposing the service to untrusted
+// analysts should front the endpoint with transport-level authentication,
+// which is out of scope here (as in the paper).
+type RegisterSpec struct {
+	Name string `json:"name"`
+	// Rows carries the records inline; Columns optionally names them.
+	Rows    [][]float64 `json:"rows"`
+	Columns []string    `json:"columns,omitempty"`
+	// TotalBudget is the dataset's lifetime ε budget.
+	TotalBudget float64 `json:"totalBudget"`
+	// Ranges optionally declares public attribute bounds.
+	Ranges []RangeSpec `json:"ranges,omitempty"`
+	// AgedFraction carves out the aged, non-private sample (§3.3).
+	AgedFraction float64 `json:"agedFraction,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+}
+
+// SessionQuery is one member of a budget-distributed batch: a program plus
+// its (tight) output ranges; the session, not the query, carries the ε.
+type SessionQuery struct {
+	Program      ProgramSpec `json:"program"`
+	OutputRanges []RangeSpec `json:"outputRanges"`
+	BlockSize    int         `json:"blockSize,omitempty"`
+	Gamma        int         `json:"gamma,omitempty"`
+	Seed         int64       `json:"seed,omitempty"`
+}
+
+// SessionSpec is the wire form of the §5.2 session: a total ε split across
+// the queries in proportion to their noise scales and charged atomically.
+type SessionSpec struct {
+	TotalEpsilon float64        `json:"totalEpsilon"`
+	Queries      []SessionQuery `json:"queries"`
+}
+
+// SessionResult is one query's outcome within a session response.
+type SessionResult struct {
+	Output       []float64 `json:"output"`
+	EpsilonSpent float64   `json:"epsilonSpent"`
+}
+
+// Request is one protocol message from client to server.
+type Request struct {
+	Op      Op     `json:"op"`
+	Dataset string `json:"dataset,omitempty"`
+
+	Program *ProgramSpec `json:"program,omitempty"`
+	// Mode is "tight", "loose" or "helper".
+	Mode         string         `json:"mode,omitempty"`
+	OutputRanges []RangeSpec    `json:"outputRanges,omitempty"`
+	InputRanges  []RangeSpec    `json:"inputRanges,omitempty"`
+	Translate    *TranslateSpec `json:"translate,omitempty"`
+
+	// Exactly one of Epsilon and Accuracy must be set for OpQuery.
+	Epsilon  float64       `json:"epsilon,omitempty"`
+	Accuracy *AccuracySpec `json:"accuracy,omitempty"`
+
+	// Register carries the dataset payload for OpRegister.
+	Register *RegisterSpec `json:"register,omitempty"`
+
+	// Session carries the batch for OpSession.
+	Session *SessionSpec `json:"session,omitempty"`
+
+	BlockSize     int   `json:"blockSize,omitempty"`
+	Gamma         int   `json:"gamma,omitempty"`
+	AutoBlockSize bool  `json:"autoBlockSize,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+	// QuantumMillis arms the timing defense for this query's blocks.
+	QuantumMillis int64 `json:"quantumMillis,omitempty"`
+	// UserLevel and UserColumn switch the privacy unit from records to
+	// users identified by a column (paper §8.1, extension).
+	UserLevel  bool `json:"userLevel,omitempty"`
+	UserColumn int  `json:"userColumn,omitempty"`
+	// PercentileLow/High select the Loose/Helper range-estimation pair;
+	// zero selects the paper's default (0.25, 0.75).
+	PercentileLow  float64 `json:"percentileLow,omitempty"`
+	PercentileHigh float64 `json:"percentileHigh,omitempty"`
+}
+
+// Response is one protocol message from server to client.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// Query results.
+	Output          []float64   `json:"output,omitempty"`
+	EpsilonSpent    float64     `json:"epsilonSpent,omitempty"`
+	EffectiveRanges []RangeSpec `json:"effectiveRanges,omitempty"`
+	NumBlocks       int         `json:"numBlocks,omitempty"`
+	BlockSize       int         `json:"blockSize,omitempty"`
+	FailedBlocks    int         `json:"failedBlocks,omitempty"`
+
+	// Budget / list / stats / session results.
+	Remaining float64         `json:"remaining,omitempty"`
+	Datasets  []string        `json:"datasets,omitempty"`
+	Stats     *ServerStats    `json:"stats,omitempty"`
+	Session   []SessionResult `json:"session,omitempty"`
+}

@@ -1,0 +1,108 @@
+package compman
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gupt/internal/dp"
+)
+
+func TestTranslateSpecToFunc(t *testing.T) {
+	ts := &TranslateSpec{
+		InputDim: []int{0, 0},
+		Scale:    []float64{1, 2},
+		Offset:   []float64{0, -5},
+	}
+	fn, err := ts.toFunc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fn([]dp.Range{{Lo: 10, Hi: 20}})
+	if out[0].Lo != 10 || out[0].Hi != 20 {
+		t.Errorf("identity translation = %+v", out[0])
+	}
+	if out[1].Lo != 15 || out[1].Hi != 35 {
+		t.Errorf("scaled translation = %+v", out[1])
+	}
+	// Out-of-range input dim falls back to dim 0 rather than panicking.
+	ts2 := &TranslateSpec{InputDim: []int{7}, Scale: []float64{1}, Offset: []float64{0}}
+	fn2, err := ts2.toFunc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fn2([]dp.Range{{Lo: 1, Hi: 2}}); got[0].Lo != 1 {
+		t.Errorf("fallback translation = %+v", got[0])
+	}
+	// Arity mismatch rejected.
+	if _, err := ts.toFunc(3); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Nil spec means no function.
+	var nilSpec *TranslateSpec
+	fn3, err := nilSpec.toFunc(1)
+	if err != nil || fn3 != nil {
+		t.Errorf("nil spec should yield nil func and nil error, got err=%v", err)
+	}
+}
+
+func TestRangesWire(t *testing.T) {
+	in := []dp.Range{{Lo: -1, Hi: 2}, {Lo: 0, Hi: 0}}
+	back, err := rangesFromWire(rangesToWire(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if back[i] != in[i] {
+			t.Errorf("range %d: %+v != %+v", i, back[i], in[i])
+		}
+	}
+	if _, err := rangesFromWire([]RangeSpec{{Lo: 2, Hi: 1}}); err == nil {
+		t.Error("inverted wire range accepted")
+	}
+	got, err := rangesFromWire(nil)
+	if err != nil || got != nil {
+		t.Errorf("nil wire ranges: %v, %v", got, err)
+	}
+}
+
+// Property: any valid Request survives a JSON round trip unchanged in the
+// fields the server dispatches on.
+func TestRequestJSONRoundTripProperty(t *testing.T) {
+	f := func(dsRaw string, eps float64, blockSize uint16, seed int64, userLevel bool) bool {
+		if math.IsNaN(eps) || math.IsInf(eps, 0) {
+			return true
+		}
+		req := Request{
+			Op:        OpQuery,
+			Dataset:   dsRaw,
+			Program:   &ProgramSpec{Type: "mean", Col: 1},
+			Epsilon:   eps,
+			BlockSize: int(blockSize),
+			Seed:      seed,
+			UserLevel: userLevel,
+			OutputRanges: []RangeSpec{
+				{Lo: 0, Hi: 1},
+			},
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			return false
+		}
+		var back Request
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.Dataset == req.Dataset &&
+			back.Epsilon == req.Epsilon &&
+			back.BlockSize == req.BlockSize &&
+			back.Seed == req.Seed &&
+			back.UserLevel == req.UserLevel &&
+			back.Program != nil && back.Program.Type == "mean" && back.Program.Col == 1 &&
+			len(back.OutputRanges) == 1 && back.OutputRanges[0] == req.OutputRanges[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

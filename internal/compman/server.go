@@ -1,0 +1,554 @@
+package compman
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"gupt/internal/aging"
+	"gupt/internal/analytics"
+	"gupt/internal/budget"
+	"gupt/internal/core"
+	"gupt/internal/dataset"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+	"gupt/internal/sandbox"
+)
+
+// ServerConfig tunes the trusted server component.
+type ServerConfig struct {
+	// DefaultQuantum is applied to queries that do not set their own (the
+	// hosted platform's timing-attack defense). Zero leaves timing
+	// normalization off unless a query requests it.
+	DefaultQuantum time.Duration
+	// ScratchRoot hosts per-execution scratch directories for subprocess
+	// chambers; empty means the OS temp dir.
+	ScratchRoot string
+	// StatePath, when set, makes the budget ledger durable: the registry's
+	// per-dataset spends are journaled there after every successful charge
+	// and should be restored (Registry.RestoreBudgets) before serving.
+	// Without it, a crash would silently refund all spent privacy budget.
+	StatePath string
+	// WorkerAddrs lists worker daemons (cmd/gupt-worker) to distribute
+	// block executions across — the paper's cluster deployment. Empty
+	// keeps execution on the server node.
+	WorkerAddrs []string
+	// IdleTimeout disconnects clients that send nothing for this long,
+	// bounding slow-loris style connection hoarding. Zero disables it.
+	IdleTimeout time.Duration
+	// Logger receives connection-level diagnostics; nil silences them.
+	Logger *log.Logger
+}
+
+// Server is the trusted computation-manager server. It owns the dataset
+// registry and the budget manager; untrusted analyst programs only ever
+// see block data inside chambers and the final private outputs.
+type Server struct {
+	reg     *dataset.Registry
+	mgr     *budget.Manager
+	cfg     ServerConfig
+	pool    *WorkerPool // nil when executing locally
+	poolErr error       // non-nil when WorkerAddrs were set but unreachable
+	stats   statsCollector
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server over the given registry. If cfg.WorkerAddrs is
+// set, every worker must be reachable at construction time.
+func NewServer(reg *dataset.Registry, cfg ServerConfig) *Server {
+	s := &Server{
+		reg:   reg,
+		mgr:   budget.NewManager(reg),
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+	}
+	if len(cfg.WorkerAddrs) > 0 {
+		pool, err := NewWorkerPool(cfg.WorkerAddrs)
+		if err != nil {
+			// Fail queries, not the constructor: the operator sees the
+			// cause both in the log and on every refused query.
+			s.poolErr = err
+			s.logf("compman: worker pool unavailable: %v", err)
+		} else {
+			s.pool = pool
+		}
+	}
+	return s
+}
+
+// Registry exposes the server's dataset registry for operator-side
+// registration (the data owner's interface).
+func (s *Server) Registry() *dataset.Registry { return s.reg }
+
+// Addr returns the address Serve is listening on, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Serve accepts connections on l until Close is called. It blocks.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("compman: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("compman: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	if s.pool != nil {
+		s.pool.Close()
+	}
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	enc := json.NewEncoder(conn)
+	for {
+		// Re-arm the idle deadline immediately before each read so time
+		// spent executing a query never counts against the client.
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		if !scanner.Scan() {
+			break
+		}
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{Error: fmt.Sprintf("malformed request: %v", err)}
+		} else {
+			resp = s.dispatch(&req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			s.logf("compman: write response: %v", err)
+			return
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		s.logf("compman: read: %v", err)
+	}
+}
+
+func (s *Server) dispatch(req *Request) Response {
+	switch req.Op {
+	case OpQuantum:
+		return Response{OK: true}
+	case OpList:
+		return Response{OK: true, Datasets: s.reg.Names()}
+	case OpStats:
+		snap := s.stats.snapshot()
+		return Response{OK: true, Stats: &snap}
+	case OpRegister:
+		return s.handleRegister(req)
+	case OpSession:
+		return s.handleSession(req)
+	case OpBudget:
+		rem, err := s.mgr.Remaining(req.Dataset)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true, Remaining: rem}
+	case OpQuery:
+		start := time.Now()
+		resp := s.handleQuery(req)
+		if resp.OK {
+			s.stats.recordOK(time.Since(start))
+		} else {
+			s.stats.recordFailure(strings.Contains(resp.Error, dp.ErrBudgetExhausted.Error()))
+		}
+		return resp
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func errResponse(err error) Response { return Response{Error: err.Error()} }
+
+// handleQuery is the trusted query path: resolve program and ranges, settle
+// the privacy charge against the platform-owned ledger, then run the
+// engine. The budget is charged before execution so an analyst cannot
+// observe partial results of a query that would overdraw.
+func (s *Server) handleQuery(req *Request) Response {
+	reg, err := s.reg.Lookup(req.Dataset)
+	if err != nil {
+		return errResponse(err)
+	}
+	if req.Program == nil {
+		return Response{Error: "query missing program"}
+	}
+	program, isBinary, err := req.Program.resolve()
+	if err != nil {
+		return errResponse(err)
+	}
+	outputDims := req.Program.OutputDims
+	if !isBinary {
+		outputDims = program.OutputDims()
+	}
+
+	spec, err := s.buildRangeSpec(req, reg, outputDims)
+	if err != nil {
+		return errResponse(err)
+	}
+
+	opts := core.Options{
+		BlockSize:  req.BlockSize,
+		Gamma:      req.Gamma,
+		Seed:       req.Seed,
+		Quantum:    s.cfg.DefaultQuantum,
+		UserLevel:  req.UserLevel,
+		UserColumn: req.UserColumn,
+	}
+	if req.QuantumMillis > 0 {
+		opts.Quantum = time.Duration(req.QuantumMillis) * time.Millisecond
+	}
+	if isBinary {
+		// Uploaded executables always run under subprocess isolation; the
+		// in-process path is reserved for the platform's own library.
+		path, args := req.Program.Path, req.Program.Args
+		program = binaryProgram{spec: *req.Program}
+		opts.NewChamber = func(_ analytics.Program, pol sandbox.Policy) sandbox.Chamber {
+			return &sandbox.Subprocess{Path: path, Args: args, Policy: pol, ScratchRoot: s.cfg.ScratchRoot}
+		}
+	}
+
+	// Cluster execution: fan the blocks out over the worker daemons. The
+	// workers resolve the same program spec (and run binaries under their
+	// local subprocess chambers), so this overrides any local factory.
+	if s.poolErr != nil {
+		return errResponse(fmt.Errorf("compman: worker pool unavailable: %w", s.poolErr))
+	}
+	if s.pool != nil {
+		progSpec := *req.Program
+		opts.NewChamber = func(_ analytics.Program, pol sandbox.Policy) sandbox.Chamber {
+			return s.pool.Chamber(WorkSpec{
+				Program:       progSpec,
+				QuantumMillis: pol.Quantum.Milliseconds(),
+			})
+		}
+		opts.Parallelism = s.pool.Size()
+	}
+
+	rows := reg.Private.Rows()
+
+	// Auto block size (paper §4.3) from the aged sample, if requested.
+	if req.AutoBlockSize && req.BlockSize == 0 {
+		if !reg.HasAged() {
+			return errResponse(aging.ErrNoAgedData)
+		}
+		epsForPlan := req.Epsilon
+		if epsForPlan <= 0 {
+			epsForPlan = 1 // planning default when accuracy mode resolves ε later
+		}
+		planRanges := spec.Output
+		if planRanges == nil {
+			return Response{Error: "autoBlockSize requires output ranges"}
+		}
+		choice, err := aging.OptimizeBlockSize(program, reg.Aged.Rows(), len(rows), epsForPlan, planRanges)
+		if err != nil {
+			return errResponse(err)
+		}
+		opts.BlockSize = choice.BlockSize
+	}
+
+	// Settle the privacy charge. Any successful charge is journaled before
+	// the computation runs, so a crash can never refund it.
+	label := fmt.Sprintf("%s:%s", req.Dataset, req.Program.Type)
+	switch {
+	case req.Epsilon > 0 && req.Accuracy != nil:
+		return Response{Error: "set either epsilon or accuracy, not both"}
+	case req.Epsilon > 0:
+		if err := s.mgr.Charge(req.Dataset, label, req.Epsilon); err != nil {
+			return errResponse(err)
+		}
+		s.journalBudgets()
+		opts.Epsilon = req.Epsilon
+	case req.Accuracy != nil:
+		if spec.Mode != core.ModeTight && spec.Mode != core.ModeLoose {
+			return Response{Error: "accuracy goals need output ranges (tight or loose mode)"}
+		}
+		goal := aging.AccuracyGoal{Rho: req.Accuracy.Rho, Confidence: req.Accuracy.Confidence}
+		bs := opts.BlockSize
+		if bs == 0 {
+			bs = core.DefaultBlockSize(len(rows))
+		}
+		est, err := s.mgr.ChargeForAccuracy(req.Dataset, label, program, bs, spec.Output, goal)
+		if err != nil {
+			return errResponse(err)
+		}
+		s.journalBudgets()
+		opts.Epsilon = est.Epsilon
+		opts.BlockSize = est.BlockSize
+	default:
+		return Response{Error: "query needs a positive epsilon or an accuracy goal"}
+	}
+
+	res, err := core.Run(context.Background(), program, rows, spec, opts)
+	if err != nil {
+		// The charge is already settled; failed runs still consumed budget
+		// conservatively. Report the failure.
+		return errResponse(err)
+	}
+	return Response{
+		OK:              true,
+		Output:          res.Output,
+		EpsilonSpent:    res.EpsilonSpent,
+		EffectiveRanges: rangesToWire(res.EffectiveRanges),
+		NumBlocks:       res.NumBlocks,
+		BlockSize:       res.BlockSize,
+		FailedBlocks:    res.FailedBlocks,
+	}
+}
+
+// handleSession runs a §5.2 budget-distributed batch: ε allocated across
+// the queries in proportion to their noise scales, the total charged
+// atomically before anything runs.
+func (s *Server) handleSession(req *Request) Response {
+	spec := req.Session
+	if spec == nil {
+		return Response{Error: "session op missing payload"}
+	}
+	if len(spec.Queries) == 0 {
+		return Response{Error: "empty session"}
+	}
+	reg, err := s.reg.Lookup(req.Dataset)
+	if err != nil {
+		return errResponse(err)
+	}
+	n := reg.Private.NumRows()
+
+	type member struct {
+		program analytics.Program
+		ranges  []dp.Range
+		beta    int
+	}
+	members := make([]member, len(spec.Queries))
+	zetas := make([]float64, len(spec.Queries))
+	for i, q := range spec.Queries {
+		program, isBinary, err := q.Program.resolve()
+		if err != nil {
+			return errResponse(fmt.Errorf("session query %d: %w", i, err))
+		}
+		if isBinary {
+			return Response{Error: fmt.Sprintf("session query %d: binary programs are not supported in sessions", i)}
+		}
+		ranges, err := rangesFromWire(q.OutputRanges)
+		if err != nil {
+			return errResponse(fmt.Errorf("session query %d: %w", i, err))
+		}
+		if len(ranges) != program.OutputDims() {
+			return Response{Error: fmt.Sprintf("session query %d: %d ranges for %d output dims",
+				i, len(ranges), program.OutputDims())}
+		}
+		beta := q.BlockSize
+		if beta == 0 {
+			beta = core.DefaultBlockSize(n)
+		}
+		z, err := budget.Zeta(ranges, beta, n)
+		if err != nil {
+			return errResponse(fmt.Errorf("session query %d: %w", i, err))
+		}
+		members[i] = member{program: program, ranges: ranges, beta: beta}
+		zetas[i] = z
+	}
+	alloc, err := budget.Distribute(spec.TotalEpsilon, zetas)
+	if err != nil {
+		return errResponse(err)
+	}
+
+	label := fmt.Sprintf("session:%s:%d-queries", req.Dataset, len(spec.Queries))
+	if err := s.mgr.Charge(req.Dataset, label, spec.TotalEpsilon); err != nil {
+		return errResponse(err)
+	}
+	s.journalBudgets()
+
+	rows := reg.Private.Rows()
+	results := make([]SessionResult, len(members))
+	for i, m := range members {
+		res, err := core.Run(context.Background(), m.program, rows,
+			core.RangeSpec{Mode: core.ModeTight, Output: m.ranges},
+			core.Options{
+				Epsilon:   alloc[i],
+				BlockSize: m.beta,
+				Gamma:     spec.Queries[i].Gamma,
+				Seed:      spec.Queries[i].Seed,
+				Quantum:   s.cfg.DefaultQuantum,
+			})
+		if err != nil {
+			return errResponse(fmt.Errorf("session query %d: %w", i, err))
+		}
+		results[i] = SessionResult{Output: res.Output, EpsilonSpent: res.EpsilonSpent}
+	}
+	return Response{OK: true, Session: results}
+}
+
+// handleRegister is the data-owner path: build a table from the inline
+// rows and register it with its lifetime budget.
+func (s *Server) handleRegister(req *Request) Response {
+	spec := req.Register
+	if spec == nil {
+		return Response{Error: "register op missing payload"}
+	}
+	ranges, err := rangesFromWire(spec.Ranges)
+	if err != nil {
+		return errResponse(err)
+	}
+	tbl := dataset.New(spec.Columns)
+	for i, r := range spec.Rows {
+		if err := tbl.Append(mathutil.Vec(r)); err != nil {
+			return Response{Error: fmt.Sprintf("row %d: %v", i, err)}
+		}
+	}
+	_, err = s.reg.Register(spec.Name, tbl, dataset.RegisterOptions{
+		TotalBudget:  spec.TotalBudget,
+		Ranges:       ranges,
+		AgedFraction: spec.AgedFraction,
+		Seed:         spec.Seed,
+	})
+	if err != nil {
+		return errResponse(err)
+	}
+	s.journalBudgets()
+	return Response{OK: true}
+}
+
+// journalBudgets persists the ledger after a charge. Persistence failures
+// are logged, not fatal: the in-memory ledger remains authoritative for
+// this process's lifetime, and refusing queries on a transient disk error
+// would be a denial-of-service lever.
+func (s *Server) journalBudgets() {
+	if s.cfg.StatePath == "" {
+		return
+	}
+	if err := s.reg.SaveBudgets(s.cfg.StatePath); err != nil {
+		s.logf("compman: journaling budgets: %v", err)
+	}
+}
+
+func (s *Server) buildRangeSpec(req *Request, reg *dataset.Registered, outputDims int) (core.RangeSpec, error) {
+	outRanges, err := rangesFromWire(req.OutputRanges)
+	if err != nil {
+		return core.RangeSpec{}, err
+	}
+	inRanges, err := rangesFromWire(req.InputRanges)
+	if err != nil {
+		return core.RangeSpec{}, err
+	}
+	if inRanges == nil {
+		inRanges = reg.Private.Ranges() // data-owner-registered bounds
+	}
+	spec := core.RangeSpec{
+		PercentileLow:  req.PercentileLow,
+		PercentileHigh: req.PercentileHigh,
+	}
+	switch req.Mode {
+	case "tight", "":
+		spec.Mode, spec.Output = core.ModeTight, outRanges
+	case "loose":
+		spec.Mode, spec.Output = core.ModeLoose, outRanges
+	case "helper":
+		translate, err := req.Translate.toFunc(outputDims)
+		if err != nil {
+			return core.RangeSpec{}, err
+		}
+		if translate == nil {
+			return core.RangeSpec{}, errors.New("compman: helper mode needs a translate spec")
+		}
+		spec.Mode, spec.Input, spec.Translate = core.ModeHelper, inRanges, translate
+	default:
+		return core.RangeSpec{}, fmt.Errorf("compman: unknown mode %q", req.Mode)
+	}
+	return spec, nil
+}
+
+// binaryProgram satisfies analytics.Program for uploaded executables; Run is
+// never called because the subprocess chamber executes the binary itself,
+// but the engine needs the declared output dimensionality and a name.
+type binaryProgram struct {
+	spec ProgramSpec
+}
+
+func (b binaryProgram) Name() string    { return "binary:" + b.spec.Path }
+func (b binaryProgram) OutputDims() int { return b.spec.OutputDims }
+func (b binaryProgram) Run([]mathutil.Vec) (mathutil.Vec, error) {
+	return nil, errors.New("compman: binary programs run only inside subprocess chambers")
+}

@@ -1,0 +1,52 @@
+package compman
+
+import (
+	"sync"
+	"time"
+)
+
+// ServerStats is an operator-facing snapshot of a server's activity since
+// start. All fields are monotonic counters except the latency aggregate.
+type ServerStats struct {
+	// QueriesOK counts successfully answered queries.
+	QueriesOK int64 `json:"queriesOK"`
+	// QueriesFailed counts queries refused for any reason other than
+	// budget (validation errors, engine failures).
+	QueriesFailed int64 `json:"queriesFailed"`
+	// BudgetRefusals counts queries refused because a dataset's budget
+	// could not cover them. Broken out because a spike here is the normal
+	// end-of-life signal for a dataset, not an error.
+	BudgetRefusals int64 `json:"budgetRefusals"`
+	// TotalQueryMillis accumulates wall-clock time spent answering
+	// successful queries; divide by QueriesOK for the mean latency.
+	TotalQueryMillis int64 `json:"totalQueryMillis"`
+}
+
+// statsCollector guards the counters.
+type statsCollector struct {
+	mu    sync.Mutex
+	stats ServerStats
+}
+
+func (c *statsCollector) recordOK(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.QueriesOK++
+	c.stats.TotalQueryMillis += d.Milliseconds()
+}
+
+func (c *statsCollector) recordFailure(budget bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if budget {
+		c.stats.BudgetRefusals++
+	} else {
+		c.stats.QueriesFailed++
+	}
+}
+
+func (c *statsCollector) snapshot() ServerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,339 @@
+package compman
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"gupt/internal/mathutil"
+	"gupt/internal/sandbox"
+)
+
+// Distributed execution. The paper's computation manager is split into a
+// server component and a client component that runs on every node of the
+// cluster, instantiating isolated execution chambers locally (§6). This
+// file implements that split: a Worker daemon executes single blocks on its
+// node, and a WorkerPool on the server side satisfies sandbox.Chamber by
+// fanning block executions out across the registered workers. The engine
+// is oblivious — it sees one Chamber and its usual parallelism knob.
+
+// WorkSpec tells a worker what computation a block belongs to.
+type WorkSpec struct {
+	// Program selects the computation; binary specs are executed under the
+	// worker's local subprocess chambers.
+	Program ProgramSpec `json:"program"`
+	// QuantumMillis arms the timing-attack defense on the worker.
+	QuantumMillis int64 `json:"quantumMillis,omitempty"`
+}
+
+// WorkRequest is one block execution.
+type WorkRequest struct {
+	Spec  WorkSpec    `json:"spec"`
+	Block [][]float64 `json:"block"`
+}
+
+// WorkResponse is the execution result.
+type WorkResponse struct {
+	Output []float64 `json:"output,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// WorkerConfig tunes a worker daemon.
+type WorkerConfig struct {
+	// ScratchRoot hosts subprocess chamber scratch dirs.
+	ScratchRoot string
+	// Logger receives diagnostics; nil silences them.
+	Logger *log.Logger
+}
+
+// Worker is the per-node client component of the computation manager: it
+// accepts block-execution requests and runs them in local chambers.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewWorker creates a worker daemon.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until Close. It blocks.
+func (w *Worker) Serve(l net.Listener) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return errors.New("compman: worker closed")
+	}
+	w.listener = l
+	w.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("compman: worker accept: %w", err)
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		w.conns[conn] = struct{}{}
+		w.wg.Add(1)
+		w.mu.Unlock()
+		go func() {
+			defer w.wg.Done()
+			w.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops the worker: the listener and every live connection are
+// closed, then in-flight executions are waited for.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	l := w.listener
+	for c := range w.conns {
+		c.Close()
+	}
+	w.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	w.wg.Wait()
+	return err
+}
+
+func (w *Worker) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req WorkRequest
+		var resp WorkResponse
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = fmt.Sprintf("malformed work request: %v", err)
+		} else {
+			resp = w.execute(&req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			if w.cfg.Logger != nil {
+				w.cfg.Logger.Printf("compman: worker write: %v", err)
+			}
+			return
+		}
+	}
+}
+
+func (w *Worker) execute(req *WorkRequest) WorkResponse {
+	program, isBinary, err := req.Spec.Program.resolve()
+	if err != nil {
+		return WorkResponse{Error: err.Error()}
+	}
+	pol := sandbox.Policy{}
+	if req.Spec.QuantumMillis > 0 {
+		pol.Quantum = time.Duration(req.Spec.QuantumMillis) * time.Millisecond
+	}
+	var chamber sandbox.Chamber
+	if isBinary {
+		chamber = &sandbox.Subprocess{
+			Path:        req.Spec.Program.Path,
+			Args:        req.Spec.Program.Args,
+			Policy:      pol,
+			ScratchRoot: w.cfg.ScratchRoot,
+		}
+	} else {
+		chamber = &sandbox.InProcess{Program: program, Policy: pol}
+	}
+	block := make([]mathutil.Vec, len(req.Block))
+	for i, r := range req.Block {
+		block[i] = mathutil.Vec(r)
+	}
+	out, err := chamber.Execute(context.Background(), block)
+	if err != nil {
+		return WorkResponse{Error: err.Error()}
+	}
+	return WorkResponse{Output: out}
+}
+
+// WorkerPool fans block executions out over a set of worker daemons. It is
+// created once per server and handed to the engine as a chamber factory.
+type WorkerPool struct {
+	mu    sync.Mutex
+	conns []*workerConn
+	next  int
+}
+
+type workerConn struct {
+	mu     sync.Mutex
+	addr   string
+	conn   net.Conn
+	r      *bufio.Reader
+	enc    *json.Encoder
+	broken bool // transport failed; redial before reuse
+}
+
+// NewWorkerPool dials every worker address. All must be reachable.
+func NewWorkerPool(addrs []string) (*WorkerPool, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("compman: worker pool needs at least one address")
+	}
+	p := &WorkerPool{}
+	for _, addr := range addrs {
+		wc, err := dialWorker(addr)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.conns = append(p.conns, wc)
+	}
+	return p, nil
+}
+
+func dialWorker(addr string) (*workerConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("compman: dial worker %s: %w", addr, err)
+	}
+	return &workerConn{
+		addr: addr,
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<20),
+		enc:  json.NewEncoder(conn),
+	}, nil
+}
+
+// Close releases all worker connections.
+func (p *WorkerPool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, wc := range p.conns {
+		wc.conn.Close()
+	}
+	p.conns = nil
+}
+
+// Size returns the number of pooled workers.
+func (p *WorkerPool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// Chamber returns a sandbox.Chamber that executes blocks on the pool's
+// workers, round-robin. Safe for concurrent use up to one in-flight block
+// per worker; the engine's parallelism should be set to Size().
+func (p *WorkerPool) Chamber(spec WorkSpec) sandbox.Chamber {
+	return &poolChamber{pool: p, spec: spec}
+}
+
+type poolChamber struct {
+	pool *WorkerPool
+	spec WorkSpec
+}
+
+// Execute implements sandbox.Chamber. A broken connection (worker restart,
+// network blip) is redialed once before the block is failed; the engine
+// then substitutes the block, so a single flaky worker degrades accuracy
+// rather than aborting the query.
+func (c *poolChamber) Execute(ctx context.Context, block []mathutil.Vec) (mathutil.Vec, error) {
+	wc, err := c.pool.pick()
+	if err != nil {
+		return nil, err
+	}
+	req := WorkRequest{Spec: c.spec, Block: make([][]float64, len(block))}
+	for i, r := range block {
+		req.Block[i] = r
+	}
+
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	out, err := wc.roundTrip(ctx, &req)
+	if err == nil {
+		return out, nil
+	}
+	// Transport-level failure: redial and retry once. Application-level
+	// errors come back as resp.Error and are not retried.
+	if !wc.broken {
+		return nil, err
+	}
+	fresh, dialErr := dialWorker(wc.addr)
+	if dialErr != nil {
+		return nil, fmt.Errorf("compman: worker %s unreachable after %v", wc.addr, err)
+	}
+	wc.conn.Close()
+	wc.conn, wc.r, wc.enc, wc.broken = fresh.conn, fresh.r, fresh.enc, false
+	return wc.roundTrip(ctx, &req)
+}
+
+// roundTrip performs one request/response exchange; the caller holds wc.mu.
+// On transport failure it marks the connection broken.
+func (wc *workerConn) roundTrip(ctx context.Context, req *WorkRequest) (mathutil.Vec, error) {
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = wc.conn.SetDeadline(deadline)
+	} else {
+		_ = wc.conn.SetDeadline(time.Time{})
+	}
+	if err := wc.enc.Encode(req); err != nil {
+		wc.broken = true
+		return nil, fmt.Errorf("compman: worker %s send: %w", wc.addr, err)
+	}
+	line, err := wc.r.ReadBytes('\n')
+	if err != nil {
+		wc.broken = true
+		return nil, fmt.Errorf("compman: worker %s receive: %w", wc.addr, err)
+	}
+	var resp WorkResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		wc.broken = true
+		return nil, fmt.Errorf("compman: worker %s decode: %w", wc.addr, err)
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("compman: worker %s: %s", wc.addr, resp.Error)
+	}
+	return mathutil.Vec(resp.Output), nil
+}
+
+func (p *WorkerPool) pick() (*workerConn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.conns) == 0 {
+		return nil, errors.New("compman: worker pool is closed")
+	}
+	wc := p.conns[p.next%len(p.conns)]
+	p.next++
+	return wc, nil
+}

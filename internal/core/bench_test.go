@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"gupt/internal/analytics"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+func benchRows(n int) []mathutil.Vec {
+	rng := mathutil.NewRNG(1)
+	rows := make([]mathutil.Vec, n)
+	for i := range rows {
+		rows[i] = mathutil.Vec{mathutil.Clamp(40+10*rng.NormFloat64(), 0, 150)}
+	}
+	return rows
+}
+
+func BenchmarkMakePartition(b *testing.B) {
+	rng := mathutil.NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := MakePartition(rng, 30000, 450, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMakePartitionResampled(b *testing.B) {
+	rng := mathutil.NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := MakePartition(rng, 30000, 450, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunMeanQuery(b *testing.B) {
+	rows := benchRows(30000)
+	spec := RangeSpec{Mode: ModeTight, Output: []dp.Range{{Lo: 0, Hi: 150}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), analytics.Mean{Col: 0}, rows, spec,
+			Options{Epsilon: 1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunLooseMode(b *testing.B) {
+	rows := benchRows(30000)
+	spec := RangeSpec{Mode: ModeLoose, Output: []dp.Range{{Lo: 0, Hi: 300}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), analytics.Mean{Col: 0}, rows, spec,
+			Options{Epsilon: 1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gupt/internal/analytics"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+	"gupt/internal/sandbox"
+)
+
+// Options configures one sample-and-aggregate run.
+type Options struct {
+	// Epsilon is the query's total privacy budget (required, > 0). The
+	// engine never spends more than this; how it is divided between range
+	// estimation and aggregation follows Theorem 1 for the chosen mode.
+	Epsilon float64
+	// BlockSize is the nominal block size β; 0 selects the paper's default
+	// n^0.6. Use internal/aging.OptimizeBlockSize to tune it from aged data.
+	BlockSize int
+	// Gamma is the resampling factor γ of §4.2; 0 or 1 disables resampling.
+	Gamma int
+	// Seed makes the run deterministic: partitioning, range estimation and
+	// noise all derive from it.
+	Seed int64
+	// Parallelism bounds concurrent block executions; 0 selects GOMAXPROCS.
+	Parallelism int
+	// Quantum, when positive, enforces the timing-attack defense: every
+	// block execution consumes exactly this wall-clock time (paper §6.2).
+	Quantum time.Duration
+	// NewChamber builds the isolation chamber used for block executions;
+	// nil selects an in-process chamber. The hosted platform injects a
+	// subprocess chamber here.
+	NewChamber func(prog analytics.Program, pol sandbox.Policy) sandbox.Chamber
+	// UserLevel switches the privacy unit from records to users: all rows
+	// sharing the value of UserColumn are placed in the same block(s), so
+	// the ε guarantee covers a user's entire record set (paper §8.1,
+	// implemented as an extension — see MakeGroupedPartition).
+	UserLevel  bool
+	UserColumn int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.BlockSize == 0 {
+		o.BlockSize = DefaultBlockSize(n)
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 1
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.NewChamber == nil {
+		o.NewChamber = func(prog analytics.Program, pol sandbox.Policy) sandbox.Chamber {
+			return &sandbox.InProcess{Program: prog, Policy: pol}
+		}
+	}
+	return o
+}
+
+// Result is the differentially private output of one run, plus
+// data-independent (or itself differentially private) diagnostics.
+type Result struct {
+	// Output is the ε-differentially private result vector.
+	Output mathutil.Vec
+	// Mode records which range-estimation mode ran.
+	Mode RangeMode
+	// EffectiveRanges are the per-dimension output ranges actually used for
+	// clamping and noise. For ModeLoose and ModeHelper these were estimated
+	// under differential privacy, so exposing them is safe.
+	EffectiveRanges []dp.Range
+	// EpsilonSpent is the total privacy budget the run consumed.
+	EpsilonSpent float64
+	// NumBlocks, BlockSize and Gamma describe the partition geometry.
+	NumBlocks int
+	BlockSize int
+	Gamma     int
+	// FailedBlocks counts block executions that were killed, crashed, or
+	// returned a malformed output and were replaced by the
+	// data-independent substitute.
+	FailedBlocks int
+}
+
+// Run executes program over rows under the sample-and-aggregate framework
+// and returns an Options.Epsilon-differentially private result. It does not
+// touch any budget ledger — callers (the computation manager) charge the
+// dataset's accountant before invoking Run.
+func Run(ctx context.Context, program analytics.Program, rows []mathutil.Vec, spec RangeSpec, opts Options) (*Result, error) {
+	if program == nil {
+		return nil, errors.New("core: nil program")
+	}
+	n := len(rows)
+	if n == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	if err := dpCheckEpsilon(opts.Epsilon); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(n)
+
+	inputDims := len(rows[0])
+	outputDims := program.OutputDims()
+	if outputDims <= 0 {
+		return nil, fmt.Errorf("core: program %q declares %d output dims", program.Name(), outputDims)
+	}
+	if err := spec.validate(inputDims, outputDims); err != nil {
+		return nil, err
+	}
+
+	rng := mathutil.NewRNG(opts.Seed)
+	partRNG := rng.Split()
+	rangeRNG := rng.Split()
+	noiseRNG := rng.Split()
+
+	var part *Partition
+	var err error
+	if opts.UserLevel {
+		groups, gerr := GroupRowsByColumn(rows, opts.UserColumn)
+		if gerr != nil {
+			return nil, gerr
+		}
+		part, err = MakeGroupedPartition(partRNG, n, groups, opts.BlockSize, opts.Gamma)
+	} else {
+		part, err = MakePartition(partRNG, n, opts.BlockSize, opts.Gamma)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Theorem 1 budget split.
+	var split dp.BudgetSplit
+	switch spec.Mode {
+	case ModeTight:
+		split, err = dp.SplitTight(opts.Epsilon, outputDims)
+	case ModeLoose:
+		split, err = dp.SplitLoose(opts.Epsilon, outputDims)
+	case ModeHelper:
+		split, err = dp.SplitHelper(opts.Epsilon, inputDims, outputDims)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve the ranges known before block execution. For ModeLoose the
+	// effective range is estimated later from block outputs; until then the
+	// analyst's loose range bounds the substitute value.
+	var preRanges []dp.Range
+	switch spec.Mode {
+	case ModeTight, ModeLoose:
+		preRanges = append([]dp.Range(nil), spec.Output...)
+	case ModeHelper:
+		input := spec.Input
+		if input == nil {
+			return nil, fmt.Errorf("%w: %s requires input ranges (from the spec or the dataset)", ErrRangeSpec, spec.Mode)
+		}
+		preRanges, err = estimateHelperRanges(rangeRNG, rows, spec, input, split.RangeEps, outputDims)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The substitute released for killed or misbehaving blocks: the
+	// midpoint of each known range — constant and data-independent.
+	substitute := make(mathutil.Vec, outputDims)
+	for d, r := range preRanges {
+		substitute[d] = r.Mid()
+	}
+
+	outputs, failed, err := runBlocks(ctx, program, rows, part, substitute, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// ModeLoose: tighten the output range privately from the block outputs.
+	effective := preRanges
+	if spec.Mode == ModeLoose {
+		effective, err = estimateLooseRanges(rangeRNG, outputs, spec, split.RangeEps, part.Gamma)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Clamp, average, and add per-dimension Laplace noise (Algorithm 1
+	// lines 5–8, with the §4.2 resampling-aware sensitivity).
+	final := make(mathutil.Vec, outputDims)
+	for d := 0; d < outputDims; d++ {
+		r := effective[d]
+		var sum float64
+		for _, o := range outputs {
+			sum += r.Clamp(o[d])
+		}
+		avg := sum / float64(len(outputs))
+		noisy, err := dp.Laplace(noiseRNG, avg, part.Sensitivity(r.Width()), split.AggregateEps)
+		if err != nil {
+			return nil, err
+		}
+		final[d] = noisy
+	}
+
+	return &Result{
+		Output:          final,
+		Mode:            spec.Mode,
+		EffectiveRanges: effective,
+		EpsilonSpent:    opts.Epsilon,
+		NumBlocks:       part.NumBlocks(),
+		BlockSize:       part.BlockSize,
+		Gamma:           part.Gamma,
+		FailedBlocks:    failed,
+	}, nil
+}
+
+// runBlocks executes the program on every block through isolation chambers,
+// bounded by opts.Parallelism. A block that fails in any way (killed,
+// crashed, program error, wrong output arity) contributes the substitute
+// vector, so the release pipeline sees a complete, well-formed matrix of
+// block outputs.
+func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.Vec, part *Partition, substitute mathutil.Vec, opts Options) ([]mathutil.Vec, int, error) {
+	pol := sandbox.Policy{Quantum: opts.Quantum} // engine substitutes itself, to count failures
+	chamber := opts.NewChamber(program, pol)
+
+	outputs := make([]mathutil.Vec, part.NumBlocks())
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failed := 0
+	var ctxErr error
+
+	for i := range part.Blocks {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out, err := chamber.Execute(ctx, part.Materialize(rows, i))
+			if err != nil && errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+				mu.Lock()
+				ctxErr = err
+				mu.Unlock()
+				return
+			}
+			if err != nil || len(out) != len(substitute) {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+				out = substitute.Clone()
+			}
+			outputs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	if ctxErr != nil {
+		return nil, 0, ctxErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	// Blocks skipped by an early break (can only happen on cancellation,
+	// already returned above) would be nil; guard anyway.
+	for i, o := range outputs {
+		if o == nil {
+			outputs[i] = substitute.Clone()
+			failed++
+		}
+	}
+	return outputs, failed, nil
+}
+
+func dpCheckEpsilon(eps float64) error {
+	if !(eps > 0) {
+		return fmt.Errorf("%w: got %v", dp.ErrInvalidEpsilon, eps)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Privacy-budget persistence. Spent budget is a security-critical fact: if
+// the platform forgets it across a restart, an analyst can reset their ε
+// consumption by crashing the server. The registry therefore supports
+// journaling every dataset's cumulative spend to a state file and restoring
+// it at startup. Restoration is monotone — it can only *reduce* remaining
+// budget, never refund it — so a stale or truncated state file fails safe.
+
+// budgetState is the serialized form of one dataset's ledger summary.
+type budgetState struct {
+	Name    string    `json:"name"`
+	Total   float64   `json:"total"`
+	Spent   float64   `json:"spent"`
+	Queries int       `json:"queries"`
+	SavedAt time.Time `json:"savedAt"`
+}
+
+type registryState struct {
+	Version int           `json:"version"`
+	Budgets []budgetState `json:"budgets"`
+}
+
+const stateVersion = 1
+
+// SaveBudgets writes every registered dataset's budget consumption to path
+// atomically (write to a temp file, then rename).
+func (reg *Registry) SaveBudgets(path string) error {
+	reg.mu.RLock()
+	state := registryState{Version: stateVersion}
+	for name, r := range reg.sets {
+		state.Budgets = append(state.Budgets, budgetState{
+			Name:    name,
+			Total:   r.Accountant.Total(),
+			Spent:   r.Accountant.Spent(),
+			Queries: r.Accountant.Queries(),
+			SavedAt: time.Now(),
+		})
+	}
+	reg.mu.RUnlock()
+
+	data, err := json.MarshalIndent(state, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dataset: marshal budget state: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return fmt.Errorf("dataset: write budget state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("dataset: commit budget state: %w", err)
+	}
+	return nil
+}
+
+// RestoreBudgets replays a saved state file into the registry: for each
+// dataset present in both the file and the registry, the recorded spend is
+// re-charged against the (fresh) accountant. Datasets in the file but not
+// in the registry are ignored (they may be retired); datasets in the
+// registry but not in the file start with an untouched budget.
+//
+// Restoration never increases remaining budget: if the recorded spend
+// exceeds the registered total (e.g. the owner lowered the budget), the
+// accountant is exhausted outright.
+func (reg *Registry) RestoreBudgets(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("dataset: read budget state: %w", err)
+	}
+	var state registryState
+	if err := json.Unmarshal(data, &state); err != nil {
+		return fmt.Errorf("dataset: parse budget state: %w", err)
+	}
+	if state.Version != stateVersion {
+		return fmt.Errorf("dataset: budget state version %d, want %d", state.Version, stateVersion)
+	}
+
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	for _, b := range state.Budgets {
+		r, ok := reg.sets[b.Name]
+		if !ok {
+			continue
+		}
+		if b.Spent <= 0 {
+			continue
+		}
+		spend := b.Spent
+		if remaining := r.Accountant.Remaining(); spend > remaining {
+			spend = remaining
+		}
+		if spend > 0 {
+			if err := r.Accountant.Spend("restored:"+path, spend); err != nil {
+				return fmt.Errorf("dataset: restoring %q: %w", b.Name, err)
+			}
+		}
+	}
+	return nil
+}

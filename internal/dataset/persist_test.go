@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gupt/internal/dp"
+)
+
+func TestSaveRestoreBudgets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budgets.json")
+
+	reg := NewRegistry()
+	r, err := reg.Register("census", sampleTable(t, 20), RegisterOptions{TotalBudget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Accountant.Spend("q1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Accountant.Spend("q2", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SaveBudgets(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "restarted" registry with fresh accountants.
+	reg2 := NewRegistry()
+	r2, err := reg2.Register("census", sampleTable(t, 20), RegisterOptions{TotalBudget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg2.RestoreBudgets(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Accountant.Remaining(); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("restored remaining = %v, want 5.5", got)
+	}
+	// The spent budget stays spent: an overdraw is still refused.
+	if err := r2.Accountant.Spend("q3", 6); !errors.Is(err, dp.ErrBudgetExhausted) {
+		t.Errorf("post-restore overspend err = %v", err)
+	}
+}
+
+func TestRestoreBudgetsIgnoresUnknownDatasets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budgets.json")
+	reg := NewRegistry()
+	r, _ := reg.Register("old", sampleTable(t, 5), RegisterOptions{TotalBudget: 4})
+	_ = r.Accountant.Spend("q", 1)
+	if err := reg.SaveBudgets(path); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := NewRegistry()
+	fresh, _ := reg2.Register("new", sampleTable(t, 5), RegisterOptions{TotalBudget: 4})
+	if err := reg2.RestoreBudgets(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Accountant.Spent() != 0 {
+		t.Errorf("unrelated dataset was charged: %v", fresh.Accountant.Spent())
+	}
+}
+
+// Restoration fails safe: if the recorded spend exceeds the (re-registered,
+// smaller) total, the dataset simply starts exhausted — remaining budget
+// can never be refunded by a restart.
+func TestRestoreBudgetsMonotone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budgets.json")
+	reg := NewRegistry()
+	r, _ := reg.Register("d", sampleTable(t, 5), RegisterOptions{TotalBudget: 10})
+	_ = r.Accountant.Spend("q", 8)
+	if err := reg.SaveBudgets(path); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := NewRegistry()
+	shrunk, _ := reg2.Register("d", sampleTable(t, 5), RegisterOptions{TotalBudget: 2})
+	if err := reg2.RestoreBudgets(path); err != nil {
+		t.Fatal(err)
+	}
+	if rem := shrunk.Accountant.Remaining(); rem > 1e-9 {
+		t.Errorf("remaining = %v, want 0 (spend capped at the new total)", rem)
+	}
+}
+
+func TestRestoreBudgetsBadFile(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.RestoreBudgets("/nonexistent/file.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RestoreBudgets(bad); err == nil {
+		t.Error("garbage file accepted")
+	}
+	wrongVersion := filepath.Join(t.TempDir(), "v.json")
+	if err := os.WriteFile(wrongVersion, []byte(`{"version": 99}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RestoreBudgets(wrongVersion); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestSaveBudgetsAtomic(t *testing.T) {
+	// Saving twice leaves exactly one state file and no temp litter.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "budgets.json")
+	reg := NewRegistry()
+	_, _ = reg.Register("d", sampleTable(t, 5), RegisterOptions{TotalBudget: 1})
+	if err := reg.SaveBudgets(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SaveBudgets(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "budgets.json" {
+		t.Errorf("dir contents: %v", entries)
+	}
+}

@@ -1,0 +1,156 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+// Registry errors.
+var (
+	ErrNotFound  = errors.New("dataset: not found")
+	ErrDuplicate = errors.New("dataset: already registered")
+)
+
+// Registered is a dataset under the registry's management: the private
+// records, the owner-declared total privacy budget (enforced by the
+// embedded accountant), optional attribute ranges, and the aged sample used
+// by the aging-of-sensitivity optimizers.
+type Registered struct {
+	Name string
+	// Private holds the records whose privacy the platform protects.
+	Private *Table
+	// Aged holds records that have aged out of privacy protection
+	// (paper §3.3). May be empty when the owner supplies no aged data; the
+	// aging-based optimizers then fall back to defaults.
+	Aged *Table
+	// Accountant enforces the dataset's lifetime ε budget.
+	Accountant *dp.Accountant
+}
+
+// HasAged reports whether an aged sample is available.
+func (r *Registered) HasAged() bool { return r.Aged != nil && r.Aged.NumRows() > 0 }
+
+// Registry is GUPT's dataset manager (paper Fig. 2): it registers dataset
+// instances and owns their remaining privacy budgets. It is safe for
+// concurrent use. Analyst-side code only ever receives dataset names, never
+// the tables themselves; the computation manager resolves names through the
+// registry on the trusted side.
+type Registry struct {
+	mu   sync.RWMutex
+	sets map[string]*Registered
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sets: make(map[string]*Registered)}
+}
+
+// RegisterOptions configures dataset registration.
+type RegisterOptions struct {
+	// TotalBudget is the dataset's lifetime ε budget (required, > 0).
+	TotalBudget float64
+	// Ranges optionally declares public per-attribute input bounds.
+	Ranges []dp.Range
+	// AgedFraction, if positive, deterministically carves that fraction of
+	// the records (selected with Seed) into the aged, non-private sample.
+	// Mutually exclusive with Aged.
+	AgedFraction float64
+	// Aged optionally supplies an explicit aged table drawn from the same
+	// distribution (for example, a historical snapshot).
+	Aged *Table
+	// Seed drives the aged-fraction split; registration is deterministic in
+	// (table, options).
+	Seed int64
+}
+
+// Register adds a dataset under the given name. The table is used as-is
+// (the registry takes ownership); callers must not retain and mutate it.
+func (reg *Registry) Register(name string, t *Table, opts RegisterOptions) (*Registered, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dataset: empty name")
+	}
+	if t == nil || t.NumRows() == 0 {
+		return nil, fmt.Errorf("dataset: registering %q with no rows", name)
+	}
+	if !(opts.TotalBudget > 0) {
+		return nil, fmt.Errorf("dataset: %q needs a positive total privacy budget, got %v", name, opts.TotalBudget)
+	}
+	if opts.Ranges != nil {
+		if err := t.SetRanges(opts.Ranges); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Aged != nil && opts.AgedFraction > 0 {
+		return nil, fmt.Errorf("dataset: %q sets both Aged and AgedFraction", name)
+	}
+	if opts.Aged != nil && opts.Aged.NumRows() > 0 && opts.Aged.Dims() != t.Dims() {
+		return nil, fmt.Errorf("dataset: %q aged sample has %d dims, dataset has %d",
+			name, opts.Aged.Dims(), t.Dims())
+	}
+
+	private, aged := t, opts.Aged
+	if opts.AgedFraction > 0 {
+		if opts.AgedFraction >= 1 {
+			return nil, fmt.Errorf("dataset: %q aged fraction %v must be in (0,1)", name, opts.AgedFraction)
+		}
+		aged, private = t.Split(mathutil.NewRNG(opts.Seed), opts.AgedFraction)
+		if private.NumRows() == 0 {
+			return nil, fmt.Errorf("dataset: %q aged fraction %v leaves no private rows", name, opts.AgedFraction)
+		}
+	}
+
+	r := &Registered{
+		Name:       name,
+		Private:    private,
+		Aged:       aged,
+		Accountant: dp.NewAccountant(opts.TotalBudget),
+	}
+
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.sets[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	reg.sets[name] = r
+	return r, nil
+}
+
+// Lookup returns the registered dataset with the given name.
+func (reg *Registry) Lookup(name string) (*Registered, error) {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	r, ok := reg.sets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return r, nil
+}
+
+// Unregister removes a dataset; subsequent lookups fail. Removing an
+// unknown name is an error so that operator typos surface.
+func (reg *Registry) Unregister(name string) error {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, ok := reg.sets[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(reg.sets, name)
+	return nil
+}
+
+// Names returns the sorted names of all registered datasets.
+func (reg *Registry) Names() []string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	names := make([]string, 0, len(reg.sets))
+	for n := range reg.sets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

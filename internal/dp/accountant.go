@@ -1,0 +1,98 @@
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBudgetExhausted is returned by Accountant.Spend when a charge would
+// push cumulative spend past the total budget. Queries that fail with this
+// error consume nothing.
+var ErrBudgetExhausted = errors.New("dp: privacy budget exhausted")
+
+// Charge records one debit against a privacy budget.
+type Charge struct {
+	Label   string    // what the budget was spent on (query name, subroutine)
+	Epsilon float64   // amount of ε consumed
+	At      time.Time // wall-clock time of the debit
+}
+
+// Accountant tracks cumulative ε consumption against a fixed total budget
+// under sequential composition (the composition lemma of Dwork et al. cited
+// as [5] in the paper: ε_total = Σ ε_i). It is safe for concurrent use.
+//
+// The accountant is the platform-side defense against privacy-budget
+// attacks (paper §6.2): analyst code never holds the ledger, so a malicious
+// query cannot spend budget conditionally on the data it sees.
+type Accountant struct {
+	mu    sync.Mutex
+	total float64
+	spent float64
+	log   []Charge
+}
+
+// NewAccountant returns an accountant with the given total ε budget.
+// A non-positive total yields an accountant that rejects every charge.
+func NewAccountant(total float64) *Accountant {
+	if total < 0 {
+		total = 0
+	}
+	return &Accountant{total: total}
+}
+
+// Total returns the lifetime budget.
+func (a *Accountant) Total() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Spent returns the cumulative ε consumed so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the budget still available.
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.spent
+}
+
+// Spend atomically debits eps from the budget, recording the charge under
+// label. It returns ErrBudgetExhausted (wrapped with the shortfall) if the
+// debit would exceed the total; in that case nothing is consumed.
+func (a *Accountant) Spend(label string, eps float64) error {
+	if err := checkEpsilon(eps); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// A small relative tolerance absorbs float accumulation error when many
+	// exact fractions of the budget are spent back-to-back.
+	const slack = 1e-9
+	if a.spent+eps > a.total*(1+slack) {
+		return fmt.Errorf("%w: requested %v, remaining %v", ErrBudgetExhausted, eps, a.total-a.spent)
+	}
+	a.spent += eps
+	a.log = append(a.log, Charge{Label: label, Epsilon: eps, At: time.Now()})
+	return nil
+}
+
+// History returns a copy of all charges in order.
+func (a *Accountant) History() []Charge {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Charge(nil), a.log...)
+}
+
+// Queries returns the number of successful charges.
+func (a *Accountant) Queries() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.log)
+}

@@ -1,0 +1,164 @@
+package dp
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"gupt/internal/mathutil"
+)
+
+// Empirical differential-privacy checks: sample a mechanism's output
+// distribution on two neighboring datasets and verify the ε-DP likelihood
+// bound Pr[M(T) ∈ O] ≤ e^ε·Pr[M(T') ∈ O] across a histogram of outcomes.
+// These are statistical tests with deterministic seeds and generous slack —
+// they cannot prove privacy, but they reliably catch sign errors, wrong
+// sensitivity constants and budget miscounting, the bugs that actually
+// happen.
+
+// empiricalMaxLogRatio samples both mechanisms n times, bins the pooled
+// outputs, and returns the largest |log(p_i/q_i)| over bins where both
+// sides have enough mass for the estimate to be stable.
+func empiricalMaxLogRatio(t *testing.T, n, bins int, minCount int, mA, mB func(seed int64) float64) float64 {
+	t.Helper()
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = mA(int64(i))
+		b[i] = mB(int64(i))
+	}
+	pooled := append(append([]float64(nil), a...), b...)
+	sort.Float64s(pooled)
+	lo, hi := pooled[0], pooled[len(pooled)-1]
+	if hi == lo {
+		return 0
+	}
+	width := (hi - lo) / float64(bins)
+	countA := make([]int, bins)
+	countB := make([]int, bins)
+	binOf := func(x float64) int {
+		i := int((x - lo) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		countA[binOf(a[i])]++
+		countB[binOf(b[i])]++
+	}
+	worst := 0.0
+	for i := 0; i < bins; i++ {
+		if countA[i] < minCount || countB[i] < minCount {
+			continue // too little mass for a stable ratio estimate
+		}
+		r := math.Abs(math.Log(float64(countA[i]) / float64(countB[i])))
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// neighborData returns a dataset and a neighbor differing in one record
+// (the maximal move within the range, the worst case for the mean).
+func neighborData(n int) (ta, tb []float64) {
+	ta = make([]float64, n)
+	tb = make([]float64, n)
+	for i := range ta {
+		ta[i] = 50
+		tb[i] = 50
+	}
+	tb[0] = 150 // one record moves across the full range
+	return ta, tb
+}
+
+func TestNoisyAvgSatisfiesEpsilonDP(t *testing.T) {
+	const eps = 1.0
+	r := Range{Lo: 0, Hi: 150}
+	ta, tb := neighborData(20)
+	mech := func(data []float64) func(int64) float64 {
+		return func(seed int64) float64 {
+			out, err := NoisyAvg(mathutil.NewRNG(seed), data, r, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+	}
+	worst := empiricalMaxLogRatio(t, 40000, 24, 50, mech(ta), mech(tb))
+	// Slack covers sampling error on 40k draws; a sensitivity bug (e.g.
+	// forgetting the 1/n) would blow past eps by multiples.
+	if worst > eps+0.4 {
+		t.Errorf("empirical log-likelihood ratio %.2f exceeds eps=%v (+slack)", worst, eps)
+	}
+	if worst == 0 {
+		t.Error("distributions identical — the neighbor change had no effect, test is vacuous")
+	}
+}
+
+func TestNoisyCountSatisfiesEpsilonDP(t *testing.T) {
+	const eps = 0.5
+	mech := func(count int) func(int64) float64 {
+		return func(seed int64) float64 {
+			out, err := NoisyCount(mathutil.NewRNG(seed), count, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+	}
+	worst := empiricalMaxLogRatio(t, 40000, 24, 50, mech(100), mech(101))
+	if worst > eps+0.3 {
+		t.Errorf("empirical log-likelihood ratio %.2f exceeds eps=%v (+slack)", worst, eps)
+	}
+}
+
+// A deliberately broken mechanism (half the correct noise) must FAIL the
+// check — guarding the guard.
+func TestEmpiricalCheckDetectsBrokenMechanism(t *testing.T) {
+	const eps = 1.0
+	r := Range{Lo: 0, Hi: 150}
+	ta, tb := neighborData(20)
+	broken := func(data []float64) func(int64) float64 {
+		return func(seed int64) float64 {
+			rng := mathutil.NewRNG(seed)
+			var sum float64
+			for _, x := range data {
+				sum += r.Clamp(x)
+			}
+			n := float64(len(data))
+			// Wrong scale: sensitivity/(4ε) instead of sensitivity/ε.
+			return sum/n + rng.Laplace(r.Width()/n/(4*eps))
+		}
+	}
+	worst := empiricalMaxLogRatio(t, 40000, 24, 50, broken(ta), broken(tb))
+	if worst <= eps+0.4 {
+		t.Errorf("under-noised mechanism passed the check (ratio %.2f) — the check is too weak", worst)
+	}
+}
+
+func TestPercentileSatisfiesEpsilonDP(t *testing.T) {
+	const eps = 1.0
+	r := Range{Lo: 0, Hi: 100}
+	// Neighbors: one record moves from the lower cluster to the upper.
+	base := []float64{10, 11, 12, 13, 14, 80, 81, 82, 83}
+	neighbor := append([]float64(nil), base...)
+	neighbor[0] = 85
+	mech := func(data []float64) func(int64) float64 {
+		return func(seed int64) float64 {
+			out, err := Percentile(mathutil.NewRNG(seed), data, 0.5, r, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+	}
+	worst := empiricalMaxLogRatio(t, 40000, 16, 60, mech(base), mech(neighbor))
+	if worst > eps+0.5 {
+		t.Errorf("empirical log-likelihood ratio %.2f exceeds eps=%v (+slack)", worst, eps)
+	}
+}

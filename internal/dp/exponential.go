@@ -1,0 +1,32 @@
+package dp
+
+import (
+	"fmt"
+
+	"gupt/internal/mathutil"
+)
+
+// Exponential runs the exponential mechanism of McSherry and Talwar over a
+// finite candidate set: it returns the index of a candidate sampled with
+// probability proportional to exp(ε·u(i) / (2·sensitivity)), where u(i) =
+// utilities[i] and sensitivity bounds how much any single record can change
+// any candidate's utility.
+//
+// Sampling uses the Gumbel-max trick, so very large or very negative scaled
+// utilities do not overflow.
+func Exponential(rng *mathutil.RNG, utilities []float64, sensitivity, eps float64) (int, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return 0, err
+	}
+	if len(utilities) == 0 {
+		return 0, fmt.Errorf("dp: exponential mechanism with no candidates")
+	}
+	if !(sensitivity > 0) {
+		return 0, fmt.Errorf("dp: exponential mechanism sensitivity must be positive, got %v", sensitivity)
+	}
+	logits := make([]float64, len(utilities))
+	for i, u := range utilities {
+		logits[i] = eps * u / (2 * sensitivity)
+	}
+	return rng.GumbelCategorical(logits), nil
+}

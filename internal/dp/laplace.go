@@ -1,0 +1,81 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"gupt/internal/mathutil"
+)
+
+// Laplace releases value + Lap(sensitivity/eps). It is the basic
+// ε-differentially private release of a scalar whose global sensitivity is
+// `sensitivity`.
+func Laplace(rng *mathutil.RNG, value, sensitivity, eps float64) (float64, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return 0, err
+	}
+	if sensitivity < 0 || math.IsNaN(sensitivity) || math.IsInf(sensitivity, 0) {
+		return 0, fmt.Errorf("dp: invalid sensitivity %v", sensitivity)
+	}
+	return value + rng.Laplace(sensitivity/eps), nil
+}
+
+// LaplaceVec releases each component of value perturbed with independent
+// Laplace noise of scale sensitivities[i]/eps. Component i's sensitivity is
+// sensitivities[i]; the call consumes a single ε because each record affects
+// each component through its own sensitivity bound (the caller is
+// responsible for splitting ε across dimensions if the bounds are joint —
+// see SplitUniform and the Theorem-1 helpers in split.go).
+func LaplaceVec(rng *mathutil.RNG, value mathutil.Vec, sensitivities []float64, eps float64) (mathutil.Vec, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return nil, err
+	}
+	if len(value) != len(sensitivities) {
+		return nil, fmt.Errorf("dp: %d values but %d sensitivities", len(value), len(sensitivities))
+	}
+	out := make(mathutil.Vec, len(value))
+	for i, v := range value {
+		s := sensitivities[i]
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("dp: invalid sensitivity %v at dimension %d", s, i)
+		}
+		out[i] = v + rng.Laplace(s/eps)
+	}
+	return out, nil
+}
+
+// NoisyCount releases the count n under ε-DP (sensitivity 1).
+func NoisyCount(rng *mathutil.RNG, n int, eps float64) (float64, error) {
+	return Laplace(rng, float64(n), 1, eps)
+}
+
+// NoisySum releases the sum of xs, each clamped to r, under ε-DP. The
+// sensitivity of a clamped sum is max(|Lo|, |Hi|).
+func NoisySum(rng *mathutil.RNG, xs []float64, r Range, eps float64) (float64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += r.Clamp(x)
+	}
+	sens := math.Max(math.Abs(r.Lo), math.Abs(r.Hi))
+	return Laplace(rng, sum, sens, eps)
+}
+
+// NoisyAvg releases the mean of xs, each clamped to r, under ε-DP using the
+// known (public) count len(xs). Sensitivity of the mean is Width/n.
+func NoisyAvg(rng *mathutil.RNG, xs []float64, r Range, eps float64) (float64, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("dp: NoisyAvg of empty slice")
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += r.Clamp(x)
+	}
+	n := float64(len(xs))
+	return Laplace(rng, sum/n, r.Width()/n, eps)
+}

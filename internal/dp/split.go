@@ -1,0 +1,70 @@
+package dp
+
+import "fmt"
+
+// BudgetSplit describes how a query's total ε is divided between GUPT's
+// range-estimation phase and the sample-and-aggregate release, per dimension.
+// These are the three cases of the paper's Theorem 1.
+type BudgetSplit struct {
+	// RangeEps is the ε spent per range-estimation invocation (one per input
+	// dimension for GUPT-helper, one per output dimension for GUPT-loose,
+	// zero for GUPT-tight).
+	RangeEps float64
+	// AggregateEps is the ε spent per output dimension by the
+	// sample-and-aggregate Laplace release.
+	AggregateEps float64
+}
+
+// SplitTight returns the Theorem 1 split for GUPT-tight: the analyst
+// supplied exact output ranges, so the full budget goes to aggregation,
+// ε/p per output dimension.
+func SplitTight(eps float64, outputDims int) (BudgetSplit, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return BudgetSplit{}, err
+	}
+	if outputDims <= 0 {
+		return BudgetSplit{}, fmt.Errorf("dp: outputDims must be positive, got %d", outputDims)
+	}
+	return BudgetSplit{RangeEps: 0, AggregateEps: eps / float64(outputDims)}, nil
+}
+
+// SplitLoose returns the Theorem 1 split for GUPT-loose: per output
+// dimension, ε/(2p) for the DP percentile estimation over block outputs and
+// ε/(2p) for aggregation.
+func SplitLoose(eps float64, outputDims int) (BudgetSplit, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return BudgetSplit{}, err
+	}
+	if outputDims <= 0 {
+		return BudgetSplit{}, fmt.Errorf("dp: outputDims must be positive, got %d", outputDims)
+	}
+	p := float64(outputDims)
+	return BudgetSplit{RangeEps: eps / (2 * p), AggregateEps: eps / (2 * p)}, nil
+}
+
+// SplitHelper returns the Theorem 1 split for GUPT-helper: ε/(2k) per input
+// dimension for the DP percentile estimation over raw inputs, and ε/(2p)
+// per output dimension for aggregation.
+func SplitHelper(eps float64, inputDims, outputDims int) (BudgetSplit, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return BudgetSplit{}, err
+	}
+	if inputDims <= 0 || outputDims <= 0 {
+		return BudgetSplit{}, fmt.Errorf("dp: dims must be positive, got k=%d p=%d", inputDims, outputDims)
+	}
+	return BudgetSplit{
+		RangeEps:     eps / (2 * float64(inputDims)),
+		AggregateEps: eps / (2 * float64(outputDims)),
+	}, nil
+}
+
+// SplitUniform divides eps evenly across n uses.
+func SplitUniform(eps float64, n int) (float64, error) {
+	if err := checkEpsilon(eps); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("dp: cannot split budget across %d uses", n)
+	}
+	return eps / float64(n), nil
+}

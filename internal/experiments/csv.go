@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CSV renderings of the figure series, for regenerating the paper's plots
+// with any charting tool. Each emitter returns a header row plus one row
+// per x-axis point; gupt-bench's -csv flag writes them to files.
+
+type csvBuilder struct{ sb strings.Builder }
+
+func (c *csvBuilder) row(cells ...string) {
+	c.sb.WriteString(strings.Join(cells, ","))
+	c.sb.WriteByte('\n')
+}
+
+func (c *csvBuilder) rowf(vals ...float64) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		cells[i] = fmt.Sprintf("%g", v)
+	}
+	c.row(cells...)
+}
+
+func (c *csvBuilder) String() string { return c.sb.String() }
+
+// CSV renders Figure 3 as epsilon,gupt,nonprivate,singleblock.
+func (r *Fig3Result) CSV() string {
+	var c csvBuilder
+	c.row("epsilon", "gupt_tight_accuracy", "non_private_accuracy", "single_block_accuracy")
+	for i, eps := range r.Epsilons {
+		c.rowf(eps, r.GUPTTight[i], r.NonPrivate, r.BlockBaseline)
+	}
+	return c.String()
+}
+
+// CSV renders Figure 4 as epsilon,tight,loose (normalized ICV; baseline=100).
+func (r *Fig4Result) CSV() string {
+	var c csvBuilder
+	c.row("epsilon", "gupt_tight_norm_icv", "gupt_loose_norm_icv")
+	for i, eps := range r.Epsilons {
+		c.rowf(eps, r.GUPTTight[i], r.GUPTLoose[i])
+	}
+	return c.String()
+}
+
+// CSV renders Figure 5 as iterations plus one column per configuration.
+func (r *Fig5Result) CSV() string {
+	var c csvBuilder
+	header := append([]string{"iterations"}, r.SeriesOrder...)
+	for i, h := range header {
+		header[i] = strings.NewReplacer(" ", "_", "=", "").Replace(h)
+	}
+	c.row(header...)
+	for i, iters := range r.Iterations {
+		vals := []float64{float64(iters)}
+		for _, s := range r.SeriesOrder {
+			vals = append(vals, r.Series[s][i])
+		}
+		c.rowf(vals...)
+	}
+	return c.String()
+}
+
+// CSV renders Figure 6 as iterations and per-configuration milliseconds.
+func (r *Fig6Result) CSV() string {
+	var c csvBuilder
+	c.row("iterations", "non_private_ms", "gupt_helper_ms", "gupt_loose_ms")
+	for i, iters := range r.Iterations {
+		c.rowf(float64(iters),
+			float64(r.NonPrivate[i])/float64(time.Millisecond),
+			float64(r.GUPTHelper[i])/float64(time.Millisecond),
+			float64(r.GUPTLoose[i])/float64(time.Millisecond))
+	}
+	return c.String()
+}
+
+// CSV renders Figure 7's full CDFs: one row per query, columns per policy
+// (sorted accuracies; row index / count is the cumulative probability).
+func (r *Fig7Result) CSV() string {
+	var c csvBuilder
+	header := append([]string{"cdf_index"}, r.Policies...)
+	for i, h := range header {
+		header[i] = strings.NewReplacer(" ", "_", "=", "").Replace(h)
+	}
+	c.row(header...)
+	n := len(r.Accuracies[r.Policies[0]])
+	for i := 0; i < n; i++ {
+		vals := []float64{float64(i+1) / float64(n)}
+		for _, p := range r.Policies {
+			vals = append(vals, r.Accuracies[p][i])
+		}
+		c.rowf(vals...)
+	}
+	return c.String()
+}
+
+// CSV renders Figure 8 as policy,queries,normalized_lifetime.
+func (r *Fig8Result) CSV() string {
+	var c csvBuilder
+	c.row("policy", "queries", "normalized_lifetime")
+	for _, p := range r.Policies {
+		c.row(strings.NewReplacer(" ", "_", "=", "").Replace(p),
+			fmt.Sprintf("%d", r.Queries[p]),
+			fmt.Sprintf("%g", r.NormalizedLifetime[p]))
+	}
+	return c.String()
+}
+
+// CSV renders Figure 9 as block_size plus one column per query/epsilon.
+func (r *Fig9Result) CSV() string {
+	var c csvBuilder
+	header := append([]string{"block_size"}, r.SeriesOrder...)
+	for i, h := range header {
+		header[i] = strings.NewReplacer(" ", "_", "=", "").Replace(h)
+	}
+	c.row(header...)
+	for i, beta := range r.BlockSizes {
+		vals := []float64{float64(beta)}
+		for _, s := range r.SeriesOrder {
+			vals = append(vals, r.Series[s][i])
+		}
+		c.rowf(vals...)
+	}
+	return c.String()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gupt/internal/core"
+	"gupt/internal/dp"
+	"gupt/internal/workload"
+)
+
+// Fig6Result reproduces Figure 6: wall-clock completion time of k-means
+// versus iteration count, comparing the non-private run against GUPT-helper
+// and GUPT-loose. The paper's claims: GUPT-helper pays an O(n log n)
+// percentile estimation over the inputs, GUPT-loose only over the ~n^0.4
+// block outputs, and the platform overhead grows slowly relative to the
+// computation, because each chamber works on an n^0.6-size block.
+type Fig6Result struct {
+	Iterations []int
+	NonPrivate []time.Duration
+	GUPTHelper []time.Duration
+	GUPTLoose  []time.Duration
+}
+
+// Fig6 runs the experiment.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	n := cfg.scale(workload.LifeSciRows, 3000)
+	features := lifeSciFeatureRows(workload.LifeSci(cfg.Seed, n).Rows())
+	res := &Fig6Result{Iterations: []int{20, 80, 100, 200}}
+	if cfg.Quick {
+		res.Iterations = []int{5, 20}
+	}
+
+	inputRanges := kmeansRanges(features, false)[:workload.LifeSciDims]
+
+	for _, iters := range res.Iterations {
+		prog := lifeSciKMeans(iters, cfg.Seed)
+
+		start := time.Now()
+		if _, err := prog.Run(features); err != nil {
+			return nil, fmt.Errorf("fig6: non-private iters=%d: %w", iters, err)
+		}
+		res.NonPrivate = append(res.NonPrivate, time.Since(start))
+
+		start = time.Now()
+		if _, err := core.Run(context.Background(), prog, features,
+			core.RangeSpec{
+				Mode:      core.ModeHelper,
+				Input:     inputRanges,
+				Translate: kmeansTranslate,
+			},
+			core.Options{Epsilon: 2, Seed: cfg.Seed}); err != nil {
+			return nil, fmt.Errorf("fig6: helper iters=%d: %w", iters, err)
+		}
+		res.GUPTHelper = append(res.GUPTHelper, time.Since(start))
+
+		start = time.Now()
+		if _, err := core.Run(context.Background(), prog, features,
+			core.RangeSpec{Mode: core.ModeLoose, Output: kmeansRanges(features, true)},
+			core.Options{Epsilon: 2, Seed: cfg.Seed}); err != nil {
+			return nil, fmt.Errorf("fig6: loose iters=%d: %w", iters, err)
+		}
+		res.GUPTLoose = append(res.GUPTLoose, time.Since(start))
+	}
+	return res, nil
+}
+
+// kmeansTranslate maps privately estimated per-attribute input ranges to
+// output ranges for the flattened centers: a center coordinate in attribute
+// d lies within that attribute's range, widened because the estimated IQR
+// understates the attribute's span.
+func kmeansTranslate(in []dp.Range) []dp.Range {
+	widened := make([]dp.Range, len(in))
+	for d, r := range in {
+		pad := r.Width() // IQR → roughly triple the interval
+		widened[d] = dp.Range{Lo: r.Lo - pad, Hi: r.Hi + pad}
+	}
+	out := make([]dp.Range, 0, workload.LifeSciClusters*len(in))
+	for c := 0; c < workload.LifeSciClusters; c++ {
+		out = append(out, widened...)
+	}
+	return out
+}
+
+// Table renders the figure's series.
+func (r *Fig6Result) Table() string {
+	t := newTable("iterations", "non-private", "GUPT-helper", "GUPT-loose")
+	for i, iters := range r.Iterations {
+		t.addRow(fmt.Sprintf("%d", iters),
+			r.NonPrivate[i].Round(time.Millisecond).String(),
+			r.GUPTHelper[i].Round(time.Millisecond).String(),
+			r.GUPTLoose[i].Round(time.Millisecond).String())
+	}
+	return "Figure 6: completion time vs k-means iteration count\n" + t.String()
+}

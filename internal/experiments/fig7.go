@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"gupt/internal/aging"
+	"gupt/internal/analytics"
+	"gupt/internal/core"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+	"gupt/internal/workload"
+)
+
+// fig7BlockCount fixes the paper's "pre-determined block size" for the
+// census average-age query of Figs. 7 and 8 via a constant block *count*,
+// so quick and full runs have the same noise geometry: β = n/300.
+const fig7BlockCount = 300
+
+func fig7BlockSize(n int) int {
+	beta := n / fig7BlockCount
+	if beta < 1 {
+		beta = 1
+	}
+	return beta
+}
+
+// Fig7Result reproduces Figure 7: the CDF of result accuracy for the
+// average-age query on the census dataset under three budget policies —
+// constant ε = 1, constant ε = 0.3, and the variable ε chosen by GUPT to
+// meet "90% accuracy for 90% of results" from the aged sample.
+type Fig7Result struct {
+	// Accuracies[policy][q] is query q's accuracy 1 − |out−truth|/truth,
+	// sorted ascending (so index/len is the CDF).
+	Accuracies map[string][]float64
+	Policies   []string
+	// VariableEpsilon is the ε the accuracy goal translated to.
+	VariableEpsilon float64
+	// ExpectedAccuracy is the goal line (0.9).
+	ExpectedAccuracy float64
+	// TrueMean is the dataset's true average age.
+	TrueMean float64
+}
+
+// Fig7 runs the experiment: many repetitions of the same query under each
+// policy, accuracy recorded per repetition.
+func Fig7(cfg Config) (*Fig7Result, error) {
+	n := cfg.scale(workload.CensusRows, 6000)
+	data := workload.CensusIncome(cfg.Seed, n)
+
+	// 10% of the dataset is treated as fully aged (the paper's setup).
+	aged, private := data.Split(mathutil.NewRNG(cfg.Seed), 0.1)
+	rows := private.Rows()
+	truth := mathutil.Mean(private.Column(0))
+
+	goal := aging.AccuracyGoal{Rho: 0.9, Confidence: 0.9}
+	ranges := []dp.Range{workload.CensusLooseRange()}
+	beta := fig7BlockSize(len(rows))
+	est, err := aging.EstimateEpsilon(analytics.Mean{Col: 0}, aged.Rows(),
+		len(rows), beta, ranges, goal)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: epsilon estimation: %w", err)
+	}
+
+	trials := cfg.scale(100, 20)
+	res := &Fig7Result{
+		Accuracies:       make(map[string][]float64),
+		Policies:         []string{"constant eps=1", "constant eps=0.3", "variable eps"},
+		VariableEpsilon:  est.Epsilon,
+		ExpectedAccuracy: goal.Rho,
+		TrueMean:         truth,
+	}
+	policies := map[string]float64{
+		"constant eps=1":   1,
+		"constant eps=0.3": 0.3,
+		"variable eps":     est.Epsilon,
+	}
+	for name, eps := range policies {
+		accs := make([]float64, 0, trials)
+		for trial := 0; trial < trials; trial++ {
+			out, err := core.Run(context.Background(), analytics.Mean{Col: 0}, rows,
+				core.RangeSpec{Mode: core.ModeTight, Output: ranges},
+				core.Options{Epsilon: eps, Seed: cfg.Seed + int64(trial), BlockSize: beta})
+			if err != nil {
+				return nil, fmt.Errorf("fig7: %s trial %d: %w", name, trial, err)
+			}
+			acc := 1 - math.Abs(out.Output[0]-truth)/truth
+			if acc < 0 {
+				acc = 0
+			}
+			accs = append(accs, acc)
+		}
+		sort.Float64s(accs)
+		res.Accuracies[name] = accs
+	}
+	return res, nil
+}
+
+// MeetsGoal reports the fraction of a policy's queries meeting the expected
+// accuracy.
+func (r *Fig7Result) MeetsGoal(policy string) float64 {
+	accs := r.Accuracies[policy]
+	if len(accs) == 0 {
+		return 0
+	}
+	met := 0
+	for _, a := range accs {
+		if a >= r.ExpectedAccuracy {
+			met++
+		}
+	}
+	return float64(met) / float64(len(accs))
+}
+
+// Table renders CDF summary points per policy.
+func (r *Fig7Result) Table() string {
+	t := newTable("policy", "epsilon", "p10 accuracy", "median accuracy", "p90 accuracy", "frac >= goal")
+	for _, p := range r.Policies {
+		accs := r.Accuracies[p]
+		eps := map[string]float64{
+			"constant eps=1": 1, "constant eps=0.3": 0.3, "variable eps": r.VariableEpsilon,
+		}[p]
+		t.addRow(p, f(eps),
+			f(mathutil.QuantileSorted(accs, 0.1)),
+			f(mathutil.QuantileSorted(accs, 0.5)),
+			f(mathutil.QuantileSorted(accs, 0.9)),
+			f(r.MeetsGoal(p)))
+	}
+	return fmt.Sprintf("Figure 7: CDF of query accuracy under budget policies (goal: %.0f%% accuracy for 90%% of queries)\n%s",
+		100*r.ExpectedAccuracy, t.String())
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gupt/internal/analytics"
+	"gupt/internal/core"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+// TimingResult quantifies the §6.2 timing-attack defense. The adversary's
+// program stalls when it sees a target record, hoping the query's total
+// runtime reveals whether the record is present. With the execution quantum
+// armed, every block takes the same wall-clock time whatever the data, so
+// the runtime gap between "present" and "absent" collapses.
+type TimingResult struct {
+	// GapUndefended is |runtime(present) − runtime(absent)| with no
+	// quantum: the signal the attacker reads.
+	GapUndefended time.Duration
+	// GapDefended is the same gap with the quantum armed.
+	GapDefended time.Duration
+	// Quantum is the per-block quantum used for the defended run.
+	Quantum time.Duration
+}
+
+// TimingAttack runs the measurement. The planted "secret" is a record with
+// value exactly 123.456; the malicious program sleeps when it encounters
+// it.
+func TimingAttack(cfg Config) (*TimingResult, error) {
+	const secret = 123.456
+	n := cfg.scale(600, 200)
+	stall := cfg.scale(40, 25)
+	quantum := time.Duration(cfg.scale(120, 80)) * time.Millisecond
+
+	mkRows := func(withSecret bool) []mathutil.Vec {
+		rng := mathutil.NewRNG(cfg.Seed)
+		rows := make([]mathutil.Vec, n)
+		for i := range rows {
+			rows[i] = mathutil.Vec{mathutil.Clamp(40+10*rng.NormFloat64(), 0, 150)}
+		}
+		if withSecret {
+			rows[0][0] = secret
+		}
+		return rows
+	}
+
+	evil := analytics.Func{ProgName: "staller", Dims: 1, F: func(block []mathutil.Vec) (mathutil.Vec, error) {
+		for _, r := range block {
+			if r[0] == secret {
+				time.Sleep(time.Duration(stall) * 10 * time.Millisecond)
+			}
+		}
+		return analytics.Mean{Col: 0}.Run(block)
+	}}
+
+	measure := func(withSecret bool, quantum time.Duration) (time.Duration, error) {
+		rows := mkRows(withSecret)
+		start := time.Now()
+		_, err := core.Run(context.Background(), evil, rows,
+			core.RangeSpec{Mode: core.ModeTight, Output: []dp.Range{{Lo: 0, Hi: 150}}},
+			core.Options{Epsilon: 1, Seed: cfg.Seed, BlockSize: n / 4, Parallelism: 1, Quantum: quantum})
+		if err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	res := &TimingResult{Quantum: quantum}
+
+	present, err := measure(true, 0)
+	if err != nil {
+		return nil, fmt.Errorf("timing undefended present: %w", err)
+	}
+	absent, err := measure(false, 0)
+	if err != nil {
+		return nil, fmt.Errorf("timing undefended absent: %w", err)
+	}
+	res.GapUndefended = absDuration(present - absent)
+
+	present, err = measure(true, quantum)
+	if err != nil {
+		return nil, fmt.Errorf("timing defended present: %w", err)
+	}
+	absent, err = measure(false, quantum)
+	if err != nil {
+		return nil, fmt.Errorf("timing defended absent: %w", err)
+	}
+	res.GapDefended = absDuration(present - absent)
+
+	return res, nil
+}
+
+func absDuration(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Table renders the measurement.
+func (r *TimingResult) Table() string {
+	t := newTable("configuration", "runtime gap (present vs absent)")
+	t.addRow("no quantum (undefended)", r.GapUndefended.Round(time.Millisecond).String())
+	t.addRow(fmt.Sprintf("quantum %s (defended)", r.Quantum), r.GapDefended.Round(time.Millisecond).String())
+	return "Timing-attack defense (§6.2): a program that stalls on a target record leaks its presence\nthrough runtime only when the execution quantum is off\n" + t.String()
+}

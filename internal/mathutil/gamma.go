@@ -1,0 +1,41 @@
+package mathutil
+
+import "math"
+
+// Gamma returns a draw from the Gamma distribution with the given shape and
+// scale (mean shape·scale), using the Marsaglia–Tsang squeeze method. It
+// panics on non-positive parameters; callers choose distribution parameters
+// statically.
+func (g *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("mathutil: Gamma parameters must be positive")
+	}
+	// For shape < 1, boost using Gamma(shape+1) · U^{1/shape}.
+	if shape < 1 {
+		u := g.Float64()
+		for u == 0 {
+			u = g.Float64()
+		}
+		return g.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = g.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := g.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}

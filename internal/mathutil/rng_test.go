@@ -1,0 +1,131 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInt63NonNegative(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if g.Int63() < 0 {
+			t.Fatal("negative Int63")
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	g := NewRNG(2)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("duplicate after shuffle: %v", xs)
+		}
+		seen[x] = true
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := NewRNG(3)
+	const mean = 4.0
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = g.Exponential(mean)
+		if xs[i] < 0 {
+			t.Fatal("negative exponential draw")
+		}
+	}
+	if m := Mean(xs); math.Abs(m-mean) > 0.1 {
+		t.Errorf("Exponential mean = %v, want ~%v", m, mean)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	g := NewRNG(4)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = g.LogNormal(1.5, 0.8)
+		if xs[i] <= 0 {
+			t.Fatal("non-positive log-normal draw")
+		}
+	}
+	// Median of LogNormal(mu, sigma) is e^mu.
+	if med := Median(xs); math.Abs(med-math.Exp(1.5)) > 0.2 {
+		t.Errorf("LogNormal median = %v, want ~%v", med, math.Exp(1.5))
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	g := NewRNG(5)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = g.NormFloat64()
+	}
+	if m := Mean(xs); math.Abs(m) > 0.02 {
+		t.Errorf("normal mean = %v", m)
+	}
+	if v := Variance(xs); math.Abs(v-1) > 0.03 {
+		t.Errorf("normal variance = %v", v)
+	}
+}
+
+func TestGammaInvalidParamsPanic(t *testing.T) {
+	g := NewRNG(6)
+	for _, bad := range [][2]float64{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gamma(%v, %v) did not panic", bad[0], bad[1])
+				}
+			}()
+			g.Gamma(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestSumAndAbsErr(t *testing.T) {
+	if got := Sum([]float64{1, 2, 3.5}); got != 6.5 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v", got)
+	}
+	if got := AbsErr(3, 5); got != 2 {
+		t.Errorf("AbsErr = %v", got)
+	}
+	if got := AbsErr(5, 3); got != 2 {
+		t.Errorf("AbsErr = %v", got)
+	}
+}
+
+func TestQuantileSortedEmpty(t *testing.T) {
+	if got := QuantileSorted(nil, 0.5); got != 0 {
+		t.Errorf("QuantileSorted(nil) = %v", got)
+	}
+}
+
+func TestVecEqualLengthMismatch(t *testing.T) {
+	if (Vec{1}).Equal(Vec{1, 2}, 1) {
+		t.Error("length mismatch reported equal")
+	}
+}
+
+func TestMinMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinMax(nil) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestRMSEMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RMSE length mismatch did not panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}

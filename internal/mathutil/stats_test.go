@@ -1,0 +1,278 @@
+package mathutil
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Errorf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd Median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %v, want 0", got)
+	}
+	// Median must not mutate its input.
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50}, {-1, 10}, {2, 50},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated Quantile = %v, want 5", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("Quantile singleton = %v, want 7", got)
+	}
+}
+
+func TestQuantileSortedAgrees(t *testing.T) {
+	xs := []float64{5, 3, 9, 1, 7, 2}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for _, p := range []float64{0, 0.1, 0.33, 0.5, 0.9, 1} {
+		if a, b := Quantile(xs, p), QuantileSorted(s, p); a != b {
+			t.Errorf("Quantile(%v)=%v != QuantileSorted=%v", p, a, b)
+		}
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("RMSE identical = %v, want 0", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v, want sqrt(12.5)", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v,%v), want (-1,7)", lo, hi)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v, want 0.1", got)
+	}
+	// Guarded against zero reference.
+	if got := RelErr(1, 0); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("RelErr near-zero ref = %v, want finite", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got := CDF(xs, []float64{0, 1, 2.5, 4, 10})
+	want := []float64{0, 0.25, 0.5, 1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("CDF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: the p-quantile is within [min, max] and monotone in p.
+func TestQuantileProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 = math.Abs(math.Mod(p1, 1))
+		p2 = math.Abs(math.Mod(p2, 1))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		lo, hi := MinMax(xs)
+		q1, q2 := Quantile(xs, p1), Quantile(xs, p2)
+		return q1 >= lo && q2 <= hi && q1 <= q2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is non-negative and zero for constant data.
+func TestVarianceProperty(t *testing.T) {
+	f := func(c float64, n uint8) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e100 {
+			// Summing ~32 copies of a near-max float overflows; skip.
+			return true
+		}
+		xs := make([]float64, int(n%32)+1)
+		for i := range xs {
+			xs[i] = c
+		}
+		v := Variance(xs)
+		return v >= 0 && v < 1e-6*(1+c*c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	if NewRNG(1).Float64() == NewRNG(2).Float64() {
+		t.Error("different seeds produced identical first draw (suspicious)")
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	g := NewRNG(11)
+	c1 := g.Split()
+	c2 := g.Split()
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("split children look correlated: %d/50 identical draws", same)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	g := NewRNG(42)
+	const n = 200000
+	const scale = 3.0
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = g.Laplace(scale)
+	}
+	if m := Mean(xs); math.Abs(m) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", m)
+	}
+	// Var(Lap(b)) = 2b^2 = 18.
+	if v := Variance(xs); math.Abs(v-18) > 1 {
+		t.Errorf("Laplace variance = %v, want ~18", v)
+	}
+}
+
+func TestLaplaceZeroScale(t *testing.T) {
+	g := NewRNG(1)
+	if got := g.Laplace(0); got != 0 {
+		t.Errorf("Laplace(0) = %v, want 0", got)
+	}
+	if got := g.Laplace(-1); got != 0 {
+		t.Errorf("Laplace(-1) = %v, want 0", got)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	g := NewRNG(5)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[g.Categorical([]float64{1, 2, 7})]++
+	}
+	total := 30000.0
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / total
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Categorical freq[%d] = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalDegenerate(t *testing.T) {
+	g := NewRNG(5)
+	// All-zero weights fall back to uniform and must not panic.
+	for i := 0; i < 10; i++ {
+		idx := g.Categorical([]float64{0, 0, 0})
+		if idx < 0 || idx > 2 {
+			t.Fatalf("Categorical out of range: %d", idx)
+		}
+	}
+	// Negative weights are ignored.
+	for i := 0; i < 100; i++ {
+		if got := g.Categorical([]float64{-5, 1, -2}); got != 1 {
+			t.Fatalf("Categorical with negatives picked %d, want 1", got)
+		}
+	}
+}
+
+func TestGumbelCategoricalPrefersLargeLogit(t *testing.T) {
+	g := NewRNG(9)
+	wins := 0
+	for i := 0; i < 1000; i++ {
+		if g.GumbelCategorical([]float64{0, 0, 10}) == 2 {
+			wins++
+		}
+	}
+	if wins < 990 {
+		t.Errorf("logit 10 won only %d/1000 times", wins)
+	}
+	// Extreme logits must not overflow.
+	if idx := g.GumbelCategorical([]float64{-1e308, 1e300}); idx != 1 {
+		t.Errorf("extreme logits picked %d, want 1", idx)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(3)
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, i := range p {
+		if i < 0 || i >= 10 || seen[i] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[i] = true
+	}
+}

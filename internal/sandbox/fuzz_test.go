@@ -1,0 +1,39 @@
+package sandbox
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadResponse checks the chamber wire decoder never panics on
+// arbitrary subprocess output — a malicious app controls this byte stream.
+func FuzzReadResponse(f *testing.F) {
+	f.Add(`{"output":[1,2]}`)
+	f.Add(`{"error":"boom"}`)
+	f.Add(`{"output":[1e400]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"output":null,"error":""}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		out, err := ReadResponse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be a plain float slice; the engine clamps
+		// the values, so no further invariant is needed here.
+		_ = out
+	})
+}
+
+// FuzzReadRequest mirrors it for the app-side decoder.
+func FuzzReadRequest(f *testing.F) {
+	f.Add(`{"block":[[1,2],[3,4]]}`)
+	f.Add(`{"block":[]}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, input string) {
+		rows, err := ReadRequest(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		_ = rows
+	})
+}

@@ -1,0 +1,158 @@
+// Package sandbox implements GUPT's isolated execution chambers (paper §6).
+// A chamber runs one untrusted analysis program on one data block and
+// enforces the platform's side-channel defenses:
+//
+//   - State attacks: each execution gets fresh copies of its block, and the
+//     subprocess chamber gives each run a brand-new OS process with a
+//     private scratch directory that is wiped afterwards, so no state can
+//     flow between blocks or between queries.
+//   - Timing attacks: with a positive Quantum every block consumes exactly
+//     the same wall-clock time — early finishers are held until the quantum
+//     elapses, and overruns are killed and replaced by a data-independent
+//     substitute value inside the expected output range. Block runtime is
+//     therefore independent of the data.
+//   - Privacy-budget attacks are defended one layer up (the accountant in
+//     internal/dp is owned by the platform), but chambers contribute by
+//     never exposing the budget to the program.
+//
+// The paper's deployment uses AppArmor to confine the analysis process; the
+// subprocess chamber reproduces the properties GUPT's privacy argument
+// needs (fresh process, empty environment, private wiped scratch space,
+// hard kill on deadline) with portable os/exec machinery. See DESIGN.md §3.
+package sandbox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"gupt/internal/analytics"
+	"gupt/internal/mathutil"
+)
+
+// Chamber executes an untrusted computation on one block of records.
+type Chamber interface {
+	// Execute runs the computation on block and returns its output vector.
+	// Implementations must not allow the computation to retain access to
+	// block after returning.
+	Execute(ctx context.Context, block []mathutil.Vec) (mathutil.Vec, error)
+}
+
+// ErrKilled is returned (wrapped) when a computation exceeded its quantum
+// and no substitute output was configured.
+var ErrKilled = errors.New("sandbox: computation exceeded its time quantum")
+
+// ErrPanicked is returned (wrapped) when an in-process computation panicked
+// and no substitute output was configured.
+var ErrPanicked = errors.New("sandbox: computation panicked")
+
+// Policy is the per-block execution policy shared by all chamber types.
+type Policy struct {
+	// Quantum is the fixed wall-clock time every block execution consumes.
+	// Zero disables timing normalization: blocks run to completion with no
+	// deadline. (The experiment harness uses zero for throughput runs; the
+	// hosted-platform configuration sets it.)
+	Quantum time.Duration
+	// Substitute is the data-independent output released when a block is
+	// killed or fails (paper §6.2: "a constant value within the expected
+	// output range"). If nil, failures surface as errors instead — useful
+	// in development, but a production deployment should always set it,
+	// since propagating failure timing can itself leak.
+	Substitute mathutil.Vec
+}
+
+// failureOutput resolves a failed block to the substitute output, or to an
+// error when no substitute is configured.
+func (p Policy) failureOutput(base error, detail string) (mathutil.Vec, error) {
+	if p.Substitute != nil {
+		return p.Substitute.Clone(), nil
+	}
+	if detail != "" {
+		return nil, fmt.Errorf("%w: %s", base, detail)
+	}
+	return nil, base
+}
+
+// holdRemaining sleeps until the quantum has fully elapsed since start, so
+// completion time does not depend on the data. A nil-deadline context can
+// cut the wait short (caller cancellation is not data-dependent).
+func (p Policy) holdRemaining(ctx context.Context, start time.Time) {
+	if p.Quantum <= 0 {
+		return
+	}
+	remaining := p.Quantum - time.Since(start)
+	if remaining <= 0 {
+		return
+	}
+	t := time.NewTimer(remaining)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// InProcess is a chamber that runs a Program inside the current process.
+// It provides data isolation (the program sees a private copy of the
+// block), panic isolation, and timing normalization — but a malicious
+// program sharing our address space could still keep global state, so the
+// hosted platform uses Subprocess chambers for analyst-supplied code.
+// InProcess is intended for platform-trusted programs and for benchmarking
+// the isolation overhead (paper §6.1).
+type InProcess struct {
+	Program analytics.Program
+	Policy  Policy
+}
+
+// Execute implements Chamber.
+func (c *InProcess) Execute(ctx context.Context, block []mathutil.Vec) (mathutil.Vec, error) {
+	if c.Program == nil {
+		return nil, errors.New("sandbox: InProcess chamber has no program")
+	}
+	start := time.Now()
+
+	// The program gets its own copy: it can never mutate the caller's data.
+	private := make([]mathutil.Vec, len(block))
+	for i, r := range block {
+		private[i] = r.Clone()
+	}
+
+	type result struct {
+		out mathutil.Vec
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- result{err: fmt.Errorf("%w: %v", ErrPanicked, r)}
+			}
+		}()
+		out, err := c.Program.Run(private)
+		done <- result{out: out, err: err}
+	}()
+
+	var deadline <-chan time.Time
+	if c.Policy.Quantum > 0 {
+		t := time.NewTimer(c.Policy.Quantum)
+		defer t.Stop()
+		deadline = t.C
+	}
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			out, err := c.Policy.failureOutput(r.err, "")
+			c.Policy.holdRemaining(ctx, start)
+			return out, err
+		}
+		c.Policy.holdRemaining(ctx, start)
+		return r.out, nil
+	case <-deadline:
+		// The goroutine is abandoned; it holds only its private copy.
+		return c.Policy.failureOutput(ErrKilled, c.Program.Name())
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

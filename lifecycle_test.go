@@ -1,0 +1,104 @@
+package gupt
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestPlatformLifecycle walks the full life of a dataset on the platform,
+// end to end: registration, DP synthesis of an aged sample, accuracy-goal
+// queries with automatic block-size tuning, a budget-distributed session,
+// budget exhaustion, and retirement.
+func TestPlatformLifecycle(t *testing.T) {
+	ctx := context.Background()
+	p := New()
+
+	// 1. The data owner registers a dataset with a lifetime budget and
+	// public attribute bounds — no aged data yet.
+	if err := p.Register("census", censusRows(1, 8000), []string{"age"}, DatasetOptions{
+		TotalBudget: 8,
+		Ranges:      []Range{{Lo: 0, Hi: 150}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Bootstrap the aging model: spend a small slice of budget on a DP
+	// sketch and install synthetic aged data (§3.3).
+	if err := p.SynthesizeAgedSample("census", 0.5, 0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. An analyst runs an accuracy-goal query — ε chosen by the platform
+	// from the (synthetic) aged sample (§5.1).
+	res, err := p.Run(ctx, Query{
+		Dataset:      "census",
+		Program:      Mean{Col: 0},
+		OutputRanges: []Range{{Lo: 0, Hi: 150}},
+		Accuracy:     &AccuracyGoal{Rho: 0.9, Confidence: 0.9},
+		BlockSize:    25,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Output[0]-40)/40 > 0.15 {
+		t.Errorf("accuracy-goal output = %v", res.Output[0])
+	}
+	goalEps := res.EpsilonSpent
+
+	// 4. Another analyst runs an auto-tuned explicit-ε query (§4.3).
+	res, err = p.Run(ctx, Query{
+		Dataset:       "census",
+		Program:       Mean{Col: 0},
+		OutputRanges:  []Range{{Lo: 0, Hi: 150}},
+		Epsilon:       1,
+		AutoBlockSize: true,
+		Seed:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockSize >= DefaultBlockSize(8000) {
+		t.Errorf("auto-tuned block size %d not below default", res.BlockSize)
+	}
+
+	// 5. A session splits one budget across heterogeneous queries (§5.2).
+	s := p.NewSession("census", 2)
+	_ = s.Add(Query{Program: Mean{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 150}}, Seed: 5})
+	_ = s.Add(Query{Program: Variance{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 5625}}, Seed: 6})
+	if _, err := s.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// 6. The ledger adds up exactly.
+	rem, err := p.RemainingBudget("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRemaining := 8 - 0.5 - goalEps - 1 - 2
+	if math.Abs(rem-wantRemaining) > 1e-9 {
+		t.Errorf("remaining = %v, want %v", rem, wantRemaining)
+	}
+
+	// 7. Draining the rest hits the wall atomically.
+	if rem > 0 {
+		if _, err := p.Run(ctx, Query{
+			Dataset:      "census",
+			Program:      Mean{Col: 0},
+			OutputRanges: []Range{{Lo: 0, Hi: 150}},
+			Epsilon:      rem + 0.1,
+		}); !errors.Is(err, ErrBudgetExhausted) {
+			t.Errorf("over-budget err = %v", err)
+		}
+	}
+
+	// 8. Retirement.
+	if err := p.Unregister("census"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RemainingBudget("census"); err == nil {
+		t.Error("retired dataset still answers")
+	}
+}

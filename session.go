@@ -1,0 +1,131 @@
+package gupt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gupt/internal/budget"
+	"gupt/internal/core"
+)
+
+// Session plans a batch of queries against one dataset under a single
+// session budget, distributing ε across them automatically in proportion to
+// their noise scales (paper §5.2). This is the executable form of
+// Example 4: the platform, not the analyst, decides how much of the budget
+// each query needs so that every query suffers comparable noise.
+//
+// Usage:
+//
+//	s := platform.NewSession("census", 2.0)
+//	s.Add(gupt.Query{Program: gupt.Mean{Col: 0}, OutputRanges: ...})
+//	s.Add(gupt.Query{Program: gupt.Variance{Col: 0}, OutputRanges: ...})
+//	results, err := s.Run(ctx)
+//
+// Queries added to a session must use Tight or Loose mode (the noise-scale
+// weight ζ is computed from their output ranges) and must not set their own
+// Epsilon or Accuracy — the session owns the budget.
+type Session struct {
+	platform *Platform
+	dataset  string
+	budget   float64
+	queries  []Query
+}
+
+// NewSession starts a session holding totalEpsilon for the named dataset.
+// The budget is not charged until Run.
+func (p *Platform) NewSession(dataset string, totalEpsilon float64) *Session {
+	return &Session{platform: p, dataset: dataset, budget: totalEpsilon}
+}
+
+// Add appends a query to the session plan. The query's Dataset, Epsilon and
+// Accuracy fields must be unset; everything else (mode, ranges, block size,
+// resampling, seed) is per-query.
+func (s *Session) Add(q Query) error {
+	if q.Dataset != "" && q.Dataset != s.dataset {
+		return fmt.Errorf("gupt: session is bound to %q, query names %q", s.dataset, q.Dataset)
+	}
+	if q.Epsilon != 0 || q.Accuracy != nil {
+		return errors.New("gupt: session queries must not set Epsilon or Accuracy; the session distributes its own budget")
+	}
+	if q.Program == nil {
+		return errors.New("gupt: session query needs a program")
+	}
+	if q.Mode != Tight && q.Mode != Loose {
+		return errors.New("gupt: session queries need output ranges (Tight or Loose mode)")
+	}
+	if len(q.OutputRanges) != q.Program.OutputDims() {
+		return fmt.Errorf("gupt: query has %d output ranges for %d output dims",
+			len(q.OutputRanges), q.Program.OutputDims())
+	}
+	q.Dataset = s.dataset
+	s.queries = append(s.queries, q)
+	return nil
+}
+
+// Plan returns the per-query ε allocation the session would charge, without
+// charging it. Allocations are proportional to each query's noise scale
+// ζ = Σ outputWidth · β / n.
+func (s *Session) Plan() ([]float64, error) {
+	if len(s.queries) == 0 {
+		return nil, errors.New("gupt: empty session")
+	}
+	reg, err := s.platform.reg.Lookup(s.dataset)
+	if err != nil {
+		return nil, err
+	}
+	n := reg.Private.NumRows()
+	zetas := make([]float64, len(s.queries))
+	for i, q := range s.queries {
+		beta := q.BlockSize
+		if beta == 0 {
+			beta = core.DefaultBlockSize(n)
+		}
+		z, err := budget.Zeta(q.OutputRanges, beta, n)
+		if err != nil {
+			return nil, fmt.Errorf("gupt: session query %d: %w", i, err)
+		}
+		zetas[i] = z
+	}
+	return budget.Distribute(s.budget, zetas)
+}
+
+// Run charges the session budget (atomically: all-or-nothing against the
+// dataset's lifetime ledger) and executes every query at its allocated ε,
+// returning results in Add order.
+func (s *Session) Run(ctx context.Context) ([]*Result, error) {
+	alloc, err := s.Plan()
+	if err != nil {
+		return nil, err
+	}
+	// One atomic charge for the whole session; per-query epsilons then flow
+	// from the session's own pot, so a mid-session failure cannot leave the
+	// ledger inconsistent with what was released.
+	label := fmt.Sprintf("session:%s:%d-queries", s.dataset, len(s.queries))
+	if err := s.platform.mgr.Charge(s.dataset, label, s.budget); err != nil {
+		return nil, err
+	}
+
+	results := make([]*Result, len(s.queries))
+	for i, q := range s.queries {
+		q.Epsilon = alloc[i]
+		reg, err := s.platform.reg.Lookup(s.dataset)
+		if err != nil {
+			return results, err
+		}
+		spec := core.RangeSpec{Mode: q.Mode, Output: q.OutputRanges}
+		res, err := core.Run(ctx, q.Program, reg.Private.Rows(), spec, core.Options{
+			Epsilon:    q.Epsilon,
+			BlockSize:  q.BlockSize,
+			Gamma:      q.Gamma,
+			Seed:       q.Seed,
+			Quantum:    q.Quantum,
+			NewChamber: q.Chambers,
+		})
+		if err != nil {
+			return results, fmt.Errorf("gupt: session query %d (%s): %w", i, q.Program.Name(), err)
+		}
+		results[i] = res
+	}
+	return results, nil
+}

@@ -1,0 +1,128 @@
+package gupt
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSessionPlanProportional(t *testing.T) {
+	p := newCensusPlatform(t, 100, 0)
+	s := p.NewSession("census", 2)
+	if err := s.Add(Query{
+		Program: Mean{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 150}}, BlockSize: 64,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Query{
+		Program: Variance{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 5625}}, BlockSize: 64,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc) != 2 {
+		t.Fatalf("alloc = %v", alloc)
+	}
+	// Widths 150 vs 5625 → allocations in ratio 150:5625 = 1:37.5.
+	ratio := alloc[1] / alloc[0]
+	if math.Abs(ratio-37.5) > 0.01 {
+		t.Errorf("allocation ratio = %v, want 37.5", ratio)
+	}
+	if got := alloc[0] + alloc[1]; math.Abs(got-2) > 1e-9 {
+		t.Errorf("allocations sum to %v, want 2", got)
+	}
+	// Plan must not charge.
+	rem, _ := p.RemainingBudget("census")
+	if rem != 100 {
+		t.Errorf("Plan charged the ledger: remaining %v", rem)
+	}
+}
+
+func TestSessionRun(t *testing.T) {
+	p := newCensusPlatform(t, 100, 0)
+	// Two equal-range queries split the budget evenly, so both stay
+	// accurate at eps=2 each.
+	s := p.NewSession("census", 4)
+	_ = s.Add(Query{Program: Mean{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 150}}, Seed: 1})
+	_ = s.Add(Query{Program: Median{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 150}}, Seed: 2})
+	results, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0] == nil || results[1] == nil {
+		t.Fatalf("results = %v", results)
+	}
+	if math.Abs(results[0].Output[0]-40) > 15 {
+		t.Errorf("session mean = %v", results[0].Output[0])
+	}
+	if math.Abs(results[1].Output[0]-40) > 15 {
+		t.Errorf("session median = %v", results[1].Output[0])
+	}
+	// Charged exactly the session budget, once.
+	rem, _ := p.RemainingBudget("census")
+	if math.Abs(rem-96) > 1e-9 {
+		t.Errorf("remaining = %v, want 96", rem)
+	}
+	// Per-query epsilons sum to the session budget.
+	if got := results[0].EpsilonSpent + results[1].EpsilonSpent; math.Abs(got-4) > 1e-9 {
+		t.Errorf("per-query epsilons sum to %v, want 4", got)
+	}
+}
+
+func TestSessionRunRefusedWhenBudgetShort(t *testing.T) {
+	p := newCensusPlatform(t, 1, 0)
+	s := p.NewSession("census", 5) // session wants more than the lifetime budget
+	_ = s.Add(Query{Program: Mean{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 150}}})
+	if _, err := s.Run(context.Background()); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	rem, _ := p.RemainingBudget("census")
+	if rem != 1 {
+		t.Errorf("refused session consumed budget: remaining %v", rem)
+	}
+}
+
+func TestSessionAddValidation(t *testing.T) {
+	p := newCensusPlatform(t, 10, 0)
+	s := p.NewSession("census", 1)
+	cases := []struct {
+		name string
+		q    Query
+	}{
+		{"wrong dataset", Query{Dataset: "other", Program: Mean{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 1}}}},
+		{"own epsilon", Query{Program: Mean{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 1}}, Epsilon: 1}},
+		{"own accuracy", Query{Program: Mean{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 1}}, Accuracy: &AccuracyGoal{Rho: 0.9, Confidence: 0.9}}},
+		{"nil program", Query{OutputRanges: []Range{{Lo: 0, Hi: 1}}}},
+		{"helper mode", Query{Program: Mean{Col: 0}, Mode: Helper}},
+		{"range arity", Query{Program: Mean{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}}},
+	}
+	for _, c := range cases {
+		if err := s.Add(c.q); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSessionEmpty(t *testing.T) {
+	p := newCensusPlatform(t, 10, 0)
+	s := p.NewSession("census", 1)
+	if _, err := s.Plan(); err == nil {
+		t.Error("empty session planned")
+	}
+	if _, err := s.Run(context.Background()); err == nil {
+		t.Error("empty session ran")
+	}
+}
+
+func TestSessionUnknownDataset(t *testing.T) {
+	p := New()
+	s := p.NewSession("ghost", 1)
+	_ = s.Add(Query{Program: Mean{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 1}}})
+	if _, err := s.Plan(); err == nil {
+		t.Error("unknown dataset planned")
+	}
+}
