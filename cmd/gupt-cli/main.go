@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -110,6 +111,8 @@ func main() {
 		}
 		fmt.Printf("queries ok: %d   failed: %d   budget refusals: %d\n",
 			stats.QueriesOK, stats.QueriesFailed, stats.BudgetRefusals)
+		fmt.Printf("aborted (budget kept): %d   degraded: %d   blocks substituted: %d   retries: %d\n",
+			stats.QueriesAborted, stats.QueriesDegraded, stats.BlocksSubstituted, stats.QueryRetries)
 		if stats.QueriesOK > 0 {
 			fmt.Printf("mean query latency: %dms\n", stats.TotalQueryMillis/stats.QueriesOK)
 		}
@@ -136,6 +139,12 @@ func main() {
 		}
 		resp, err := client.Query(req)
 		if err != nil {
+			// A post-charge abort still consumed privacy budget (§6.2);
+			// the analyst needs to see that, not just the error.
+			var qe *compman.QueryError
+			if errors.As(err, &qe) && qe.EpsilonCharged > 0 {
+				log.Fatalf("%v (epsilon %g was still consumed)", err, qe.EpsilonCharged)
+			}
 			log.Fatal(err)
 		}
 		fmt.Printf("output: %v\n", resp.Output)

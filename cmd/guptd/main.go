@@ -43,13 +43,17 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7113", "address to listen on")
-		quantum  = flag.Duration("quantum", 0, "per-block timing quantum applied to all queries (0 disables)")
-		scratch  = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
-		state    = flag.String("state", "", "budget ledger state file; spent budget survives restarts")
-		workers  = flag.String("workers", "", "comma-separated gupt-worker addresses for cluster execution")
-		idle     = flag.Duration("idle", 0, "disconnect clients idle for this long (0 disables)")
-		datasets datasetFlags
+		listen       = flag.String("listen", "127.0.0.1:7113", "address to listen on")
+		quantum      = flag.Duration("quantum", 0, "per-block timing quantum applied to all queries (0 disables)")
+		scratch      = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
+		state        = flag.String("state", "", "budget ledger state file; spent budget survives restarts")
+		workers      = flag.String("workers", "", "comma-separated gupt-worker addresses for cluster execution")
+		idle         = flag.Duration("idle", 0, "disconnect clients idle for this long (0 disables)")
+		blockTimeout = flag.Duration("block-timeout", 0, "per-block execution deadline; overruns are substituted (0 disables)")
+		queryTimeout = flag.Duration("query-timeout", 0, "whole-query deadline; overruns abort with budget consumed (0 disables)")
+		retries      = flag.Int("retries", 0, "engine re-runs after a post-charge failure (never re-charges)")
+		maxFailFrac  = flag.Float64("max-fail-frac", 0, "abort queries when more than this fraction of blocks was substituted (0 disables)")
+		datasets     datasetFlags
 	)
 	flag.Var(&datasets, "dataset", "dataset spec name=path[:budget=F][:aged=F][:header] (repeatable)")
 	flag.Parse()
@@ -82,12 +86,16 @@ func main() {
 	}
 
 	srv := compman.NewServer(reg, compman.ServerConfig{
-		DefaultQuantum: *quantum,
-		ScratchRoot:    *scratch,
-		StatePath:      *state,
-		WorkerAddrs:    workerAddrs,
-		IdleTimeout:    *idle,
-		Logger:         log.Default(),
+		DefaultQuantum:  *quantum,
+		ScratchRoot:     *scratch,
+		StatePath:       *state,
+		WorkerAddrs:     workerAddrs,
+		IdleTimeout:     *idle,
+		BlockTimeout:    *blockTimeout,
+		QueryTimeout:    *queryTimeout,
+		MaxQueryRetries: *retries,
+		MaxFailFrac:     *maxFailFrac,
+		Logger:          log.Default(),
 	})
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

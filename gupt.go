@@ -231,6 +231,16 @@ type Query struct {
 	// Quantum arms the timing-attack defense: each block execution consumes
 	// exactly this wall-clock time (§6.2).
 	Quantum time.Duration
+	// BlockTimeout bounds each block execution from outside the chamber: a
+	// block whose chamber has not returned by the deadline contributes the
+	// data-independent substitute value instead of stalling the query. Use
+	// it whenever Chambers may wedge (remote workers, subprocesses).
+	BlockTimeout time.Duration
+	// MaxFailFrac aborts the query with core.ErrTooManyFailures when more
+	// than this fraction of blocks was substituted — a quality guard for
+	// operational failures. The privacy charge stands on abort. Zero
+	// disables the guard.
+	MaxFailFrac float64
 	// Chambers optionally overrides the isolation chamber used for block
 	// executions (e.g. subprocess isolation for untrusted binaries); nil
 	// selects in-process chambers.
@@ -267,13 +277,15 @@ func (p *Platform) Run(ctx context.Context, q Query) (*Result, error) {
 
 	rows := reg.Private.Rows()
 	opts := core.Options{
-		BlockSize:  q.BlockSize,
-		Gamma:      q.Gamma,
-		Seed:       q.Seed,
-		Quantum:    q.Quantum,
-		NewChamber: q.Chambers,
-		UserLevel:  q.UserLevel,
-		UserColumn: q.UserColumn,
+		BlockSize:    q.BlockSize,
+		Gamma:        q.Gamma,
+		Seed:         q.Seed,
+		Quantum:      q.Quantum,
+		BlockTimeout: q.BlockTimeout,
+		MaxFailFrac:  q.MaxFailFrac,
+		NewChamber:   q.Chambers,
+		UserLevel:    q.UserLevel,
+		UserColumn:   q.UserColumn,
 	}
 
 	if q.AutoBlockSize && q.BlockSize == 0 {

@@ -35,9 +35,17 @@ func TestSynthesizeAgedPreservesMarginals(t *testing.T) {
 			t.Fatalf("synthetic value %v outside range", r[0])
 		}
 	}
+	// Tolerance derivation: sampling error of a 2000-draw mean at σ=10 is
+	// σ/√2000 ≈ 0.22; the dominant error is the DP noise on the marginal
+	// histogram the synthesizer draws from (ε=2 over 30 bins of width 5),
+	// which shifts the mean by up to a few bin widths' worth of mass — 3
+	// covers that while a broken marginal (e.g. uniform) would miss by ≈10.
 	if math.Abs(mathutil.Mean(synthCol)-mathutil.Mean(realCol)) > 3 {
 		t.Errorf("synthetic mean %v vs real %v", mathutil.Mean(synthCol), mathutil.Mean(realCol))
 	}
+	// StdDev additionally pays within-bin quantization (width 5 ⇒ up to
+	// ≈5/√12 ≈ 1.4 of spread added); 4 covers noise + quantization, while
+	// a collapsed or uniform marginal lands ≈6–30 away.
 	if math.Abs(mathutil.StdDev(synthCol)-mathutil.StdDev(realCol)) > 4 {
 		t.Errorf("synthetic std %v vs real %v", mathutil.StdDev(synthCol), mathutil.StdDev(realCol))
 	}

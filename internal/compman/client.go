@@ -40,6 +40,17 @@ func NewClient(conn net.Conn) *Client {
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// QueryError is a server-refused operation, preserving the privacy budget
+// the attempt consumed anyway. A query that aborted after its charge
+// settled reports EpsilonCharged > 0 — the analyst paid for the failure
+// (§6.2), and budget-tracking clients must account for it.
+type QueryError struct {
+	Msg            string
+	EpsilonCharged float64
+}
+
+func (e *QueryError) Error() string { return e.Msg }
+
 // roundTrip sends one request and decodes one response.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
@@ -51,17 +62,17 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compman: receive: %w", err)
 	}
-	var resp Response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return nil, fmt.Errorf("compman: decode: %w", err)
+	resp, err := DecodeResponse(line)
+	if err != nil {
+		return nil, fmt.Errorf("compman: %w", err)
 	}
 	if !resp.OK {
 		if resp.Error == "" {
 			resp.Error = "unspecified server error"
 		}
-		return nil, errors.New(resp.Error)
+		return nil, &QueryError{Msg: resp.Error, EpsilonCharged: resp.EpsilonCharged}
 	}
-	return &resp, nil
+	return resp, nil
 }
 
 // Ping checks server liveness.

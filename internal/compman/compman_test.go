@@ -16,6 +16,12 @@ import (
 // startServer spins up a server on a loopback listener with a census-like
 // dataset registered, returning a connected client.
 func startServer(t *testing.T, totalBudget float64) (*Client, *Server) {
+	return startServerCfg(t, totalBudget, ServerConfig{})
+}
+
+// startServerCfg is startServer with an explicit server configuration (the
+// chaos suite injects fault wrappers and deadlines through it).
+func startServerCfg(t *testing.T, totalBudget float64, cfg ServerConfig) (*Client, *Server) {
 	t.Helper()
 	reg := dataset.NewRegistry()
 	rng := mathutil.NewRNG(1)
@@ -34,7 +40,7 @@ func startServer(t *testing.T, totalBudget float64) (*Client, *Server) {
 		t.Fatal(err)
 	}
 
-	srv := NewServer(reg, ServerConfig{})
+	srv := NewServer(reg, cfg)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,83 @@
+package compman
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The four wire decoders are the only entry points for bytes an untrusted
+// peer controls: analyst requests into the server, server responses into
+// the client, block requests into a worker, and worker replies into the
+// pool. None may panic on arbitrary input, and anything they accept must
+// survive a re-encode (the server echoes fields like Op and Dataset into
+// logs and labels).
+
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(`{"op":"query","dataset":"census","epsilon":1}`)
+	f.Add(`{"op":"register","register":{"name":"x","rows":[[1]]}}`)
+	f.Add(`{"op":"session","session":{"totalEpsilon":1,"queries":[]}}`)
+	f.Add(`{"op":"query","program":{"type":"mean"},"outputRanges":[{"lo":0,"hi":1}]}`)
+	f.Add(`not json`)
+	f.Add(`{"epsilon":1e400}`)
+	f.Add(`{"op":"??"}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		req, err := DecodeRequest([]byte(input))
+		if err != nil {
+			return
+		}
+		if _, err := json.Marshal(req); err != nil {
+			t.Errorf("accepted request does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(`{"ok":true,"output":[1,2]}`)
+	f.Add(`{"ok":false,"error":"boom","epsilonCharged":0.5}`)
+	f.Add(`{"stats":{"queriesOK":3}}`)
+	f.Add(`{"session":[{"output":[1],"epsilonSpent":0.1}]}`)
+	f.Add(`]]]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		resp, err := DecodeResponse([]byte(input))
+		if err != nil {
+			return
+		}
+		if _, err := json.Marshal(resp); err != nil {
+			t.Errorf("accepted response does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeWorkRequest(f *testing.F) {
+	f.Add(`{"spec":{"program":{"type":"mean"}},"block":[[1],[2]]}`)
+	f.Add(`{"block":[]}`)
+	f.Add(`{"spec":{"quantumMillis":-1}}`)
+	f.Add(`{"block":[[1e400]]}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, input string) {
+		req, err := DecodeWorkRequest([]byte(input))
+		if err != nil {
+			return
+		}
+		if _, err := json.Marshal(req); err != nil {
+			t.Errorf("accepted work request does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeWorkResponse(f *testing.F) {
+	f.Add(`{"output":[42]}`)
+	f.Add(`{"error":"chamber died"}`)
+	f.Add(`{"output":null,"error":""}`)
+	f.Add(`!!not-json-at-all!!`)
+	f.Add(`{"output":[1,2,`)
+	f.Fuzz(func(t *testing.T, input string) {
+		resp, err := DecodeWorkResponse([]byte(input))
+		if err != nil {
+			return
+		}
+		if _, err := json.Marshal(resp); err != nil {
+			t.Errorf("accepted work response does not re-encode: %v", err)
+		}
+	})
+}

@@ -8,6 +8,7 @@
 package compman
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -220,10 +221,15 @@ type SessionSpec struct {
 	Queries      []SessionQuery `json:"queries"`
 }
 
-// SessionResult is one query's outcome within a session response.
+// SessionResult is one query's outcome within a session response. A
+// session's budget is charged atomically up front, so a query that fails
+// mid-session reports its error here while the rest of the batch still
+// runs; its allocated ε is consumed either way (§6.2).
 type SessionResult struct {
-	Output       []float64 `json:"output"`
+	Output       []float64 `json:"output,omitempty"`
 	EpsilonSpent float64   `json:"epsilonSpent"`
+	Error        string    `json:"error,omitempty"`
+	FailedBlocks int       `json:"failedBlocks,omitempty"`
 }
 
 // Request is one protocol message from client to server.
@@ -276,10 +282,56 @@ type Response struct {
 	NumBlocks       int         `json:"numBlocks,omitempty"`
 	BlockSize       int         `json:"blockSize,omitempty"`
 	FailedBlocks    int         `json:"failedBlocks,omitempty"`
+	// EpsilonCharged is the privacy budget the operation consumed whether
+	// or not it succeeded. A query that aborts after its charge settled
+	// reports Error plus a non-zero EpsilonCharged — the §6.2 defense:
+	// forcing failures never refunds budget.
+	EpsilonCharged float64 `json:"epsilonCharged,omitempty"`
 
 	// Budget / list / stats / session results.
 	Remaining float64         `json:"remaining,omitempty"`
 	Datasets  []string        `json:"datasets,omitempty"`
 	Stats     *ServerStats    `json:"stats,omitempty"`
 	Session   []SessionResult `json:"session,omitempty"`
+}
+
+// The wire decoders below are the single entry points for every byte
+// stream an untrusted peer controls: analyst requests into the server,
+// server responses into the client, and worker replies into the pool.
+// They are fuzzed (fuzz_test.go) and must never panic on arbitrary input.
+
+// DecodeRequest parses one analyst request line.
+func DecodeRequest(line []byte) (*Request, error) {
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return nil, fmt.Errorf("malformed request: %w", err)
+	}
+	return &req, nil
+}
+
+// DecodeResponse parses one server response line.
+func DecodeResponse(line []byte) (*Response, error) {
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("malformed response: %w", err)
+	}
+	return &resp, nil
+}
+
+// DecodeWorkRequest parses one block-execution request line.
+func DecodeWorkRequest(line []byte) (*WorkRequest, error) {
+	var req WorkRequest
+	if err := json.Unmarshal(line, &req); err != nil {
+		return nil, fmt.Errorf("malformed work request: %w", err)
+	}
+	return &req, nil
+}
+
+// DecodeWorkResponse parses one worker reply line.
+func DecodeWorkResponse(line []byte) (*WorkResponse, error) {
+	var resp WorkResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("malformed work response: %w", err)
+	}
+	return &resp, nil
 }

@@ -43,6 +43,27 @@ type ServerConfig struct {
 	// IdleTimeout disconnects clients that send nothing for this long,
 	// bounding slow-loris style connection hoarding. Zero disables it.
 	IdleTimeout time.Duration
+	// BlockTimeout bounds each block execution's wall-clock time from
+	// outside the chamber (see core.Options.BlockTimeout): a hung chamber
+	// or wedged worker connection costs one substituted block, not the
+	// query. Zero disables the per-block deadline.
+	BlockTimeout time.Duration
+	// QueryTimeout bounds a whole query's execution. A query that exceeds
+	// it aborts with its privacy charge consumed — the analyst cannot
+	// convert forced slowness into refunded budget (§6.2). Zero disables.
+	QueryTimeout time.Duration
+	// MaxQueryRetries re-runs the engine up to this many times when a run
+	// fails after its charge settled. Retries never re-charge: the ε was
+	// spent once, and re-running releases at most one output for it.
+	MaxQueryRetries int
+	// MaxFailFrac aborts queries whose substituted-block fraction exceeds
+	// it (see core.Options.MaxFailFrac). Zero disables the guard.
+	MaxFailFrac float64
+	// ChamberWrapper, when set, wraps every chamber the server builds —
+	// in-process, subprocess and worker-pool alike. This is the fault
+	// injection surface (internal/faultinject) and an ops hook for
+	// instrumentation; production deployments normally leave it nil.
+	ChamberWrapper func(sandbox.Chamber) sandbox.Chamber
 	// Logger receives connection-level diagnostics; nil silences them.
 	Logger *log.Logger
 }
@@ -192,12 +213,11 @@ func (s *Server) handleConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		var req Request
 		var resp Response
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp = Response{Error: fmt.Sprintf("malformed request: %v", err)}
+		if req, err := DecodeRequest(line); err != nil {
+			resp = Response{Error: err.Error()}
 		} else {
-			resp = s.dispatch(&req)
+			resp = s.dispatch(req)
 		}
 		if err := enc.Encode(resp); err != nil {
 			s.logf("compman: write response: %v", err)
@@ -233,8 +253,13 @@ func (s *Server) dispatch(req *Request) Response {
 		resp := s.handleQuery(req)
 		if resp.OK {
 			s.stats.recordOK(time.Since(start))
+			if resp.FailedBlocks > 0 {
+				s.stats.recordDegraded(resp.FailedBlocks)
+			}
 		} else {
-			s.stats.recordFailure(strings.Contains(resp.Error, dp.ErrBudgetExhausted.Error()))
+			s.stats.recordFailure(
+				strings.Contains(resp.Error, dp.ErrBudgetExhausted.Error()),
+				resp.EpsilonCharged > 0)
 		}
 		return resp
 	default:
@@ -271,12 +296,14 @@ func (s *Server) handleQuery(req *Request) Response {
 	}
 
 	opts := core.Options{
-		BlockSize:  req.BlockSize,
-		Gamma:      req.Gamma,
-		Seed:       req.Seed,
-		Quantum:    s.cfg.DefaultQuantum,
-		UserLevel:  req.UserLevel,
-		UserColumn: req.UserColumn,
+		BlockSize:    req.BlockSize,
+		Gamma:        req.Gamma,
+		Seed:         req.Seed,
+		Quantum:      s.cfg.DefaultQuantum,
+		BlockTimeout: s.cfg.BlockTimeout,
+		MaxFailFrac:  s.cfg.MaxFailFrac,
+		UserLevel:    req.UserLevel,
+		UserColumn:   req.UserColumn,
 	}
 	if req.QuantumMillis > 0 {
 		opts.Quantum = time.Duration(req.QuantumMillis) * time.Millisecond
@@ -307,6 +334,7 @@ func (s *Server) handleQuery(req *Request) Response {
 		}
 		opts.Parallelism = s.pool.Size()
 	}
+	opts.NewChamber = s.wrapChamberFactory(opts.NewChamber)
 
 	rows := reg.Private.Rows()
 
@@ -362,20 +390,77 @@ func (s *Server) handleQuery(req *Request) Response {
 		return Response{Error: "query needs a positive epsilon or an accuracy goal"}
 	}
 
-	res, err := core.Run(context.Background(), program, rows, spec, opts)
+	res, err := s.runCharged(program, rows, spec, opts)
 	if err != nil {
 		// The charge is already settled; failed runs still consumed budget
-		// conservatively. Report the failure.
-		return errResponse(err)
+		// conservatively (§6.2 — aborts never refund). Report the failure
+		// along with the ε it cost.
+		resp := errResponse(err)
+		resp.EpsilonCharged = opts.Epsilon
+		return resp
 	}
 	return Response{
 		OK:              true,
 		Output:          res.Output,
 		EpsilonSpent:    res.EpsilonSpent,
+		EpsilonCharged:  res.EpsilonSpent,
 		EffectiveRanges: rangesToWire(res.EffectiveRanges),
 		NumBlocks:       res.NumBlocks,
 		BlockSize:       res.BlockSize,
 		FailedBlocks:    res.FailedBlocks,
+	}
+}
+
+// runCharged executes the engine for a query whose privacy charge has
+// already settled, bounded by the configured query deadline and retry
+// budget. Retries are deterministic (the seed is perturbed per attempt so
+// a seed-dependent failure is not replayed verbatim) and never re-charge:
+// at most one output is ever released for the single ε spent.
+func (s *Server) runCharged(program analytics.Program, rows []mathutil.Vec, spec core.RangeSpec, opts core.Options) (*core.Result, error) {
+	ctx := context.Background()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	retries := s.cfg.MaxQueryRetries
+	if retries < 0 {
+		retries = 0 // a negative config must still execute the charged query once
+	}
+	var res *core.Result
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		runOpts := opts
+		if attempt > 0 {
+			runOpts.Seed = opts.Seed + int64(attempt)*0x9E3779B9
+			s.stats.recordRetry()
+			s.logf("compman: retrying query (attempt %d): %v", attempt+1, err)
+		}
+		res, err = core.Run(ctx, program, rows, spec, runOpts)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The query deadline expired; further attempts cannot finish.
+			return nil, fmt.Errorf("compman: query deadline: %w", err)
+		}
+	}
+	return nil, err
+}
+
+// wrapChamberFactory applies the configured ChamberWrapper around a
+// chamber factory (nil selects the engine's in-process default).
+func (s *Server) wrapChamberFactory(base func(analytics.Program, sandbox.Policy) sandbox.Chamber) func(analytics.Program, sandbox.Policy) sandbox.Chamber {
+	if s.cfg.ChamberWrapper == nil {
+		return base
+	}
+	if base == nil {
+		base = func(prog analytics.Program, pol sandbox.Policy) sandbox.Chamber {
+			return &sandbox.InProcess{Program: prog, Policy: pol}
+		}
+	}
+	return func(prog analytics.Program, pol sandbox.Policy) sandbox.Chamber {
+		return s.cfg.ChamberWrapper(base(prog, pol))
 	}
 }
 
@@ -441,24 +526,36 @@ func (s *Server) handleSession(req *Request) Response {
 	}
 	s.journalBudgets()
 
+	// The whole session's ε is already charged; a query that fails from
+	// here on reports its error in its slot while the rest of the batch
+	// still runs. Aborting the batch would waste the survivors' budget —
+	// and refunding any of it would reopen the §6.2 attack.
 	rows := reg.Private.Rows()
 	results := make([]SessionResult, len(members))
 	for i, m := range members {
-		res, err := core.Run(context.Background(), m.program, rows,
+		res, err := s.runCharged(m.program, rows,
 			core.RangeSpec{Mode: core.ModeTight, Output: m.ranges},
 			core.Options{
-				Epsilon:   alloc[i],
-				BlockSize: m.beta,
-				Gamma:     spec.Queries[i].Gamma,
-				Seed:      spec.Queries[i].Seed,
-				Quantum:   s.cfg.DefaultQuantum,
+				Epsilon:      alloc[i],
+				BlockSize:    m.beta,
+				Gamma:        spec.Queries[i].Gamma,
+				Seed:         spec.Queries[i].Seed,
+				Quantum:      s.cfg.DefaultQuantum,
+				BlockTimeout: s.cfg.BlockTimeout,
+				MaxFailFrac:  s.cfg.MaxFailFrac,
+				NewChamber:   s.wrapChamberFactory(nil),
 			})
 		if err != nil {
-			return errResponse(fmt.Errorf("session query %d: %w", i, err))
+			results[i] = SessionResult{Error: err.Error(), EpsilonSpent: alloc[i]}
+			continue
 		}
-		results[i] = SessionResult{Output: res.Output, EpsilonSpent: res.EpsilonSpent}
+		results[i] = SessionResult{
+			Output:       res.Output,
+			EpsilonSpent: res.EpsilonSpent,
+			FailedBlocks: res.FailedBlocks,
+		}
 	}
-	return Response{OK: true, Session: results}
+	return Response{OK: true, Session: results, EpsilonCharged: spec.TotalEpsilon}
 }
 
 // handleRegister is the data-owner path: build a table from the inline

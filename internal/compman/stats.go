@@ -17,6 +17,20 @@ type ServerStats struct {
 	// could not cover them. Broken out because a spike here is the normal
 	// end-of-life signal for a dataset, not an error.
 	BudgetRefusals int64 `json:"budgetRefusals"`
+	// QueriesAborted counts queries that failed *after* their privacy
+	// charge settled: their ε is consumed (the §6.2 privacy-budget-attack
+	// defense). Every aborted query is also counted in QueriesFailed.
+	QueriesAborted int64 `json:"queriesAborted"`
+	// QueriesDegraded counts successful queries in which at least one
+	// block was substituted — answers released at reduced fidelity.
+	QueriesDegraded int64 `json:"queriesDegraded"`
+	// BlocksSubstituted accumulates substituted block executions across
+	// all successful queries; the engine replaced these with the
+	// data-independent range midpoint.
+	BlocksSubstituted int64 `json:"blocksSubstituted"`
+	// QueryRetries counts engine re-runs after a post-charge failure
+	// (bounded by ServerConfig.MaxQueryRetries). Retries never re-charge.
+	QueryRetries int64 `json:"queryRetries"`
 	// TotalQueryMillis accumulates wall-clock time spent answering
 	// successful queries; divide by QueriesOK for the mean latency.
 	TotalQueryMillis int64 `json:"totalQueryMillis"`
@@ -35,14 +49,33 @@ func (c *statsCollector) recordOK(d time.Duration) {
 	c.stats.TotalQueryMillis += d.Milliseconds()
 }
 
-func (c *statsCollector) recordFailure(budget bool) {
+// recordFailure tallies a refused query; budget refusals and post-charge
+// aborts get their own counters on top of the general one.
+func (c *statsCollector) recordFailure(budget, charged bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if budget {
 		c.stats.BudgetRefusals++
-	} else {
-		c.stats.QueriesFailed++
+		return
 	}
+	c.stats.QueriesFailed++
+	if charged {
+		c.stats.QueriesAborted++
+	}
+}
+
+// recordDegraded tallies a successful query that substituted blocks.
+func (c *statsCollector) recordDegraded(blocks int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.QueriesDegraded++
+	c.stats.BlocksSubstituted += int64(blocks)
+}
+
+func (c *statsCollector) recordRetry() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.QueryRetries++
 }
 
 func (c *statsCollector) snapshot() ServerStats {

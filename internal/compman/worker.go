@@ -48,6 +48,10 @@ type WorkResponse struct {
 type WorkerConfig struct {
 	// ScratchRoot hosts subprocess chamber scratch dirs.
 	ScratchRoot string
+	// ChamberWrapper, when set, wraps every chamber the worker builds —
+	// the fault-injection surface (internal/faultinject) on the worker
+	// node; production deployments normally leave it nil.
+	ChamberWrapper func(sandbox.Chamber) sandbox.Chamber
 	// Logger receives diagnostics; nil silences them.
 	Logger *log.Logger
 }
@@ -142,12 +146,11 @@ func (w *Worker) handleConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		var req WorkRequest
 		var resp WorkResponse
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp.Error = fmt.Sprintf("malformed work request: %v", err)
+		if req, err := DecodeWorkRequest(line); err != nil {
+			resp.Error = err.Error()
 		} else {
-			resp = w.execute(&req)
+			resp = w.execute(req)
 		}
 		if err := enc.Encode(resp); err != nil {
 			if w.cfg.Logger != nil {
@@ -177,6 +180,9 @@ func (w *Worker) execute(req *WorkRequest) WorkResponse {
 		}
 	} else {
 		chamber = &sandbox.InProcess{Program: program, Policy: pol}
+	}
+	if w.cfg.ChamberWrapper != nil {
+		chamber = w.cfg.ChamberWrapper(chamber)
 	}
 	block := make([]mathutil.Vec, len(req.Block))
 	for i, r := range req.Block {
@@ -265,38 +271,82 @@ type poolChamber struct {
 	spec WorkSpec
 }
 
-// Execute implements sandbox.Chamber. A broken connection (worker restart,
-// network blip) is redialed once before the block is failed; the engine
-// then substitutes the block, so a single flaky worker degrades accuracy
-// rather than aborting the query.
+// Execute implements sandbox.Chamber. Transport-level failures (worker
+// restart, network blip, corrupted reply) are retried — first by redialing
+// the same worker, then by failing over to each remaining worker in the
+// pool once — so a flaky or dead worker degrades accuracy (the engine
+// substitutes blocks only when the whole pool is unusable) rather than
+// aborting the query. Application-level errors come back as resp.Error and
+// are never retried: the worker is healthy, the computation itself failed.
 func (c *poolChamber) Execute(ctx context.Context, block []mathutil.Vec) (mathutil.Vec, error) {
-	wc, err := c.pool.pick()
-	if err != nil {
-		return nil, err
-	}
 	req := WorkRequest{Spec: c.spec, Block: make([][]float64, len(block))}
 	for i, r := range block {
 		req.Block[i] = r
 	}
 
+	tries := c.pool.Size()
+	if tries < 1 {
+		tries = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < tries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		wc, err := c.pool.pick()
+		if err != nil {
+			return nil, err
+		}
+		out, transport, err := wc.execute(ctx, &req)
+		if err == nil {
+			return out, nil
+		}
+		if !transport {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// execute runs one exchange on this worker, redialing a broken connection
+// before and once after a transport failure. transport reports whether the
+// returned error is transport-level (retryable on another worker).
+func (wc *workerConn) execute(ctx context.Context, req *WorkRequest) (out mathutil.Vec, transport bool, err error) {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
-	out, err := wc.roundTrip(ctx, &req)
+	if wc.broken {
+		if dialErr := wc.redialLocked(); dialErr != nil {
+			return nil, true, dialErr
+		}
+	}
+	out, err = wc.roundTrip(ctx, req)
 	if err == nil {
-		return out, nil
+		return out, false, nil
 	}
-	// Transport-level failure: redial and retry once. Application-level
-	// errors come back as resp.Error and are not retried.
 	if !wc.broken {
-		return nil, err
+		return nil, false, err // application-level: do not retry
 	}
-	fresh, dialErr := dialWorker(wc.addr)
-	if dialErr != nil {
-		return nil, fmt.Errorf("compman: worker %s unreachable after %v", wc.addr, err)
+	// Transient blip: one immediate redial + retry on the same worker.
+	if dialErr := wc.redialLocked(); dialErr != nil {
+		return nil, true, fmt.Errorf("compman: worker %s unreachable after %v", wc.addr, err)
+	}
+	out, err = wc.roundTrip(ctx, req)
+	if err == nil {
+		return out, false, nil
+	}
+	return nil, wc.broken, err
+}
+
+// redialLocked replaces a broken connection; the caller holds wc.mu.
+func (wc *workerConn) redialLocked() error {
+	fresh, err := dialWorker(wc.addr)
+	if err != nil {
+		return err
 	}
 	wc.conn.Close()
 	wc.conn, wc.r, wc.enc, wc.broken = fresh.conn, fresh.r, fresh.enc, false
-	return wc.roundTrip(ctx, &req)
+	return nil
 }
 
 // roundTrip performs one request/response exchange; the caller holds wc.mu.
@@ -316,10 +366,12 @@ func (wc *workerConn) roundTrip(ctx context.Context, req *WorkRequest) (mathutil
 		wc.broken = true
 		return nil, fmt.Errorf("compman: worker %s receive: %w", wc.addr, err)
 	}
-	var resp WorkResponse
-	if err := json.Unmarshal(line, &resp); err != nil {
+	resp, err := DecodeWorkResponse(line)
+	if err != nil {
+		// A corrupted reply leaves the stream unsynchronized; drop the
+		// connection rather than risk pairing future replies wrongly.
 		wc.broken = true
-		return nil, fmt.Errorf("compman: worker %s decode: %w", wc.addr, err)
+		return nil, fmt.Errorf("compman: worker %s: %w", wc.addr, err)
 	}
 	if resp.Error != "" {
 		return nil, fmt.Errorf("compman: worker %s: %s", wc.addr, resp.Error)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -33,6 +34,21 @@ type Options struct {
 	// Quantum, when positive, enforces the timing-attack defense: every
 	// block execution consumes exactly this wall-clock time (paper §6.2).
 	Quantum time.Duration
+	// BlockTimeout, when positive, bounds each block execution's wall-clock
+	// time from outside the chamber: a block whose chamber has not returned
+	// by the deadline is abandoned and contributes the substitute value.
+	// Unlike Quantum (enforced inside the chamber, and also a lower bound),
+	// this guards against chambers that are themselves wedged — hung worker
+	// connections, stuck subprocesses — so a single bad executor degrades
+	// accuracy instead of stalling the query forever.
+	BlockTimeout time.Duration
+	// MaxFailFrac, when positive, aborts the run with ErrTooManyFailures if
+	// more than this fraction of blocks was substituted — a quality guard
+	// for operational failures (dead workers), since a result computed
+	// mostly from substitutes is noise around a constant. Note the abort
+	// signal reveals the failure count, exactly as Result.FailedBlocks
+	// already does; see SECURITY.md on the failure-channel trade-off.
+	MaxFailFrac float64
 	// NewChamber builds the isolation chamber used for block executions;
 	// nil selects an in-process chamber. The hosted platform injects a
 	// subprocess chamber here.
@@ -85,6 +101,22 @@ type Result struct {
 	// data-independent substitute.
 	FailedBlocks int
 }
+
+// SubstitutionRate reports the fraction of blocks that contributed the
+// substitute value instead of a real output — the run's degradation level.
+// 0 means every block computed; 1 means the output is pure noise around
+// the range midpoints.
+func (r *Result) SubstitutionRate() float64 {
+	if r.NumBlocks == 0 {
+		return 0
+	}
+	return float64(r.FailedBlocks) / float64(r.NumBlocks)
+}
+
+// ErrTooManyFailures reports that a run exceeded Options.MaxFailFrac: so
+// many blocks were substituted that the result would be mostly noise around
+// the data-independent substitute. The privacy charge for the run stands.
+var ErrTooManyFailures = errors.New("core: too many failed blocks")
 
 // Run executes program over rows under the sample-and-aggregate framework
 // and returns an Options.Epsilon-differentially private result. It does not
@@ -175,6 +207,10 @@ func Run(ctx context.Context, program analytics.Program, rows []mathutil.Vec, sp
 	if err != nil {
 		return nil, err
 	}
+	if opts.MaxFailFrac > 0 && float64(failed) > opts.MaxFailFrac*float64(part.NumBlocks()) {
+		return nil, fmt.Errorf("%w: %d of %d blocks substituted (limit %.0f%%)",
+			ErrTooManyFailures, failed, part.NumBlocks(), opts.MaxFailFrac*100)
+	}
 
 	// ModeLoose: tighten the output range privately from the block outputs.
 	effective := preRanges
@@ -216,9 +252,10 @@ func Run(ctx context.Context, program analytics.Program, rows []mathutil.Vec, sp
 
 // runBlocks executes the program on every block through isolation chambers,
 // bounded by opts.Parallelism. A block that fails in any way (killed,
-// crashed, program error, wrong output arity) contributes the substitute
-// vector, so the release pipeline sees a complete, well-formed matrix of
-// block outputs.
+// crashed, hung past its deadline, program error, wrong output arity,
+// non-finite values) contributes the substitute vector, so the release
+// pipeline sees a complete, well-formed matrix of block outputs. Only
+// cancellation of the caller's context aborts the run.
 func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.Vec, part *Partition, substitute mathutil.Vec, opts Options) ([]mathutil.Vec, int, error) {
 	pol := sandbox.Policy{Quantum: opts.Quantum} // engine substitutes itself, to count failures
 	chamber := opts.NewChamber(program, pol)
@@ -239,14 +276,25 @@ func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.V
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out, err := chamber.Execute(ctx, part.Materialize(rows, i))
-			if err != nil && errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+			// Per-block deadline: a wedged chamber (hung worker socket,
+			// stuck subprocess) fails just this block, never the query.
+			bctx := ctx
+			cancel := func() {}
+			if opts.BlockTimeout > 0 {
+				bctx, cancel = context.WithTimeout(ctx, opts.BlockTimeout)
+			}
+			out, err := chamber.Execute(bctx, part.Materialize(rows, i))
+			cancel()
+			if err != nil && ctx.Err() != nil {
+				// The caller's context ended; the whole run aborts. A
+				// block-deadline expiry alone never takes this path — the
+				// parent context is still live there.
 				mu.Lock()
-				ctxErr = err
+				ctxErr = ctx.Err()
 				mu.Unlock()
 				return
 			}
-			if err != nil || len(out) != len(substitute) {
+			if err != nil || !wellFormedOutput(out, len(substitute)) {
 				mu.Lock()
 				failed++
 				mu.Unlock()
@@ -271,6 +319,22 @@ func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.V
 		}
 	}
 	return outputs, failed, nil
+}
+
+// wellFormedOutput accepts only outputs the aggregator can safely consume:
+// correct arity, every value finite. NaN would poison the block average
+// straight through clamping (NaN comparisons are all false), and ±Inf is
+// indistinguishable from a smuggling attempt, so both are substituted.
+func wellFormedOutput(out mathutil.Vec, dims int) bool {
+	if len(out) != dims {
+		return false
+	}
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 func dpCheckEpsilon(eps float64) error {

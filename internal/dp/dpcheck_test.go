@@ -90,8 +90,10 @@ func TestNoisyAvgSatisfiesEpsilonDP(t *testing.T) {
 		}
 	}
 	worst := empiricalMaxLogRatio(t, 40000, 24, 50, mech(ta), mech(tb))
-	// Slack covers sampling error on 40k draws; a sensitivity bug (e.g.
-	// forgetting the 1/n) would blow past eps by multiples.
+	// Slack derivation: a bin passing the ≥50-count floor estimates its
+	// log-ratio with standard error ≤ √(1/cA+1/cB) ≤ √(2/50) ≈ 0.20; the
+	// max over ≤24 bins sits near 2σ ≈ 0.40. A sensitivity bug (e.g.
+	// forgetting the 1/n) would blow past eps by multiples, far outside it.
 	if worst > eps+0.4 {
 		t.Errorf("empirical log-likelihood ratio %.2f exceeds eps=%v (+slack)", worst, eps)
 	}
@@ -112,6 +114,9 @@ func TestNoisyCountSatisfiesEpsilonDP(t *testing.T) {
 		}
 	}
 	worst := empiricalMaxLogRatio(t, 40000, 24, 50, mech(100), mech(101))
+	// Slack ≈ 1.5σ of the 0.20 per-bin standard error (see the avg test):
+	// tighter than 2σ is safe here because count sensitivity is exactly 1,
+	// so the true ratio sits well inside eps and a miscount lands at 2eps.
 	if worst > eps+0.3 {
 		t.Errorf("empirical log-likelihood ratio %.2f exceeds eps=%v (+slack)", worst, eps)
 	}
@@ -158,6 +163,9 @@ func TestPercentileSatisfiesEpsilonDP(t *testing.T) {
 		}
 	}
 	worst := empiricalMaxLogRatio(t, 40000, 16, 60, mech(base), mech(neighbor))
+	// Slack derivation: per-bin standard error ≤ √(2/60) ≈ 0.18, extreme
+	// over ≤16 bins ≈ 2σ ≈ 0.37, plus margin for the exponential
+	// mechanism's discrete gap structure (bin edges split gaps unevenly).
 	if worst > eps+0.5 {
 		t.Errorf("empirical log-likelihood ratio %.2f exceeds eps=%v (+slack)", worst, eps)
 	}

@@ -1,0 +1,267 @@
+// Package faultinject is a deterministic, seedable fault-injection layer
+// for exercising GUPT's failure paths (paper §6). The platform's security
+// argument leans on what happens when a computation *misbehaves*: killed or
+// crashed chambers must be replaced by data-independent range-midpoint
+// substitutes without leaking state, and privacy budget must be charged
+// even when a query aborts — otherwise an analyst mounts a privacy-budget
+// attack by forcing failures. Those paths are only reachable by accident in
+// normal operation; this package makes them reachable on purpose.
+//
+// Two injection surfaces mirror the two untrusted boundaries:
+//
+//   - Chamber wraps any sandbox.Chamber and injects compute-level faults:
+//     crash before or after the program runs, hang past the deadline,
+//     garbage (non-finite) output, out-of-range output, wrong output
+//     arity, and slow starts.
+//   - Proxy sits on the wire between a compman.WorkerPool and a worker
+//     daemon and injects protocol-level faults: malformed NDJSON replies,
+//     truncated replies, stalled replies, and mid-session disconnects.
+//
+// All injection decisions derive from a Schedule seeded explicitly, so a
+// fault pattern that breaks an invariant reproduces exactly from its seed.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"gupt/internal/mathutil"
+	"gupt/internal/sandbox"
+)
+
+// Kind enumerates the compute-level faults a Chamber can inject.
+type Kind int
+
+const (
+	// None leaves the execution untouched.
+	None Kind = iota
+	// CrashBefore fails the execution before the program runs — the
+	// chamber process died on startup.
+	CrashBefore
+	// CrashAfter runs the program, discards its output, and fails — the
+	// chamber process died after computing but before reporting.
+	CrashAfter
+	// Hang blocks until the context is cancelled (or the schedule's
+	// HangFor cap elapses) — a wedged computation that never returns.
+	Hang
+	// Garbage returns a vector of non-finite values (NaN, ±Inf) of the
+	// correct arity — memory corruption or a hostile program.
+	Garbage
+	// OutOfRange returns finite values far outside any plausible output
+	// range — an outlier-smuggling program; the aggregator must clamp.
+	OutOfRange
+	// WrongArity returns a vector of the wrong width.
+	WrongArity
+	// SlowStart delays the execution by the schedule's SlowBy, then runs
+	// it normally — cold caches, contended nodes.
+	SlowStart
+	numKinds int = iota
+)
+
+// String names the fault for logs and test output.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case CrashBefore:
+		return "crash-before"
+	case CrashAfter:
+		return "crash-after"
+	case Hang:
+		return "hang"
+	case Garbage:
+		return "garbage"
+	case OutOfRange:
+		return "out-of-range"
+	case WrongArity:
+		return "wrong-arity"
+	case SlowStart:
+		return "slow-start"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the error returned by injected crashes, so consumers (and
+// tests) can tell injected failures from organic ones.
+var ErrInjected = fmt.Errorf("faultinject: injected fault")
+
+// Schedule decides which fault, if any, each successive execution suffers.
+// Decisions are a deterministic function of the seed and the call sequence:
+// with single-threaded callers the n-th execution always draws the same
+// fault for the same seed. It is safe for concurrent use (decisions stay
+// deterministic as a multiset; per-call attribution then depends on
+// scheduling order).
+type Schedule struct {
+	// Seed drives every injection decision.
+	Seed int64
+	// Rates maps each fault kind to its per-execution probability. Kinds
+	// absent from the map are never injected randomly. Ignored when Plan
+	// is set.
+	Rates map[Kind]float64
+	// Plan, when non-empty, scripts faults explicitly: execution i suffers
+	// Plan[i % len(Plan)]. Use it for table-driven tests that need one
+	// specific fault on one specific block.
+	Plan []Kind
+	// HangFor caps how long a Hang fault blocks when the context has no
+	// deadline of its own; zero selects 30s (a backstop so a missing
+	// engine deadline turns into a slow test, not a deadlocked one).
+	HangFor time.Duration
+	// SlowBy is the delay a SlowStart fault adds; zero selects 10ms.
+	SlowBy time.Duration
+
+	mu     sync.Mutex
+	rng    *mathutil.RNG
+	calls  int
+	counts [numKinds]int
+}
+
+// next draws the fault for the next execution.
+func (s *Schedule) next() Kind {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.calls
+	s.calls++
+	var k Kind
+	if len(s.Plan) > 0 {
+		k = s.Plan[i%len(s.Plan)]
+	} else {
+		if s.rng == nil {
+			s.rng = mathutil.NewRNG(s.Seed)
+		}
+		u := s.rng.Float64()
+		for kind, rate := range orderedRates(s.Rates) {
+			if u < rate {
+				k = Kind(kind)
+				break
+			}
+			u -= rate
+		}
+	}
+	s.counts[k]++
+	return k
+}
+
+// orderedRates flattens the rate map into a dense array so the draw above
+// consumes rates in a fixed kind order — map iteration order must never
+// influence which fault a given uniform draw selects.
+func orderedRates(rates map[Kind]float64) [numKinds]float64 {
+	var out [numKinds]float64
+	for k, r := range rates {
+		if k > None && int(k) < numKinds && r > 0 {
+			out[k] = r
+		}
+	}
+	return out
+}
+
+// Counts reports how many times each fault kind has been injected,
+// including None for untouched executions.
+func (s *Schedule) Counts() map[Kind]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Kind]int)
+	for k, c := range s.counts {
+		if c > 0 {
+			out[Kind(k)] = c
+		}
+	}
+	return out
+}
+
+// Calls reports how many injection decisions the schedule has made.
+func (s *Schedule) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func (s *Schedule) hangFor() time.Duration {
+	if s.HangFor > 0 {
+		return s.HangFor
+	}
+	return 30 * time.Second
+}
+
+func (s *Schedule) slowBy() time.Duration {
+	if s.SlowBy > 0 {
+		return s.SlowBy
+	}
+	return 10 * time.Millisecond
+}
+
+// Chamber wraps an inner sandbox.Chamber and injects the faults its
+// Schedule dictates. The wrapped chamber is what the engine's substitution
+// and deadline machinery must survive; the inner chamber still runs for
+// kinds that need a real output (CrashAfter, SlowStart).
+type Chamber struct {
+	// Inner is the chamber faults are injected around. Required.
+	Inner sandbox.Chamber
+	// Schedule drives the injection decisions. Required.
+	Schedule *Schedule
+	// OutputDims is the output arity the Garbage and OutOfRange faults
+	// forge (WrongArity forges OutputDims+1). Required for those kinds.
+	OutputDims int
+}
+
+// Execute implements sandbox.Chamber.
+func (c *Chamber) Execute(ctx context.Context, block []mathutil.Vec) (mathutil.Vec, error) {
+	switch k := c.Schedule.next(); k {
+	case None:
+		return c.Inner.Execute(ctx, block)
+	case CrashBefore:
+		return nil, fmt.Errorf("%w: %s", ErrInjected, k)
+	case CrashAfter:
+		// Run the real computation first so the crash happens after data
+		// was touched — the worst case for state leakage.
+		_, _ = c.Inner.Execute(ctx, block)
+		return nil, fmt.Errorf("%w: %s", ErrInjected, k)
+	case Hang:
+		t := time.NewTimer(c.Schedule.hangFor())
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+			return nil, fmt.Errorf("%w: %s expired", ErrInjected, k)
+		}
+	case Garbage:
+		out := make(mathutil.Vec, c.OutputDims)
+		for i := range out {
+			switch i % 3 {
+			case 0:
+				out[i] = math.NaN()
+			case 1:
+				out[i] = math.Inf(1)
+			default:
+				out[i] = math.Inf(-1)
+			}
+		}
+		return out, nil
+	case OutOfRange:
+		out := make(mathutil.Vec, c.OutputDims)
+		for i := range out {
+			out[i] = 1e12
+			if i%2 == 1 {
+				out[i] = -1e12
+			}
+		}
+		return out, nil
+	case WrongArity:
+		return make(mathutil.Vec, c.OutputDims+1), nil
+	case SlowStart:
+		t := time.NewTimer(c.Schedule.slowBy())
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+		return c.Inner.Execute(ctx, block)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %v", ErrInjected, k)
+	}
+}

@@ -1,0 +1,265 @@
+package faultinject
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"gupt/internal/mathutil"
+)
+
+// ProtoFault enumerates the wire-level faults a Proxy can inject into the
+// worker protocol's NDJSON reply stream.
+type ProtoFault int
+
+const (
+	// ProtoNone relays the reply untouched.
+	ProtoNone ProtoFault = iota
+	// ProtoCorrupt replaces the reply line with bytes that are not JSON.
+	ProtoCorrupt
+	// ProtoTruncate forwards only a prefix of the reply line (still
+	// newline-terminated, so the reader sees a short, broken record).
+	ProtoTruncate
+	// ProtoDisconnect drops the client connection instead of replying —
+	// a worker that died mid-exchange.
+	ProtoDisconnect
+	// ProtoStall delays the reply by StallFor before forwarding it.
+	ProtoStall
+	numProtoFaults int = iota
+)
+
+// String names the fault for logs and test output.
+func (f ProtoFault) String() string {
+	switch f {
+	case ProtoNone:
+		return "proto-none"
+	case ProtoCorrupt:
+		return "proto-corrupt"
+	case ProtoTruncate:
+		return "proto-truncate"
+	case ProtoDisconnect:
+		return "proto-disconnect"
+	case ProtoStall:
+		return "proto-stall"
+	default:
+		return fmt.Sprintf("protofault(%d)", int(f))
+	}
+}
+
+// ProtoSchedule decides the fault for each successive reply, like Schedule
+// but over the wire-fault kinds.
+type ProtoSchedule struct {
+	// Seed drives random decisions.
+	Seed int64
+	// Rates maps each fault to its per-reply probability; ignored when
+	// Plan is set.
+	Rates map[ProtoFault]float64
+	// Plan scripts faults explicitly: reply i suffers Plan[i % len(Plan)].
+	Plan []ProtoFault
+	// StallFor is the ProtoStall delay; zero selects 50ms.
+	StallFor time.Duration
+
+	mu     sync.Mutex
+	rng    *mathutil.RNG
+	calls  int
+	counts [numProtoFaults]int
+}
+
+func (s *ProtoSchedule) next() ProtoFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.calls
+	s.calls++
+	var f ProtoFault
+	if len(s.Plan) > 0 {
+		f = s.Plan[i%len(s.Plan)]
+	} else {
+		if s.rng == nil {
+			s.rng = mathutil.NewRNG(s.Seed)
+		}
+		u := s.rng.Float64()
+		// Dense fixed-order draw, as in Schedule.next: map iteration order
+		// must not influence outcomes.
+		var rates [numProtoFaults]float64
+		for k, r := range s.Rates {
+			if k > ProtoNone && int(k) < numProtoFaults && r > 0 {
+				rates[k] = r
+			}
+		}
+		for kind, rate := range rates {
+			if u < rate {
+				f = ProtoFault(kind)
+				break
+			}
+			u -= rate
+		}
+	}
+	s.counts[f]++
+	return f
+}
+
+// Counts reports how many times each fault has been injected.
+func (s *ProtoSchedule) Counts() map[ProtoFault]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[ProtoFault]int)
+	for f, c := range s.counts {
+		if c > 0 {
+			out[ProtoFault(f)] = c
+		}
+	}
+	return out
+}
+
+func (s *ProtoSchedule) stallFor() time.Duration {
+	if s.StallFor > 0 {
+		return s.StallFor
+	}
+	return 50 * time.Millisecond
+}
+
+// Proxy is a chaos TCP proxy for the newline-delimited JSON worker
+// protocol. It forwards request lines to the upstream address verbatim and
+// injects schedule-driven faults into the reply stream. Point a
+// compman.WorkerPool at the proxy's address instead of the worker's to
+// exercise the pool's redial/retry and the engine's substitution paths.
+type Proxy struct {
+	// Upstream is the real worker address. Required.
+	Upstream string
+	// Schedule drives the injection decisions. Required.
+	Schedule *ProtoSchedule
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// until Close. It returns once the listener is accepting.
+func (p *Proxy) Start(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("faultinject: proxy listen: %w", err)
+	}
+	p.mu.Lock()
+	p.listener = l
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.serve(l)
+	return nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() net.Addr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.listener == nil {
+		return nil
+	}
+	return p.listener.Addr()
+}
+
+// Close stops the proxy and severs all live connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	l := p.listener
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) serve(l net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			p.handle(conn)
+		}()
+	}
+}
+
+// handle relays one client connection. Requests stream upstream untouched;
+// replies pass through the fault schedule line by line.
+func (p *Proxy) handle(client net.Conn) {
+	defer func() {
+		client.Close()
+		p.mu.Lock()
+		delete(p.conns, client)
+		p.mu.Unlock()
+	}()
+	upstream, err := net.Dial("tcp", p.Upstream)
+	if err != nil {
+		return
+	}
+	defer upstream.Close()
+
+	// Requests: plain byte relay.
+	go func() {
+		_, _ = io.Copy(upstream, client)
+		upstream.Close()
+	}()
+
+	r := bufio.NewReaderSize(upstream, 1<<20)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		switch p.Schedule.next() {
+		case ProtoNone:
+			if _, err := client.Write(line); err != nil {
+				return
+			}
+		case ProtoCorrupt:
+			if _, err := client.Write([]byte("!!not-json-at-all!!\n")); err != nil {
+				return
+			}
+		case ProtoTruncate:
+			cut := len(line) / 2
+			if cut == 0 {
+				cut = 1
+			}
+			if _, err := client.Write(append(line[:cut:cut], '\n')); err != nil {
+				return
+			}
+		case ProtoDisconnect:
+			return
+		case ProtoStall:
+			time.Sleep(p.Schedule.stallFor())
+			if _, err := client.Write(line); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -93,6 +93,13 @@ func (s *Session) Plan() ([]float64, error) {
 // Run charges the session budget (atomically: all-or-nothing against the
 // dataset's lifetime ledger) and executes every query at its allocated ε,
 // returning results in Add order.
+//
+// Failures degrade gracefully: once the charge has settled, a query that
+// fails mid-session leaves a nil slot in the results and the remaining
+// queries still run — aborting would waste the survivors' budget, and
+// refunding any of it would reopen the §6.2 privacy-budget attack. The
+// returned error joins every per-query failure (nil when all succeeded);
+// the session's full budget is consumed either way.
 func (s *Session) Run(ctx context.Context) ([]*Result, error) {
 	alloc, err := s.Plan()
 	if err != nil {
@@ -107,25 +114,30 @@ func (s *Session) Run(ctx context.Context) ([]*Result, error) {
 	}
 
 	results := make([]*Result, len(s.queries))
+	var errs []error
 	for i, q := range s.queries {
 		q.Epsilon = alloc[i]
 		reg, err := s.platform.reg.Lookup(s.dataset)
 		if err != nil {
-			return results, err
+			errs = append(errs, fmt.Errorf("gupt: session query %d: %w", i, err))
+			continue
 		}
 		spec := core.RangeSpec{Mode: q.Mode, Output: q.OutputRanges}
 		res, err := core.Run(ctx, q.Program, reg.Private.Rows(), spec, core.Options{
-			Epsilon:    q.Epsilon,
-			BlockSize:  q.BlockSize,
-			Gamma:      q.Gamma,
-			Seed:       q.Seed,
-			Quantum:    q.Quantum,
-			NewChamber: q.Chambers,
+			Epsilon:      q.Epsilon,
+			BlockSize:    q.BlockSize,
+			Gamma:        q.Gamma,
+			Seed:         q.Seed,
+			Quantum:      q.Quantum,
+			BlockTimeout: q.BlockTimeout,
+			MaxFailFrac:  q.MaxFailFrac,
+			NewChamber:   q.Chambers,
 		})
 		if err != nil {
-			return results, fmt.Errorf("gupt: session query %d (%s): %w", i, q.Program.Name(), err)
+			errs = append(errs, fmt.Errorf("gupt: session query %d (%s): %w", i, q.Program.Name(), err))
+			continue
 		}
 		results[i] = res
 	}
-	return results, nil
+	return results, errors.Join(errs...)
 }
