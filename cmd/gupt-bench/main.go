@@ -9,6 +9,7 @@
 //	gupt-bench -quick          # reduced sizes (seconds instead of minutes)
 //	gupt-bench -exp fig4,fig9  # a subset
 //	gupt-bench -csv out/       # additionally write <out>/<id>.csv series
+//	gupt-bench -json run.json  # machine-readable report of the run
 //	gupt-bench -list           # show available experiment ids
 package main
 
@@ -21,6 +22,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"gupt/internal/experiments"
 )
@@ -112,6 +114,7 @@ func main() {
 		seed   = flag.Int64("seed", 42, "experiment seed")
 		exp    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
 		csvDir = flag.String("csv", "", "directory to write per-experiment CSV series into")
+		jsonTo = flag.String("json", "", "write a machine-readable report of the run to this path")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -140,6 +143,7 @@ func main() {
 		selected = strings.Split(*exp, ",")
 	}
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	report := &Report{Seed: *seed, Quick: *quick, Experiments: []ExperimentReport{}}
 	failed := 0
 	for _, id := range selected {
 		id = strings.TrimSpace(id)
@@ -149,7 +153,9 @@ func main() {
 			failed++
 			continue
 		}
+		start := time.Now()
 		result, err := run(cfg)
+		report.record(id, result, time.Since(start), err)
 		if err != nil {
 			log.Printf("%s: %v", id, err)
 			failed++
@@ -164,6 +170,12 @@ func main() {
 					failed++
 				}
 			}
+		}
+	}
+	if *jsonTo != "" {
+		if err := report.write(*jsonTo); err != nil {
+			log.Printf("writing json report: %v", err)
+			failed++
 		}
 	}
 	if failed > 0 {

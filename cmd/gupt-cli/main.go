@@ -6,6 +6,7 @@
 //
 //	gupt-cli -addr 127.0.0.1:7113 -op list
 //	gupt-cli -addr 127.0.0.1:7113 -op budget -dataset census
+//	gupt-cli -op stats -admin 127.0.0.1:7114   # per-dataset budget table
 //	gupt-cli -addr 127.0.0.1:7113 -op query -dataset census \
 //	         -program mean -col 0 -range 0,150 -epsilon 1
 //	gupt-cli -op query -dataset census -program mean -col 0 \
@@ -51,6 +52,7 @@ func main() {
 
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7113", "guptd address")
+		admin      = flag.String("admin", "", "guptd admin endpoint; with -op stats, renders the per-dataset budget table")
 		op         = flag.String("op", "query", "operation: query | budget | list | stats | ping")
 		ds         = flag.String("dataset", "", "dataset name")
 		program    = flag.String("program", "mean", "program: mean | median | variance | percentile | covariance | histogram | kmeans | logreg | linreg | naivebayes")
@@ -76,6 +78,15 @@ func main() {
 	)
 	flag.Var(&ranges, "range", "output range lo,hi (repeat per output dimension)")
 	flag.Parse()
+
+	// The admin stats table talks HTTP to the operator plane; no protocol
+	// connection is needed.
+	if *op == "stats" && *admin != "" {
+		if err := adminStats(*admin); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	client, err := compman.Dial(*addr)
 	if err != nil {

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"text/tabwriter"
+
+	"gupt/internal/telemetry"
+)
+
+// adminStats renders the operator's per-dataset budget table from guptd's
+// admin endpoint (-admin-addr). This is the pretty-print mode of -op stats:
+// it talks HTTP to the admin plane instead of the analyst protocol, so it
+// sees per-dataset remaining budget and refusal counts.
+func adminStats(adminAddr string) error {
+	url := "http://" + adminAddr + "/datasets"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var stats []telemetry.DatasetStats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		return fmt.Errorf("parsing %s: %w", url, err)
+	}
+	renderDatasetTable(os.Stdout, stats)
+	return nil
+}
+
+// renderDatasetTable pretty-prints the per-dataset budget state.
+func renderDatasetTable(w io.Writer, stats []telemetry.DatasetStats) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DATASET\tBUDGET ε\tSPENT ε\tREMAINING ε\tQUERIES\tREFUSALS")
+	for _, ds := range stats {
+		fmt.Fprintf(tw, "%s\t%g\t%g\t%g\t%d\t%d\n",
+			ds.Name, ds.TotalEpsilon, ds.SpentEpsilon, ds.RemainingEpsilon,
+			ds.Queries, ds.Refusals)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gupt/internal/telemetry"
+)
+
+func TestRenderDatasetTable(t *testing.T) {
+	var sb strings.Builder
+	renderDatasetTable(&sb, []telemetry.DatasetStats{
+		{Name: "census", TotalEpsilon: 2, SpentEpsilon: 1, RemainingEpsilon: 1, Queries: 2, Refusals: 1},
+		{Name: "ads", TotalEpsilon: 5, SpentEpsilon: 0, RemainingEpsilon: 5},
+	})
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "DATASET") || !strings.Contains(lines[0], "REMAINING") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	for _, want := range []string{"census", "ads"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing dataset %q:\n%s", want, out)
+		}
+	}
+	censusFields := strings.Fields(lines[1])
+	if censusFields[0] != "census" || censusFields[len(censusFields)-1] != "1" {
+		t.Fatalf("census row = %q", lines[1])
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"log"
+	"net"
+	"net/http"
+
+	"gupt/internal/dataset"
+	"gupt/internal/telemetry"
+)
+
+// newAdminHandler assembles guptd's admin endpoint: the shared telemetry
+// registry at /metrics, per-dataset budget state at /datasets, /healthz,
+// and /debug/pprof/. The endpoint is operator-facing — bind it to loopback
+// or an ops network, never the analyst-facing address (see SECURITY.md,
+// "Telemetry and the observability side channel").
+func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry) http.Handler {
+	return telemetry.AdminHandler(telemetry.AdminConfig{
+		Registry: tel,
+		Health:   func() error { return nil },
+		Datasets: func() []telemetry.DatasetStats { return datasetStats(tel, reg) },
+	})
+}
+
+// datasetStats builds the /datasets rows: the accountant's ledger state
+// plus the per-dataset refusal counter the budget manager maintains.
+func datasetStats(tel *telemetry.Registry, reg *dataset.Registry) []telemetry.DatasetStats {
+	names := reg.Names()
+	stats := make([]telemetry.DatasetStats, 0, len(names))
+	for _, name := range names {
+		r, err := reg.Lookup(name)
+		if err != nil {
+			continue // unregistered between Names and Lookup
+		}
+		acct := r.Accountant
+		stats = append(stats, telemetry.DatasetStats{
+			Name:             name,
+			TotalEpsilon:     acct.Total(),
+			SpentEpsilon:     acct.Spent(),
+			RemainingEpsilon: acct.Remaining(),
+			Queries:          acct.Queries(),
+			Refusals:         tel.Counter("budget.refusals." + name).Value(),
+		})
+	}
+	return stats
+}
+
+// serveAdmin starts the admin HTTP server on addr and returns its
+// listener (so callers learn the bound address for ":0") and a shutdown
+// func. Serving errors after startup go to the process log.
+func serveAdmin(addr string, handler http.Handler) (net.Listener, func(), error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go func() {
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			log.Printf("admin server: %v", err)
+		}
+	}()
+	return l, func() { srv.Close() }, nil
+}

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gupt/internal/compman"
+	"gupt/internal/dataset"
+	"gupt/internal/telemetry"
+)
+
+// startGuptd assembles the same server+admin pair guptd's main builds:
+// a compman server and the admin HTTP endpoint sharing one telemetry
+// registry, both on real OS sockets bound to :0.
+func startGuptd(t *testing.T, reg *dataset.Registry, cfg compman.ServerConfig) (*compman.Client, string) {
+	t.Helper()
+	tel := telemetry.NewRegistry()
+	cfg.Telemetry = tel
+	srv := compman.NewServer(reg, cfg)
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(sl)
+	t.Cleanup(func() { srv.Close() })
+
+	al, stopAdmin, err := serveAdmin("127.0.0.1:0", newAdminHandler(tel, reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stopAdmin)
+
+	client, err := compman.Dial(sl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, "http://" + al.Addr().String()
+}
+
+func adminGet(t *testing.T, base, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// The acceptance-criteria walk: a scripted query sequence against a real
+// guptd-shaped deployment, with every admin view checked against it —
+// block-outcome counters, the bucketed latency histogram, per-dataset
+// remaining budget, refusal counts, and pprof availability.
+func TestAdminEndpointAgreesWithQuerySequence(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("age\n")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, "%d\n", 30+i%10)
+	}
+	reg := dataset.NewRegistry()
+	const totalBudget = 2.0
+	if err := registerSpec(reg, "census="+writeCSV(t, sb.String())+":budget=2:header"); err != nil {
+		t.Fatal(err)
+	}
+	client, admin := startGuptd(t, reg, compman.ServerConfig{})
+
+	mean := func(eps float64) (*compman.Response, error) {
+		return client.Query(&compman.Request{
+			Dataset:      "census",
+			Program:      &compman.ProgramSpec{Type: "mean"},
+			OutputRanges: []compman.RangeSpec{{Lo: 0, Hi: 100}},
+			Epsilon:      eps,
+			Seed:         7,
+		})
+	}
+
+	// Scripted sequence: two successful queries (ε 0.5 each), then one
+	// refusal (ε 1.5 > the 1.0 remaining).
+	var blocks int
+	for i := 0; i < 2; i++ {
+		resp, err := mean(0.5)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		blocks += resp.NumBlocks
+	}
+	if _, err := mean(1.5); err == nil {
+		t.Fatal("over-budget query must refuse")
+	}
+
+	code, _ := adminGet(t, admin, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+
+	code, body := adminGet(t, admin, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	if got := snap.Counters["compman.queries_ok"]; got != 2 {
+		t.Fatalf("queries_ok = %d, want 2", got)
+	}
+	if got := snap.Counters["compman.budget_refusals"]; got != 1 {
+		t.Fatalf("budget_refusals = %d, want 1", got)
+	}
+	if got := snap.Counters["budget.refusals.census"]; got != 1 {
+		t.Fatalf("per-dataset refusals = %d, want 1", got)
+	}
+	if got := snap.Counters["engine.blocks_ok"]; got != int64(blocks) {
+		t.Fatalf("engine.blocks_ok = %d, want %d (sum of NumBlocks)", got, blocks)
+	}
+	if got := snap.Counters["sandbox.inprocess.spawns"]; got != int64(blocks) {
+		t.Fatalf("chamber spawns = %d, want %d", got, blocks)
+	}
+	lat := snap.Histograms["compman.query_latency_millis"]
+	if lat.Count != 2 {
+		t.Fatalf("latency histogram count = %d, want 2 (ok queries only)", lat.Count)
+	}
+	// Each lifecycle stage of the two successful runs left one bucketed
+	// span observation.
+	for _, stage := range []string{"admission", "budget", "partition", "blocks", "aggregation", "noising", "release"} {
+		if got := snap.Histograms["trace.stage."+stage+".millis"].Count; got < 2 {
+			t.Fatalf("stage %q observed %d times, want >= 2", stage, got)
+		}
+	}
+
+	code, body = adminGet(t, admin, "/datasets")
+	if code != http.StatusOK {
+		t.Fatalf("/datasets = %d", code)
+	}
+	var stats []telemetry.DatasetStats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Name != "census" {
+		t.Fatalf("datasets = %+v", stats)
+	}
+	ds := stats[0]
+	if ds.TotalEpsilon != totalBudget || math.Abs(ds.SpentEpsilon-1.0) > 1e-9 || math.Abs(ds.RemainingEpsilon-1.0) > 1e-9 {
+		t.Fatalf("budget view = %+v, want total 2 spent 1 remaining 1", ds)
+	}
+	if ds.Queries != 2 || ds.Refusals != 1 {
+		t.Fatalf("counts = %+v, want 2 queries / 1 refusal", ds)
+	}
+
+	// Cross-check with the analyst-visible budget op.
+	rem, err := client.RemainingBudget("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rem-ds.RemainingEpsilon) > 1e-9 {
+		t.Fatalf("admin remaining %v != protocol remaining %v", ds.RemainingEpsilon, rem)
+	}
+
+	if code, _ := adminGet(t, admin, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// The admin endpoint must answer while a query is executing: /metrics and
+// /healthz are hit mid-flight (the per-block quantum keeps the query in
+// the engine long enough), and the wire OpStats snapshot must agree with
+// /metrics afterwards.
+func TestAdminRespondsDuringQuery(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("v\n")
+	for i := 0; i < 300; i++ {
+		sb.WriteString("1\n")
+	}
+	reg := dataset.NewRegistry()
+	if err := registerSpec(reg, "d="+writeCSV(t, sb.String())+":budget=10:header"); err != nil {
+		t.Fatal(err)
+	}
+	// 20ms quantum × ~10 blocks serialized over few cores keeps the query
+	// in flight for a comfortably observable window.
+	client, admin := startGuptd(t, reg, compman.ServerConfig{DefaultQuantum: 20 * time.Millisecond})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Query(&compman.Request{
+			Dataset:      "d",
+			Program:      &compman.ProgramSpec{Type: "mean"},
+			OutputRanges: []compman.RangeSpec{{Lo: 0, Hi: 2}},
+			Epsilon:      1,
+		})
+		done <- err
+	}()
+
+	// Poll /metrics until the query is visibly in flight, proving the admin
+	// plane serves while the query plane works.
+	deadline := time.After(5 * time.Second)
+	finished := false
+	for sawInflight := false; !sawInflight && !finished; {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log("query finished before in-flight observation; counters still checked below")
+			finished = true
+		case <-deadline:
+			t.Fatal("query never became visible in /metrics")
+		default:
+			code, body := adminGet(t, admin, "/metrics")
+			if code != http.StatusOK {
+				t.Fatalf("/metrics during query = %d", code)
+			}
+			var snap telemetry.Snapshot
+			if err := json.Unmarshal(body, &snap); err != nil {
+				t.Fatal(err)
+			}
+			if snap.Gauges["compman.queries_inflight"] > 0 {
+				if code, _ := adminGet(t, admin, "/healthz"); code != http.StatusOK {
+					t.Fatalf("/healthz during query = %d", code)
+				}
+				sawInflight = true
+			}
+		}
+	}
+	if !finished {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("query did not finish")
+		}
+	}
+
+	// The wire stats snapshot and /metrics are views of the same atomics.
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body := adminGet(t, admin, "/metrics")
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if stats.QueriesOK != snap.Counters["compman.queries_ok"] || stats.QueriesOK != 1 {
+		t.Fatalf("OpStats ok=%d, /metrics ok=%d, want both 1", stats.QueriesOK, snap.Counters["compman.queries_ok"])
+	}
+	if snap.Gauges["compman.queries_inflight"] != 0 {
+		t.Fatalf("inflight gauge = %d after completion", snap.Gauges["compman.queries_inflight"])
+	}
+}
+
+// Concurrent admin reads during concurrent queries, for the race detector.
+func TestAdminConcurrentWithQueries(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("v\n")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("1\n")
+	}
+	reg := dataset.NewRegistry()
+	if err := registerSpec(reg, "d="+writeCSV(t, sb.String())+":budget=100:header"); err != nil {
+		t.Fatal(err)
+	}
+	client, admin := startGuptd(t, reg, compman.ServerConfig{})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if code, _ := adminGet(t, admin, "/metrics"); code != http.StatusOK {
+					t.Errorf("/metrics = %d", code)
+					return
+				}
+				adminGet(t, admin, "/datasets")
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := client.Query(&compman.Request{
+			Dataset:      "d",
+			Program:      &compman.ProgramSpec{Type: "mean"},
+			OutputRanges: []compman.RangeSpec{{Lo: 0, Hi: 2}},
+			Epsilon:      0.1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+}

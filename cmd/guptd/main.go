@@ -31,6 +31,7 @@ import (
 
 	"gupt/internal/compman"
 	"gupt/internal/dataset"
+	"gupt/internal/telemetry"
 )
 
 type datasetFlags []string
@@ -44,6 +45,9 @@ func main() {
 
 	var (
 		listen       = flag.String("listen", "127.0.0.1:7113", "address to listen on")
+		adminAddr    = flag.String("admin-addr", "", "operator admin HTTP endpoint (/metrics, /healthz, /datasets, /debug/pprof); empty disables")
+		traceLog     = flag.Bool("unsafe-trace-log", false, "log per-query lifecycle traces with raw stage durations; UNSAFE where analysts can read logs (see SECURITY.md)")
+		traceSlower  = flag.Duration("trace-threshold", 0, "with -unsafe-trace-log, only log queries at least this slow (0 logs all)")
 		quantum      = flag.Duration("quantum", 0, "per-block timing quantum applied to all queries (0 disables)")
 		scratch      = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
 		state        = flag.String("state", "", "budget ledger state file; spent budget survives restarts")
@@ -85,7 +89,8 @@ func main() {
 		workerAddrs = strings.Split(*workers, ",")
 	}
 
-	srv := compman.NewServer(reg, compman.ServerConfig{
+	tel := telemetry.NewRegistry()
+	cfg := compman.ServerConfig{
 		DefaultQuantum:  *quantum,
 		ScratchRoot:     *scratch,
 		StatePath:       *state,
@@ -96,7 +101,26 @@ func main() {
 		MaxQueryRetries: *retries,
 		MaxFailFrac:     *maxFailFrac,
 		Logger:          log.Default(),
-	})
+		Telemetry:       tel,
+	}
+	if *traceLog {
+		log.Print("WARNING: -unsafe-trace-log exposes raw per-stage query timings in the log; " +
+			"keep this log operator-private (SECURITY.md §timing)")
+		cfg.TraceLogger = log.Default()
+		cfg.TraceThreshold = *traceSlower
+	}
+	srv := compman.NewServer(reg, cfg)
+
+	var stopAdmin func()
+	if *adminAddr != "" {
+		al, stop, err := serveAdmin(*adminAddr, newAdminHandler(tel, reg))
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		stopAdmin = stop
+		log.Printf("admin endpoint on http://%s (/metrics /healthz /datasets /debug/pprof/)", al.Addr())
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
@@ -113,6 +137,9 @@ func main() {
 			if err := reg.SaveBudgets(*state); err != nil {
 				log.Printf("final ledger flush failed: %v", err)
 			}
+		}
+		if stopAdmin != nil {
+			stopAdmin()
 		}
 		srv.Close()
 	}()

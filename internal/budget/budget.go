@@ -15,6 +15,7 @@ import (
 	"gupt/internal/core"
 	"gupt/internal/dataset"
 	"gupt/internal/dp"
+	"gupt/internal/telemetry"
 )
 
 // Distribute splits a total privacy budget across m queries in proportion
@@ -75,11 +76,19 @@ func Zeta(ranges []dp.Range, blockSize, n int) (float64, error) {
 // flow through here; analyst-side code never sees an accountant.
 type Manager struct {
 	reg *dataset.Registry
+	tel *telemetry.Registry
 }
 
 // NewManager returns a manager over the given registry.
 func NewManager(reg *dataset.Registry) *Manager {
 	return &Manager{reg: reg}
+}
+
+// Instrument routes charge/refusal counters into a telemetry registry
+// (budget.charges[.<dataset>] and budget.refusals[.<dataset>]). Call before
+// serving; the counters carry event counts and labels only, never ε values.
+func (m *Manager) Instrument(tel *telemetry.Registry) {
+	m.tel = tel
 }
 
 // Charge debits eps from the named dataset's budget, labeled for audit.
@@ -89,7 +98,21 @@ func (m *Manager) Charge(datasetName, label string, eps float64) error {
 	if err != nil {
 		return err
 	}
-	return r.Accountant.Spend(label, eps)
+	return m.record(datasetName, r.Accountant.Spend(label, eps))
+}
+
+// record tallies a settled or refused charge. Only budget refusals count as
+// refusals; validation errors (bad ε) are neither.
+func (m *Manager) record(datasetName string, err error) error {
+	switch {
+	case err == nil:
+		m.tel.Counter("budget.charges").Inc()
+		m.tel.Counter("budget.charges." + datasetName).Inc()
+	case errors.Is(err, dp.ErrBudgetExhausted):
+		m.tel.Counter("budget.refusals").Inc()
+		m.tel.Counter("budget.refusals." + datasetName).Inc()
+	}
+	return err
 }
 
 // Remaining reports the named dataset's unspent budget.
@@ -121,7 +144,7 @@ func (m *Manager) ChargeForAccuracy(datasetName, label string, program analytics
 	if err != nil {
 		return aging.EpsilonEstimate{}, err
 	}
-	if err := r.Accountant.Spend(label, est.Epsilon); err != nil {
+	if err := m.record(datasetName, r.Accountant.Spend(label, est.Epsilon)); err != nil {
 		return aging.EpsilonEstimate{}, err
 	}
 	return est, nil

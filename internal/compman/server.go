@@ -10,6 +10,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gupt/internal/aging"
@@ -20,6 +21,7 @@ import (
 	"gupt/internal/dp"
 	"gupt/internal/mathutil"
 	"gupt/internal/sandbox"
+	"gupt/internal/telemetry"
 )
 
 // ServerConfig tunes the trusted server component.
@@ -66,18 +68,35 @@ type ServerConfig struct {
 	ChamberWrapper func(sandbox.Chamber) sandbox.Chamber
 	// Logger receives connection-level diagnostics; nil silences them.
 	Logger *log.Logger
+	// Telemetry is the metrics registry the server instruments into
+	// (counters, gauges, bucketed latency histograms). Nil makes the server
+	// create a private one; operators who serve an admin endpoint pass a
+	// shared registry here (see internal/telemetry and cmd/guptd
+	// -admin-addr).
+	Telemetry *telemetry.Registry
+	// TraceLogger, when set, receives one line per traced query with RAW
+	// per-stage durations — the opt-in slow-query trace log. This reopens
+	// the §6.3 timing side channel for anyone who can read the log, so it
+	// must stay operator-private and off in adversarial deployments; see
+	// SECURITY.md before enabling.
+	TraceLogger *log.Logger
+	// TraceThreshold suppresses trace-log lines for queries faster than
+	// this; zero logs every query when TraceLogger is set.
+	TraceThreshold time.Duration
 }
 
 // Server is the trusted computation-manager server. It owns the dataset
 // registry and the budget manager; untrusted analyst programs only ever
 // see block data inside chambers and the final private outputs.
 type Server struct {
-	reg     *dataset.Registry
-	mgr     *budget.Manager
-	cfg     ServerConfig
-	pool    *WorkerPool // nil when executing locally
-	poolErr error       // non-nil when WorkerAddrs were set but unreachable
-	stats   statsCollector
+	reg      *dataset.Registry
+	mgr      *budget.Manager
+	cfg      ServerConfig
+	pool     *WorkerPool // nil when executing locally
+	poolErr  error       // non-nil when WorkerAddrs were set but unreachable
+	tel      *telemetry.Registry
+	stats    *statsCollector
+	querySeq atomic.Int64 // operator-side trace correlation ids
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -89,12 +108,19 @@ type Server struct {
 // NewServer creates a server over the given registry. If cfg.WorkerAddrs is
 // set, every worker must be reachable at construction time.
 func NewServer(reg *dataset.Registry, cfg ServerConfig) *Server {
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	s := &Server{
 		reg:   reg,
 		mgr:   budget.NewManager(reg),
 		cfg:   cfg,
+		tel:   tel,
+		stats: newStatsCollector(tel),
 		conns: make(map[net.Conn]struct{}),
 	}
+	s.mgr.Instrument(tel)
 	if len(cfg.WorkerAddrs) > 0 {
 		pool, err := NewWorkerPool(cfg.WorkerAddrs)
 		if err != nil {
@@ -104,6 +130,7 @@ func NewServer(reg *dataset.Registry, cfg ServerConfig) *Server {
 			s.logf("compman: worker pool unavailable: %v", err)
 		} else {
 			s.pool = pool
+			s.pool.Instrument(tel)
 		}
 	}
 	return s
@@ -112,6 +139,10 @@ func NewServer(reg *dataset.Registry, cfg ServerConfig) *Server {
 // Registry exposes the server's dataset registry for operator-side
 // registration (the data owner's interface).
 func (s *Server) Registry() *dataset.Registry { return s.reg }
+
+// Telemetry exposes the server's metrics registry, for serving an admin
+// endpoint (telemetry.AdminHandler) or asserting counters in tests.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 
 // Addr returns the address Serve is listening on, or nil before Serve.
 func (s *Server) Addr() net.Addr {
@@ -153,8 +184,10 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.tel.Gauge("compman.connections").Inc()
 		go func() {
 			defer s.wg.Done()
+			defer s.tel.Gauge("compman.connections").Dec()
 			s.handleConn(conn)
 		}()
 	}
@@ -250,7 +283,13 @@ func (s *Server) dispatch(req *Request) Response {
 		return Response{OK: true, Remaining: rem}
 	case OpQuery:
 		start := time.Now()
-		resp := s.handleQuery(req)
+		inflight := s.tel.Gauge("compman.queries_inflight")
+		inflight.Inc()
+		// The trace id is a server-side sequence number: operator-meaningful
+		// for log correlation, never derived from analyst input.
+		tr := telemetry.NewTrace(s.tel, fmt.Sprintf("q%d", s.querySeq.Add(1)), req.Dataset)
+		resp := s.handleQuery(req, tr)
+		inflight.Dec()
 		if resp.OK {
 			s.stats.recordOK(time.Since(start))
 			if resp.FailedBlocks > 0 {
@@ -261,6 +300,7 @@ func (s *Server) dispatch(req *Request) Response {
 				strings.Contains(resp.Error, dp.ErrBudgetExhausted.Error()),
 				resp.EpsilonCharged > 0)
 		}
+		s.logTrace(tr)
 		return resp
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
@@ -269,11 +309,35 @@ func (s *Server) dispatch(req *Request) Response {
 
 func errResponse(err error) Response { return Response{Error: err.Error()} }
 
+// logTrace emits the opt-in slow-query trace line. Raw per-stage durations
+// leave the process ONLY through this path, and only when the operator
+// explicitly configured TraceLogger — see SECURITY.md on why that log is
+// unsafe to expose to adversarial analysts.
+func (s *Server) logTrace(tr *telemetry.Trace) {
+	if s.cfg.TraceLogger == nil || tr == nil {
+		return
+	}
+	if elapsed := tr.Elapsed(); elapsed < s.cfg.TraceThreshold {
+		return
+	}
+	s.cfg.TraceLogger.Printf("%s", tr.String())
+}
+
 // handleQuery is the trusted query path: resolve program and ranges, settle
 // the privacy charge against the platform-owned ledger, then run the
 // engine. The budget is charged before execution so an analyst cannot
 // observe partial results of a query that would overdraw.
-func (s *Server) handleQuery(req *Request) Response {
+//
+// tr records the query's lifecycle spans (admission → budget → engine
+// stages → release); it may be nil in direct tests.
+func (s *Server) handleQuery(req *Request, tr *telemetry.Trace) Response {
+	// Admission covers everything before the charge: dataset resolution,
+	// program and range validation, chamber selection, block-size planning.
+	// End keeps only its first call, so the deferred error status fires
+	// only when an early return skips the explicit ok below.
+	admission := tr.StartSpan(telemetry.StageAdmission)
+	defer admission.End(telemetry.StatusError)
+
 	reg, err := s.reg.Lookup(req.Dataset)
 	if err != nil {
 		return errResponse(err)
@@ -358,8 +422,12 @@ func (s *Server) handleQuery(req *Request) Response {
 		opts.BlockSize = choice.BlockSize
 	}
 
+	admission.End(telemetry.StatusOK)
+
 	// Settle the privacy charge. Any successful charge is journaled before
 	// the computation runs, so a crash can never refund it.
+	charge := tr.StartSpan(telemetry.StageBudget)
+	defer charge.End(telemetry.StatusError)
 	label := fmt.Sprintf("%s:%s", req.Dataset, req.Program.Type)
 	switch {
 	case req.Epsilon > 0 && req.Accuracy != nil:
@@ -389,6 +457,12 @@ func (s *Server) handleQuery(req *Request) Response {
 	default:
 		return Response{Error: "query needs a positive epsilon or an accuracy goal"}
 	}
+	charge.End(telemetry.StatusOK)
+
+	// The engine stages (partition → blocks → aggregation → noising) span
+	// themselves inside core.Run.
+	opts.Metrics = s.tel
+	opts.Trace = tr
 
 	res, err := s.runCharged(program, rows, spec, opts)
 	if err != nil {
@@ -399,7 +473,9 @@ func (s *Server) handleQuery(req *Request) Response {
 		resp.EpsilonCharged = opts.Epsilon
 		return resp
 	}
-	return Response{
+
+	release := tr.StartSpan(telemetry.StageRelease)
+	resp := Response{
 		OK:              true,
 		Output:          res.Output,
 		EpsilonSpent:    res.EpsilonSpent,
@@ -409,6 +485,8 @@ func (s *Server) handleQuery(req *Request) Response {
 		BlockSize:       res.BlockSize,
 		FailedBlocks:    res.FailedBlocks,
 	}
+	release.End(telemetry.StatusOK)
+	return resp
 }
 
 // runCharged executes the engine for a query whose privacy charge has
@@ -544,6 +622,7 @@ func (s *Server) handleSession(req *Request) Response {
 				BlockTimeout: s.cfg.BlockTimeout,
 				MaxFailFrac:  s.cfg.MaxFailFrac,
 				NewChamber:   s.wrapChamberFactory(nil),
+				Metrics:      s.tel,
 			})
 		if err != nil {
 			results[i] = SessionResult{Error: err.Error(), EpsilonSpent: alloc[i]}

@@ -1,8 +1,10 @@
 package compman
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
+
+	"gupt/internal/telemetry"
 )
 
 // ServerStats is an operator-facing snapshot of a server's activity since
@@ -36,50 +38,87 @@ type ServerStats struct {
 	TotalQueryMillis int64 `json:"totalQueryMillis"`
 }
 
-// statsCollector guards the counters.
+// statsCollector is the server's activity ledger, rebased onto the
+// telemetry registry: every counter is a lock-free registry counter, so the
+// wire-protocol ServerStats snapshot (OpStats) and the admin /metrics
+// endpoint are two views of the same atomics and can never disagree.
+//
+// TotalQueryMillis is the one deliberate exception: it stays a private
+// atomic instead of a registry counter. Exporting a cumulative millisecond
+// total next to a query count would let anyone diffing consecutive
+// /metrics snapshots recover one query's exact duration — the §6.3 timing
+// side channel. The wire snapshot keeps the field for client compatibility;
+// /metrics exposes latency only as the bucketed
+// compman.query_latency_millis histogram.
 type statsCollector struct {
-	mu    sync.Mutex
-	stats ServerStats
+	queriesOK         *telemetry.Counter
+	queriesFailed     *telemetry.Counter
+	budgetRefusals    *telemetry.Counter
+	queriesAborted    *telemetry.Counter
+	queriesDegraded   *telemetry.Counter
+	blocksSubstituted *telemetry.Counter
+	queryRetries      *telemetry.Counter
+	latency           *telemetry.Histogram
+	totalQueryMillis  atomic.Int64
+}
+
+// newStatsCollector resolves the collector's counters in tel once, so the
+// hot path pays one atomic add per event. tel must be non-nil (the server
+// always owns a registry).
+func newStatsCollector(tel *telemetry.Registry) *statsCollector {
+	return &statsCollector{
+		queriesOK:         tel.Counter("compman.queries_ok"),
+		queriesFailed:     tel.Counter("compman.queries_failed"),
+		budgetRefusals:    tel.Counter("compman.budget_refusals"),
+		queriesAborted:    tel.Counter("compman.queries_aborted"),
+		queriesDegraded:   tel.Counter("compman.queries_degraded"),
+		blocksSubstituted: tel.Counter("compman.blocks_substituted"),
+		queryRetries:      tel.Counter("compman.query_retries"),
+		latency:           tel.Histogram("compman.query_latency_millis", telemetry.DefaultLatencyBuckets),
+	}
 }
 
 func (c *statsCollector) recordOK(d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.QueriesOK++
-	c.stats.TotalQueryMillis += d.Milliseconds()
+	c.queriesOK.Inc()
+	c.totalQueryMillis.Add(d.Milliseconds())
+	c.latency.Observe(d)
 }
 
 // recordFailure tallies a refused query; budget refusals and post-charge
 // aborts get their own counters on top of the general one.
 func (c *statsCollector) recordFailure(budget, charged bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if budget {
-		c.stats.BudgetRefusals++
+		c.budgetRefusals.Inc()
 		return
 	}
-	c.stats.QueriesFailed++
+	c.queriesFailed.Inc()
 	if charged {
-		c.stats.QueriesAborted++
+		c.queriesAborted.Inc()
 	}
 }
 
 // recordDegraded tallies a successful query that substituted blocks.
 func (c *statsCollector) recordDegraded(blocks int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.QueriesDegraded++
-	c.stats.BlocksSubstituted += int64(blocks)
+	c.queriesDegraded.Inc()
+	c.blocksSubstituted.Add(int64(blocks))
 }
 
 func (c *statsCollector) recordRetry() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.QueryRetries++
+	c.queryRetries.Inc()
 }
 
+// snapshot assembles the wire-compatible ServerStats view. Each field is an
+// atomic load; the snapshot is per-counter consistent (see
+// telemetry.Registry.Snapshot for the same caveat).
 func (c *statsCollector) snapshot() ServerStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return ServerStats{
+		QueriesOK:         c.queriesOK.Value(),
+		QueriesFailed:     c.queriesFailed.Value(),
+		BudgetRefusals:    c.budgetRefusals.Value(),
+		QueriesAborted:    c.queriesAborted.Value(),
+		QueriesDegraded:   c.queriesDegraded.Value(),
+		BlocksSubstituted: c.blocksSubstituted.Value(),
+		QueryRetries:      c.queryRetries.Value(),
+		TotalQueryMillis:  c.totalQueryMillis.Load(),
+	}
 }

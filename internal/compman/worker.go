@@ -13,6 +13,7 @@ import (
 
 	"gupt/internal/mathutil"
 	"gupt/internal/sandbox"
+	"gupt/internal/telemetry"
 )
 
 // Distributed execution. The paper's computation manager is split into a
@@ -201,15 +202,32 @@ type WorkerPool struct {
 	mu    sync.Mutex
 	conns []*workerConn
 	next  int
+	tel   *telemetry.Registry
+}
+
+// Instrument routes pool health counters into a telemetry registry:
+// compman.pool.redials (transport-level reconnects), compman.pool.failovers
+// (blocks retried on a different worker) and the compman.pool.inflight
+// depth gauge. Nil-safe throughout; call before serving.
+func (p *WorkerPool) Instrument(tel *telemetry.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tel = tel
+	for _, wc := range p.conns {
+		wc.mu.Lock()
+		wc.redials = tel.Counter("compman.pool.redials")
+		wc.mu.Unlock()
+	}
 }
 
 type workerConn struct {
-	mu     sync.Mutex
-	addr   string
-	conn   net.Conn
-	r      *bufio.Reader
-	enc    *json.Encoder
-	broken bool // transport failed; redial before reuse
+	mu      sync.Mutex
+	addr    string
+	conn    net.Conn
+	r       *bufio.Reader
+	enc     *json.Encoder
+	broken  bool // transport failed; redial before reuse
+	redials *telemetry.Counter
 }
 
 // NewWorkerPool dials every worker address. All must be reachable.
@@ -284,6 +302,10 @@ func (c *poolChamber) Execute(ctx context.Context, block []mathutil.Vec) (mathut
 		req.Block[i] = r
 	}
 
+	inflight := c.pool.gauge("compman.pool.inflight")
+	inflight.Inc()
+	defer inflight.Dec()
+
 	tries := c.pool.Size()
 	if tries < 1 {
 		tries = 1
@@ -292,6 +314,9 @@ func (c *poolChamber) Execute(ctx context.Context, block []mathutil.Vec) (mathut
 	for attempt := 0; attempt < tries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if attempt > 0 {
+			c.pool.counter("compman.pool.failovers").Inc()
 		}
 		wc, err := c.pool.pick()
 		if err != nil {
@@ -340,6 +365,7 @@ func (wc *workerConn) execute(ctx context.Context, req *WorkRequest) (out mathut
 
 // redialLocked replaces a broken connection; the caller holds wc.mu.
 func (wc *workerConn) redialLocked() error {
+	wc.redials.Inc()
 	fresh, err := dialWorker(wc.addr)
 	if err != nil {
 		return err
@@ -377,6 +403,20 @@ func (wc *workerConn) roundTrip(ctx context.Context, req *WorkRequest) (mathutil
 		return nil, fmt.Errorf("compman: worker %s: %s", wc.addr, resp.Error)
 	}
 	return mathutil.Vec(resp.Output), nil
+}
+
+// counter and gauge resolve pool metrics through the (possibly nil)
+// telemetry registry.
+func (p *WorkerPool) counter(name string) *telemetry.Counter {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tel.Counter(name)
+}
+
+func (p *WorkerPool) gauge(name string) *telemetry.Gauge {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tel.Gauge(name)
 }
 
 func (p *WorkerPool) pick() (*workerConn, error) {

@@ -13,6 +13,7 @@ import (
 	"gupt/internal/dp"
 	"gupt/internal/mathutil"
 	"gupt/internal/sandbox"
+	"gupt/internal/telemetry"
 )
 
 // Options configures one sample-and-aggregate run.
@@ -59,6 +60,14 @@ type Options struct {
 	// implemented as an extension — see MakeGroupedPartition).
 	UserLevel  bool
 	UserColumn int
+	// Metrics receives engine-level observability: block outcome counters
+	// (engine.blocks_ok / blocks_substituted / blocks_timed_out) and the
+	// parallelism-occupancy gauge (engine.blocks_inflight). Nil disables.
+	// Only event counts flow here — never block data or raw durations.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, records one span per engine stage (partition,
+	// blocks, aggregation, noising) of this run's lifecycle.
+	Trace *telemetry.Trace
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -149,6 +158,11 @@ func Run(ctx context.Context, program analytics.Program, rows []mathutil.Vec, sp
 	rangeRNG := rng.Split()
 	noiseRNG := rng.Split()
 
+	// Span pattern: End keeps only its first call, so the deferred error
+	// status fires only when an early return skips the explicit ok.
+	partSpan := opts.Trace.StartSpan(telemetry.StagePartition)
+	defer partSpan.End(telemetry.StatusError)
+
 	var part *Partition
 	var err error
 	if opts.UserLevel {
@@ -202,15 +216,27 @@ func Run(ctx context.Context, program analytics.Program, rows []mathutil.Vec, sp
 	for d, r := range preRanges {
 		substitute[d] = r.Mid()
 	}
+	partSpan.End(telemetry.StatusOK)
 
+	blockSpan := opts.Trace.StartSpan(telemetry.StageBlocks)
 	outputs, failed, err := runBlocks(ctx, program, rows, part, substitute, opts)
 	if err != nil {
+		status := telemetry.StatusError
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = telemetry.StatusTimeout
+		}
+		blockSpan.End(status)
 		return nil, err
 	}
 	if opts.MaxFailFrac > 0 && float64(failed) > opts.MaxFailFrac*float64(part.NumBlocks()) {
+		blockSpan.End(telemetry.StatusError)
 		return nil, fmt.Errorf("%w: %d of %d blocks substituted (limit %.0f%%)",
 			ErrTooManyFailures, failed, part.NumBlocks(), opts.MaxFailFrac*100)
 	}
+	blockSpan.End(telemetry.StatusOK)
+
+	aggSpan := opts.Trace.StartSpan(telemetry.StageAggregation)
+	defer aggSpan.End(telemetry.StatusError)
 
 	// ModeLoose: tighten the output range privately from the block outputs.
 	effective := preRanges
@@ -221,22 +247,33 @@ func Run(ctx context.Context, program analytics.Program, rows []mathutil.Vec, sp
 		}
 	}
 
-	// Clamp, average, and add per-dimension Laplace noise (Algorithm 1
-	// lines 5–8, with the §4.2 resampling-aware sensitivity).
-	final := make(mathutil.Vec, outputDims)
+	// Clamp and average (Algorithm 1 lines 5–6).
+	avgs := make(mathutil.Vec, outputDims)
 	for d := 0; d < outputDims; d++ {
 		r := effective[d]
 		var sum float64
 		for _, o := range outputs {
 			sum += r.Clamp(o[d])
 		}
-		avg := sum / float64(len(outputs))
-		noisy, err := dp.Laplace(noiseRNG, avg, part.Sensitivity(r.Width()), split.AggregateEps)
+		avgs[d] = sum / float64(len(outputs))
+	}
+	aggSpan.End(telemetry.StatusOK)
+
+	noiseSpan := opts.Trace.StartSpan(telemetry.StageNoising)
+	defer noiseSpan.End(telemetry.StatusError)
+
+	// Per-dimension Laplace noise (Algorithm 1 lines 7–8, with the §4.2
+	// resampling-aware sensitivity).
+	final := make(mathutil.Vec, outputDims)
+	for d := 0; d < outputDims; d++ {
+		r := effective[d]
+		noisy, err := dp.Laplace(noiseRNG, avgs[d], part.Sensitivity(r.Width()), split.AggregateEps)
 		if err != nil {
 			return nil, err
 		}
 		final[d] = noisy
 	}
+	noiseSpan.End(telemetry.StatusOK)
 
 	return &Result{
 		Output:          final,
@@ -257,8 +294,16 @@ func Run(ctx context.Context, program analytics.Program, rows []mathutil.Vec, sp
 // pipeline sees a complete, well-formed matrix of block outputs. Only
 // cancellation of the caller's context aborts the run.
 func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.Vec, part *Partition, substitute mathutil.Vec, opts Options) ([]mathutil.Vec, int, error) {
-	pol := sandbox.Policy{Quantum: opts.Quantum} // engine substitutes itself, to count failures
+	// engine substitutes itself, to count failures
+	pol := sandbox.Policy{Quantum: opts.Quantum, Metrics: opts.Metrics}
 	chamber := opts.NewChamber(program, pol)
+
+	// Block-outcome counters and the occupancy gauge. All nil-safe: with
+	// opts.Metrics nil each event costs one branch.
+	blocksOK := opts.Metrics.Counter("engine.blocks_ok")
+	blocksSubstituted := opts.Metrics.Counter("engine.blocks_substituted")
+	blocksTimedOut := opts.Metrics.Counter("engine.blocks_timed_out")
+	inflight := opts.Metrics.Gauge("engine.blocks_inflight")
 
 	outputs := make([]mathutil.Vec, part.NumBlocks())
 	sem := make(chan struct{}, opts.Parallelism)
@@ -283,7 +328,14 @@ func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.V
 			if opts.BlockTimeout > 0 {
 				bctx, cancel = context.WithTimeout(ctx, opts.BlockTimeout)
 			}
+			inflight.Inc()
 			out, err := chamber.Execute(bctx, part.Materialize(rows, i))
+			inflight.Dec()
+			if err != nil && bctx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+				// The per-block deadline expired while the parent context was
+				// still live: this block timed out (and will be substituted).
+				blocksTimedOut.Inc()
+			}
 			cancel()
 			if err != nil && ctx.Err() != nil {
 				// The caller's context ended; the whole run aborts. A
@@ -298,7 +350,10 @@ func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.V
 				mu.Lock()
 				failed++
 				mu.Unlock()
+				blocksSubstituted.Inc()
 				out = substitute.Clone()
+			} else {
+				blocksOK.Inc()
 			}
 			outputs[i] = out
 		}(i)
@@ -316,6 +371,7 @@ func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.V
 		if o == nil {
 			outputs[i] = substitute.Clone()
 			failed++
+			blocksSubstituted.Inc()
 		}
 	}
 	return outputs, failed, nil

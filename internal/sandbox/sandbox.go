@@ -29,6 +29,7 @@ import (
 
 	"gupt/internal/analytics"
 	"gupt/internal/mathutil"
+	"gupt/internal/telemetry"
 )
 
 // Chamber executes an untrusted computation on one block of records.
@@ -60,6 +61,10 @@ type Policy struct {
 	// in development, but a production deployment should always set it,
 	// since propagating failure timing can itself leak.
 	Substitute mathutil.Vec
+	// Metrics, when non-nil, receives chamber lifecycle counters
+	// (sandbox.*.spawns / kills). Counts only — a chamber never reports
+	// block contents or per-execution timings through this.
+	Metrics *telemetry.Registry
 }
 
 // failureOutput resolves a failed block to the substitute output, or to an
@@ -110,6 +115,7 @@ func (c *InProcess) Execute(ctx context.Context, block []mathutil.Vec) (mathutil
 	if c.Program == nil {
 		return nil, errors.New("sandbox: InProcess chamber has no program")
 	}
+	c.Policy.Metrics.Counter("sandbox.inprocess.spawns").Inc()
 	start := time.Now()
 
 	// The program gets its own copy: it can never mutate the caller's data.
@@ -151,6 +157,7 @@ func (c *InProcess) Execute(ctx context.Context, block []mathutil.Vec) (mathutil
 		return r.out, nil
 	case <-deadline:
 		// The goroutine is abandoned; it holds only its private copy.
+		c.Policy.Metrics.Counter("sandbox.inprocess.kills").Inc()
 		return c.Policy.failureOutput(ErrKilled, c.Program.Name())
 	case <-ctx.Done():
 		return nil, ctx.Err()

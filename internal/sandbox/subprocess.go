@@ -82,11 +82,13 @@ func (c *Subprocess) Execute(ctx context.Context, block []mathutil.Vec) (mathuti
 	cmd.Env = append([]string{ScratchEnv + "=" + scratch}, c.ExtraEnv...)
 	cmd.WaitDelay = time.Second // reap even if the app holds pipes open
 
+	c.Policy.Metrics.Counter("sandbox.subprocess.spawns").Inc()
 	runErr := cmd.Run()
 
 	if runCtx.Err() == context.DeadlineExceeded {
 		// Killed by the quantum: release the substitute. No hold needed;
 		// we are already exactly at the quantum.
+		c.Policy.Metrics.Counter("sandbox.subprocess.kills").Inc()
 		return c.Policy.failureOutput(ErrKilled, c.Path)
 	}
 	if ctx.Err() != nil {

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// DatasetStats is the per-dataset operator view served at /datasets. The
+// epsilon figures are platform-side ledger state (the accountant), which
+// the protocol already exposes to analysts via the budget op; the counters
+// are coarse event counts. Nothing here derives from record values.
+type DatasetStats struct {
+	Name string `json:"name"`
+	// TotalEpsilon / SpentEpsilon / RemainingEpsilon are the dataset's
+	// lifetime budget ledger.
+	TotalEpsilon     float64 `json:"totalEpsilon"`
+	SpentEpsilon     float64 `json:"spentEpsilon"`
+	RemainingEpsilon float64 `json:"remainingEpsilon"`
+	// Queries counts settled charges (each successful charge is one query
+	// or one session batch).
+	Queries int `json:"queries"`
+	// Refusals counts charges rejected for insufficient budget — the normal
+	// end-of-life signal for a dataset.
+	Refusals int64 `json:"refusals"`
+}
+
+// AdminConfig wires the admin HTTP handler to a live server.
+type AdminConfig struct {
+	// Registry is the metrics registry served at /metrics.
+	Registry *Registry
+	// Datasets supplies the per-dataset rows for /datasets; nil serves an
+	// empty list.
+	Datasets func() []DatasetStats
+	// Health reports serving health for /healthz; nil means always healthy.
+	Health func() error
+}
+
+// AdminHandler builds the guptd admin endpoint:
+//
+//	/metrics       JSON Snapshot of the registry (bucketed timings only)
+//	/healthz       200 "ok" or 503 with the health error
+//	/datasets      JSON []DatasetStats, sorted by name
+//	/debug/pprof/  the standard net/http/pprof profiling surface
+//
+// The handler is for the operator's loopback/ops network. It intentionally
+// exports only what SECURITY.md classifies as safe for operators; see the
+// "Telemetry and the observability side channel" section before exposing
+// it any wider.
+func AdminHandler(cfg AdminConfig) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, cfg.Registry.Snapshot())
+	})
+
+	mux.HandleFunc("/datasets", func(w http.ResponseWriter, req *http.Request) {
+		var stats []DatasetStats
+		if cfg.Datasets != nil {
+			stats = cfg.Datasets()
+		}
+		if stats == nil {
+			stats = []DatasetStats{}
+		}
+		sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
+		writeJSON(w, stats)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding a Snapshot or []DatasetStats cannot fail; an Encode error
+	// here means the client went away, which http handles.
+	_ = enc.Encode(v)
+}

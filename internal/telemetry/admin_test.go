@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func adminGet(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("compman.queries_ok").Add(2)
+	reg.Gauge("engine.blocks_inflight").Set(1)
+	reg.Histogram("compman.query_latency_millis", DefaultLatencyBuckets).ObserveMillis(42)
+
+	srv := httptest.NewServer(AdminHandler(AdminConfig{
+		Registry: reg,
+		Datasets: func() []DatasetStats {
+			return []DatasetStats{
+				{Name: "zeta", TotalEpsilon: 5, SpentEpsilon: 1, RemainingEpsilon: 4, Queries: 1},
+				{Name: "census", TotalEpsilon: 10, SpentEpsilon: 2.5, RemainingEpsilon: 7.5, Queries: 3, Refusals: 1},
+			}
+		},
+	}))
+	defer srv.Close()
+
+	code, body := adminGet(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = adminGet(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not a Snapshot: %v", err)
+	}
+	if snap.Counters["compman.queries_ok"] != 2 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Histograms["compman.query_latency_millis"].Count != 1 {
+		t.Fatalf("histograms = %v", snap.Histograms)
+	}
+
+	code, body = adminGet(t, srv, "/datasets")
+	if code != http.StatusOK {
+		t.Fatalf("/datasets = %d", code)
+	}
+	var stats []DatasetStats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 || stats[0].Name != "census" || stats[1].Name != "zeta" {
+		t.Fatalf("datasets not sorted by name: %+v", stats)
+	}
+	if stats[0].RemainingEpsilon != 7.5 || stats[0].Refusals != 1 {
+		t.Fatalf("census stats = %+v", stats[0])
+	}
+
+	code, body = adminGet(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestAdminHealthError(t *testing.T) {
+	srv := httptest.NewServer(AdminHandler(AdminConfig{
+		Health: func() error { return errors.New("worker pool down") },
+	}))
+	defer srv.Close()
+	code, body := adminGet(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "worker pool down") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	// With no Datasets func the endpoint serves an empty list, not an error.
+	code, body = adminGet(t, srv, "/datasets")
+	if code != http.StatusOK || strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("/datasets = %d %q", code, body)
+	}
+}
+
+// Acceptance guard: no metric export may carry a raw duration. Counters and
+// gauges are integers by construction; histograms must expose bucket counts
+// only. This walks the full /metrics document rather than one histogram so
+// a future metric cannot quietly add a raw-timing field.
+func TestMetricsExportHasNoRawDurations(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("lat", []float64{1, 10}).ObserveMillis(7.777)
+	reg.Counter("ok").Inc()
+	srv := httptest.NewServer(AdminHandler(AdminConfig{Registry: reg}))
+	defer srv.Close()
+
+	_, body := adminGet(t, srv, "/metrics")
+	var doc struct {
+		Counters   map[string]int64                      `json:"counters"`
+		Gauges     map[string]int64                      `json:"gauges"`
+		Histograms map[string]map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("counters/gauges must be integers: %v", err)
+	}
+	allowed := map[string]bool{"boundsMillis": true, "counts": true, "count": true}
+	for name, fields := range doc.Histograms {
+		for k := range fields {
+			if !allowed[k] {
+				t.Fatalf("histogram %q exports non-bucket field %q", name, k)
+			}
+		}
+		var counts []uint64
+		if err := json.Unmarshal(fields["counts"], &counts); err != nil {
+			t.Fatalf("histogram %q counts are not integers: %v", name, err)
+		}
+	}
+	if strings.Contains(string(body), "7.777") {
+		t.Fatalf("raw observation leaked into export: %s", body)
+	}
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets is the standard bucket layout for query and stage
+// latencies: upper bounds in milliseconds, roughly logarithmic from 1ms to
+// 30s. The layout is deliberately coarse — per §6.3, exported timings must
+// not resolve individual executions, and ~2.5× spacing means even an
+// analyst who can isolate their own query learns only an order of
+// magnitude.
+var DefaultLatencyBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// Histogram counts observations into fixed buckets. It exports bucket
+// counts only: no sum, no min/max, no raw observations. An exported sum
+// would let an observer who isolates one query recover its exact duration
+// by differencing consecutive snapshots — precisely the side channel §6.3
+// warns about — so the type does not record one.
+type Histogram struct {
+	// bounds are the inclusive upper bounds, strictly increasing.
+	bounds []float64
+	// counts[i] counts observations v with bounds[i-1] < v <= bounds[i];
+	// counts[len(bounds)] is the overflow bucket.
+	counts []atomic.Uint64
+}
+
+// NewHistogram builds a histogram from bucket upper bounds in milliseconds.
+// The bounds are copied, sorted, and deduplicated; an empty or nil slice
+// falls back to DefaultLatencyBuckets.
+func NewHistogram(boundsMillis []float64) *Histogram {
+	if len(boundsMillis) == 0 {
+		boundsMillis = DefaultLatencyBuckets
+	}
+	bounds := append([]float64(nil), boundsMillis...)
+	sort.Float64s(bounds)
+	dedup := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{
+		bounds: dedup,
+		counts: make([]atomic.Uint64, len(dedup)+1),
+	}
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveMillis(float64(d) / float64(time.Millisecond))
+}
+
+// ObserveMillis records one observation in milliseconds.
+func (h *Histogram) ObserveMillis(ms float64) {
+	if h == nil {
+		return
+	}
+	// Smallest bucket whose upper bound covers the value; equality lands in
+	// the bucket (inclusive upper bounds).
+	i := sort.SearchFloat64s(h.bounds, ms)
+	h.counts[i].Add(1)
+}
+
+// HistogramSnapshot is the exported form: bucket bounds and counts only.
+// Counts[i] pairs with BoundsMillis[i]; the final extra element of Counts
+// is the overflow bucket (observations above the largest bound).
+type HistogramSnapshot struct {
+	BoundsMillis []float64 `json:"boundsMillis"`
+	Counts       []uint64  `json:"counts"`
+	Count        uint64    `json:"count"`
+}
+
+// Snapshot returns the current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{
+		BoundsMillis: append([]float64(nil), h.bounds...),
+		Counts:       make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		snap.Counts[i] = c
+		snap.Count += c
+	}
+	return snap
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Bucket edges are inclusive upper bounds: an observation equal to a bound
+// lands in that bucket, one just above lands in the next.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	cases := []struct {
+		ms     float64
+		bucket int
+	}{
+		{0, 0},      // below the first bound
+		{1, 0},      // exactly on the first bound: inclusive
+		{1.0001, 1}, // just above: next bucket
+		{10, 1},
+		{10.5, 2},
+		{100, 2},
+		{100.0001, 3}, // overflow bucket
+		{1e9, 3},
+	}
+	for _, c := range cases {
+		h.ObserveMillis(c.ms)
+	}
+	snap := h.Snapshot()
+	want := make([]uint64, 4)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	if !reflect.DeepEqual(snap.Counts, want) {
+		t.Fatalf("counts = %v, want %v", snap.Counts, want)
+	}
+	if snap.Count != uint64(len(cases)) {
+		t.Fatalf("total = %d, want %d", snap.Count, len(cases))
+	}
+	if len(snap.Counts) != len(snap.BoundsMillis)+1 {
+		t.Fatalf("%d counts for %d bounds: want bounds+1 (overflow)", len(snap.Counts), len(snap.BoundsMillis))
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.Observe(500 * time.Microsecond) // 0.5ms → bucket 0
+	h.Observe(2 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // overflow
+	if got := h.Snapshot().Counts; !reflect.DeepEqual(got, []uint64{1, 1, 1}) {
+		t.Fatalf("counts = %v, want [1 1 1]", got)
+	}
+}
+
+// Unsorted or duplicated bounds must normalize, and empty bounds must fall
+// back to the default layout.
+func TestHistogramBoundsNormalization(t *testing.T) {
+	h := NewHistogram([]float64{100, 1, 10, 10, 1})
+	if got := h.Snapshot().BoundsMillis; !reflect.DeepEqual(got, []float64{1, 10, 100}) {
+		t.Fatalf("bounds = %v, want [1 10 100]", got)
+	}
+	d := NewHistogram(nil)
+	if got := d.Snapshot().BoundsMillis; !reflect.DeepEqual(got, DefaultLatencyBuckets) {
+		t.Fatalf("default bounds = %v, want %v", got, DefaultLatencyBuckets)
+	}
+}
+
+func TestHistogramConcurrency(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.ObserveMillis(float64((w*perWorker + i) % 40000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// The §6.3 side-channel contract: a serialized histogram carries bucket
+// bounds and integer counts, and nothing else — no sum, no min/max, no raw
+// observations a snapshot-differ could use to recover one query's exact
+// duration.
+func TestHistogramExportIsBucketCountsOnly(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	h.ObserveMillis(3.14159) // a raw value that must never reappear
+	raw, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{"boundsMillis": true, "counts": true, "count": true}
+	for k := range fields {
+		if !allowed[k] {
+			t.Fatalf("histogram export leaks field %q: %s", k, raw)
+		}
+	}
+	var counts []uint64
+	if err := json.Unmarshal(fields["counts"], &counts); err != nil {
+		t.Fatalf("counts are not integer bucket counts: %v (%s)", err, fields["counts"])
+	}
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if reg.Counter("a") != c {
+		t.Fatal("same name must return the same counter")
+	}
+
+	g := reg.Gauge("g")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if reg.Gauge("g") != g {
+		t.Fatal("same name must return the same gauge")
+	}
+}
+
+// Every method must be a no-op on nil receivers: instrumented code paths
+// hold nil metrics when telemetry is disabled.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	g := reg.Gauge("x")
+	g.Set(1)
+	g.Inc()
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	h := reg.Histogram("x", nil)
+	h.Observe(0)
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram must be empty")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var tr *Trace
+	sp := tr.StartSpan(StageBlocks)
+	sp.End(StatusOK)
+	if tr.String() != "" || tr.Spans() != nil || tr.Elapsed() != 0 {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+// Hammer one counter, one gauge and one registry from many goroutines;
+// run under -race this is the concurrency contract.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("shared").Inc()
+				reg.Gauge("depth").Inc()
+				reg.Gauge("depth").Dec()
+				reg.Histogram("lat", DefaultLatencyBuckets).ObserveMillis(float64(i % 40))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Gauge("depth").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := reg.Histogram("lat", nil).Snapshot().Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// Identical registry states must serialize identically: operators diff
+// consecutive snapshots, and tests compare them structurally.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func() *Registry {
+		reg := NewRegistry()
+		reg.Counter("z.last").Add(3)
+		reg.Counter("a.first").Add(1)
+		reg.Gauge("m.depth").Set(2)
+		h := reg.Histogram("lat", []float64{10, 100})
+		h.ObserveMillis(5)
+		h.ObserveMillis(50)
+		h.ObserveMillis(5000)
+		return reg
+	}
+	r1, r2 := build(), build()
+	j1, err := json.Marshal(r1.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(r2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshots differ:\n%s\n%s", j1, j2)
+	}
+	if !reflect.DeepEqual(r1.Snapshot(), r1.Snapshot()) {
+		t.Fatal("repeated snapshots of an idle registry must be equal")
+	}
+
+	var round Snapshot
+	if err := json.Unmarshal(j1, &round); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(round, r1.Snapshot()) {
+		t.Fatal("snapshot must round-trip through JSON")
+	}
+}
+
+func TestMetricNamesSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c.b")
+	reg.Gauge("a.g")
+	reg.Histogram("z.h", nil)
+	got := reg.MetricNames()
+	want := []string{"a.g", "c.b", "z.h"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The canonical query-lifecycle stages, in pipeline order. Every query
+// produces at most one span per stage (a retried engine run re-enters the
+// engine stages; the spans append in order, so a retry is visible as a
+// repeated stage sequence in the trace).
+const (
+	StageAdmission   = "admission"   // decode, program/range resolution, chamber setup
+	StageBudget      = "budget"      // privacy charge against the dataset accountant
+	StagePartition   = "partition"   // partitioning, resampling, budget split, range prep
+	StageBlocks      = "blocks"      // block executions across chambers
+	StageAggregation = "aggregation" // range tightening, clamping, block averaging
+	StageNoising     = "noising"     // Laplace noise
+	StageRelease     = "release"     // response assembly
+)
+
+// Span statuses.
+const (
+	StatusOK      = "ok"
+	StatusError   = "error"
+	StatusTimeout = "timeout"
+)
+
+// Span is one stage of a query's lifecycle. Its raw duration stays inside
+// the process: the registry sees only the bucketed histogram observation,
+// and the duration is printed only by Trace.String for the opt-in trace
+// log.
+type Span struct {
+	Stage    string
+	Status   string
+	Duration time.Duration
+
+	tr    *Trace
+	start time.Time
+	done  bool
+}
+
+// End closes the span with the given status. Safe to call on a nil span;
+// calling End twice keeps the first result.
+func (s *Span) End(status string) {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.Status = status
+	s.Duration = time.Since(s.start)
+	if s.tr != nil && s.tr.reg != nil {
+		s.tr.reg.Histogram("trace.stage."+s.Stage+".millis", DefaultLatencyBuckets).Observe(s.Duration)
+	}
+}
+
+// Trace records the lifecycle of one query as a sequence of stage spans.
+// A trace never holds record data, block contents, query parameters or
+// outputs — only stage names, statuses and durations.
+type Trace struct {
+	// ID is an operator-side correlation id (a server sequence number, never
+	// anything analyst-supplied).
+	ID string
+	// Dataset names the dataset the query targeted.
+	Dataset string
+
+	mu    sync.Mutex
+	reg   *Registry
+	start time.Time
+	spans []*Span
+}
+
+// NewTrace starts a trace. reg may be nil; span durations then feed no
+// histograms but the trace still records. A nil return never happens — the
+// nil-safety lives on the methods so callers can hold a nil *Trace when
+// tracing is off entirely.
+func NewTrace(reg *Registry, id, dataset string) *Trace {
+	return &Trace{ID: id, Dataset: dataset, reg: reg, start: time.Now()}
+}
+
+// StartSpan opens a span for the given stage. On a nil trace it returns a
+// nil span, whose End is a no-op.
+func (t *Trace) StartSpan(stage string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{Stage: stage, tr: t, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Spans returns the spans recorded so far, in start order.
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// Elapsed is the wall-clock time since the trace started.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// String renders the trace with raw per-span durations. This is the ONLY
+// place raw durations leave the telemetry layer, and it must only ever be
+// written to the opt-in slow-query trace log (see SECURITY.md): handing
+// this string to an analyst reopens the §6.3 timing side channel.
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s dataset=%s", t.ID, t.Dataset)
+	for _, s := range t.spans {
+		status := s.Status
+		if !s.done {
+			status = "open"
+		}
+		fmt.Fprintf(&sb, " %s=%s/%s", s.Stage, status, s.Duration.Round(time.Microsecond))
+	}
+	return sb.String()
+}

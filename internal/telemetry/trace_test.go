@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTrace(reg, "q1", "census")
+
+	sp := tr.StartSpan(StageAdmission)
+	sp.End(StatusOK)
+	sp2 := tr.StartSpan(StageBudget)
+	sp2.End(StatusError)
+	sp2.End(StatusOK) // second End must not overwrite
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Stage != StageAdmission || spans[0].Status != StatusOK {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Status != StatusError {
+		t.Fatalf("double End overwrote status: %+v", spans[1])
+	}
+	if spans[0].Duration < 0 {
+		t.Fatalf("negative duration: %v", spans[0].Duration)
+	}
+
+	// Ending a span feeds the per-stage bucketed histogram.
+	snap := reg.Snapshot()
+	h, ok := snap.Histograms["trace.stage."+StageAdmission+".millis"]
+	if !ok {
+		t.Fatalf("no stage histogram; metrics: %v", reg.MetricNames())
+	}
+	if h.Count != 1 {
+		t.Fatalf("stage histogram count = %d, want 1", h.Count)
+	}
+}
+
+func TestTraceWithoutRegistry(t *testing.T) {
+	tr := NewTrace(nil, "q2", "ads")
+	sp := tr.StartSpan(StageBlocks)
+	time.Sleep(time.Millisecond)
+	sp.End(StatusTimeout)
+	if got := tr.Spans()[0]; got.Status != StatusTimeout || got.Duration <= 0 {
+		t.Fatalf("span = %+v", got)
+	}
+	if tr.Elapsed() <= 0 {
+		t.Fatal("elapsed must advance")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := NewTrace(nil, "q3", "census")
+	tr.StartSpan(StageAdmission).End(StatusOK)
+	open := tr.StartSpan(StageBlocks)
+	s := tr.String()
+	for _, want := range []string{"trace q3", "dataset=census", StageAdmission + "=ok/", StageBlocks + "=open/"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("trace string %q missing %q", s, want)
+		}
+	}
+	open.End(StatusOK)
+}
