@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench
+.PHONY: all build test race vet check fuzz bench ledger-kill
 
 all: check
 
@@ -16,9 +16,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# ledger-kill runs the SIGKILL recovery matrix for the durable privacy
+# ledger: child processes are killed at every fsync/rename boundary and at
+# random instants, and recovery must never under-count acknowledged ε.
+ledger-kill:
+	$(GO) test -race -count=1 -run 'TestKill' ./internal/ledger
+
 # check is the pre-merge gate: static analysis plus the full suite under
-# the race detector.
-check: vet race
+# the race detector, plus a dedicated pass of the ledger kill matrix.
+check: vet race ledger-kill
 
 # fuzz runs each fuzz target briefly; lengthen FUZZTIME for soak runs.
 FUZZTIME ?= 10s
@@ -32,6 +38,7 @@ fuzz:
 	$(GO) test ./internal/compman -run xxx -fuzz FuzzDecodeResponse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/compman -run xxx -fuzz FuzzDecodeWorkRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/compman -run xxx -fuzz FuzzDecodeWorkResponse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ledger -run xxx -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .

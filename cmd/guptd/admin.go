@@ -4,22 +4,53 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"time"
 
 	"gupt/internal/dataset"
+	"gupt/internal/ledger"
 	"gupt/internal/telemetry"
 )
 
 // newAdminHandler assembles guptd's admin endpoint: the shared telemetry
-// registry at /metrics, per-dataset budget state at /datasets, /healthz,
-// and /debug/pprof/. The endpoint is operator-facing — bind it to loopback
-// or an ops network, never the analyst-facing address (see SECURITY.md,
-// "Telemetry and the observability side channel").
-func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry) http.Handler {
+// registry at /metrics, per-dataset budget state at /datasets, the durable
+// ledger's status at /ledger, /healthz, and /debug/pprof/. The endpoint is
+// operator-facing — bind it to loopback or an ops network, never the
+// analyst-facing address (see SECURITY.md, "Telemetry and the
+// observability side channel").
+func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry, led *ledger.Ledger) http.Handler {
 	return telemetry.AdminHandler(telemetry.AdminConfig{
 		Registry: tel,
 		Health:   func() error { return nil },
 		Datasets: func() []telemetry.DatasetStats { return datasetStats(tel, reg) },
+		Ledger:   func() telemetry.LedgerStatus { return ledgerStatus(led) },
 	})
+}
+
+// ledgerStatus maps the ledger's operational state onto the admin wire
+// form; a nil ledger reports Enabled: false.
+func ledgerStatus(led *ledger.Ledger) telemetry.LedgerStatus {
+	if led == nil {
+		return telemetry.LedgerStatus{SnapshotAgeSeconds: -1}
+	}
+	st := led.Status()
+	age := -1.0
+	if !st.SnapshotAt.IsZero() {
+		age = time.Since(st.SnapshotAt).Seconds()
+	}
+	return telemetry.LedgerStatus{
+		Enabled:            true,
+		Dir:                st.Dir,
+		SyncPolicy:         st.SyncPolicy,
+		Records:            st.Records,
+		SyncedRecords:      st.Synced,
+		WALBytes:           st.WALBytes,
+		Datasets:           st.Datasets,
+		LastFsync:          st.LastFsync,
+		SnapshotSeq:        st.SnapshotSeq,
+		SnapshotAt:         st.SnapshotAt,
+		SnapshotAgeSeconds: age,
+		RecoveredTornTail:  st.RecoveredTornTail,
+	}
 }
 
 // datasetStats builds the /datasets rows: the accountant's ledger state

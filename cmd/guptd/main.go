@@ -28,9 +28,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"gupt/internal/compman"
 	"gupt/internal/dataset"
+	"gupt/internal/ledger"
 	"gupt/internal/telemetry"
 )
 
@@ -50,7 +52,10 @@ func main() {
 		traceSlower  = flag.Duration("trace-threshold", 0, "with -unsafe-trace-log, only log queries at least this slow (0 logs all)")
 		quantum      = flag.Duration("quantum", 0, "per-block timing quantum applied to all queries (0 disables)")
 		scratch      = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
-		state        = flag.String("state", "", "budget ledger state file; spent budget survives restarts")
+		state        = flag.String("state", "", "legacy budget state file; superseded by -ledger-dir")
+		ledgerDir    = flag.String("ledger-dir", "", "durable privacy-ledger directory (write-ahead log + snapshots); spent budget survives crashes")
+		ledgerSync   = flag.String("ledger-sync", "batched", "ledger fsync policy: 'record' (fsync every charge) or 'batched' (group commit)")
+		ledgerFlush  = flag.Duration("ledger-flush", 2*time.Millisecond, "group-commit accumulation window for -ledger-sync=batched")
 		workers      = flag.String("workers", "", "comma-separated gupt-worker addresses for cluster execution")
 		idle         = flag.Duration("idle", 0, "disconnect clients idle for this long (0 disables)")
 		blockTimeout = flag.Duration("block-timeout", 0, "per-block execution deadline; overruns are substituted (0 disables)")
@@ -75,7 +80,7 @@ func main() {
 		}
 	}
 
-	if *state != "" {
+	if *state != "" && *ledgerDir == "" {
 		if _, err := os.Stat(*state); err == nil {
 			if err := reg.RestoreBudgets(*state); err != nil {
 				log.Fatalf("restoring budget ledger: %v", err)
@@ -90,10 +95,51 @@ func main() {
 	}
 
 	tel := telemetry.NewRegistry()
+
+	// Durable privacy ledger: recover spent budget from the write-ahead
+	// log, then route every future charge through it (log-before-charge).
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		if *state != "" {
+			log.Printf("-state is superseded by -ledger-dir; skipping the legacy state-file restore")
+		}
+		var policy ledger.SyncPolicy
+		switch *ledgerSync {
+		case "record":
+			policy = ledger.SyncEveryRecord
+		case "batched":
+			policy = ledger.SyncBatched
+		default:
+			log.Fatalf("-ledger-sync must be 'record' or 'batched', got %q", *ledgerSync)
+		}
+		var err error
+		led, err = ledger.Open(*ledgerDir, ledger.Options{
+			Sync:          policy,
+			FlushInterval: *ledgerFlush,
+			Telemetry:     tel,
+			Logger:        log.Default(),
+		})
+		if err != nil {
+			log.Fatalf("opening privacy ledger: %v", err)
+		}
+		if err := ledger.Attach(led, reg); err != nil {
+			log.Fatalf("attaching privacy ledger: %v", err)
+		}
+		rec := led.Recovered()
+		log.Printf("privacy ledger %s: recovered %d dataset(s), %d WAL record(s), lastSeq %d (sync=%s)",
+			*ledgerDir, len(rec.Datasets), rec.WALRecords, rec.LastSeq, policy)
+		if rec.TornTail {
+			log.Printf("privacy ledger: truncated a torn final record (crash mid-append); spent budget is intact")
+		}
+	}
+	statePath := *state
+	if led != nil {
+		statePath = "" // the WAL is authoritative; don't double-journal
+	}
 	cfg := compman.ServerConfig{
 		DefaultQuantum:  *quantum,
 		ScratchRoot:     *scratch,
-		StatePath:       *state,
+		StatePath:       statePath,
 		WorkerAddrs:     workerAddrs,
 		IdleTimeout:     *idle,
 		BlockTimeout:    *blockTimeout,
@@ -113,7 +159,7 @@ func main() {
 
 	var stopAdmin func()
 	if *adminAddr != "" {
-		al, stop, err := serveAdmin(*adminAddr, newAdminHandler(tel, reg))
+		al, stop, err := serveAdmin(*adminAddr, newAdminHandler(tel, reg, led))
 		if err != nil {
 			log.Fatalf("admin endpoint: %v", err)
 		}
@@ -133,8 +179,15 @@ func main() {
 	go func() {
 		<-sig
 		log.Print("shutting down")
-		if *state != "" {
-			if err := reg.SaveBudgets(*state); err != nil {
+		if statePath != "" {
+			if err := reg.SaveBudgets(statePath); err != nil {
+				log.Printf("final budget-state flush failed: %v", err)
+			}
+		}
+		if led != nil {
+			// Flush the group-commit tail so a clean shutdown leaves
+			// nothing volatile (a crash here would still only over-count).
+			if err := led.Close(); err != nil {
 				log.Printf("final ledger flush failed: %v", err)
 			}
 		}

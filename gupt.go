@@ -394,7 +394,7 @@ func (p *Platform) SynthesizeAgedSample(name string, eps float64, bins, count in
 			count = 100
 		}
 	}
-	if err := reg.Accountant.Spend("synthesize-aged", eps); err != nil {
+	if err := reg.Spend("synthesize-aged", eps); err != nil {
 		return err
 	}
 	rows, err := aging.SynthesizeAged(mathutil.NewRNG(seed), reg.Private.Rows(), ranges, bins, count, eps)

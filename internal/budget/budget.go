@@ -98,7 +98,7 @@ func (m *Manager) Charge(datasetName, label string, eps float64) error {
 	if err != nil {
 		return err
 	}
-	return m.record(datasetName, r.Accountant.Spend(label, eps))
+	return m.record(datasetName, r.Spend(label, eps))
 }
 
 // record tallies a settled or refused charge. Only budget refusals count as
@@ -144,7 +144,7 @@ func (m *Manager) ChargeForAccuracy(datasetName, label string, program analytics
 	if err != nil {
 		return aging.EpsilonEstimate{}, err
 	}
-	if err := m.record(datasetName, r.Accountant.Spend(label, est.Epsilon)); err != nil {
+	if err := m.record(datasetName, r.Spend(label, est.Epsilon)); err != nil {
 		return aging.EpsilonEstimate{}, err
 	}
 	return est, nil

@@ -16,6 +16,14 @@ var (
 	ErrDuplicate = errors.New("dataset: already registered")
 )
 
+// Spender is a privacy-charge sink: Spend debits eps against a dataset's
+// budget, returning dp.ErrBudgetExhausted when it cannot. The durable
+// ledger (internal/ledger) implements it to interpose log-before-charge
+// persistence in front of the in-memory accountant.
+type Spender interface {
+	Spend(label string, eps float64) error
+}
+
 // Registered is a dataset under the registry's management: the private
 // records, the owner-declared total privacy budget (enforced by the
 // embedded accountant), optional attribute ranges, and the aged sample used
@@ -28,8 +36,33 @@ type Registered struct {
 	// (paper §3.3). May be empty when the owner supplies no aged data; the
 	// aging-based optimizers then fall back to defaults.
 	Aged *Table
-	// Accountant enforces the dataset's lifetime ε budget.
+	// Accountant enforces the dataset's lifetime ε budget. Read budget
+	// state (Remaining, Spent, History) here; route debits through Spend
+	// so a durable charger, when bound, sees every charge.
 	Accountant *dp.Accountant
+
+	// charger, when bound, replaces the bare accountant on the charge
+	// path. Written only before the dataset is reachable (at registration,
+	// via the registry hook, or at boot before serving) — see BindCharger.
+	charger Spender
+}
+
+// BindCharger routes the dataset's future charges through s (typically a
+// ledger.Backed). It must be called before the dataset serves charges —
+// at boot, or from the registry's registration hook, which runs before
+// Register publishes the dataset — because the binding itself is not
+// synchronized with concurrent Spend calls.
+func (r *Registered) BindCharger(s Spender) { r.charger = s }
+
+// Spend debits eps from the dataset's budget under label. All platform
+// charge paths go through here: with a durable charger bound the debit is
+// crash-safe (log-before-charge), otherwise it hits the in-memory
+// accountant directly.
+func (r *Registered) Spend(label string, eps float64) error {
+	if r.charger != nil {
+		return r.charger.Spend(label, eps)
+	}
+	return r.Accountant.Spend(label, eps)
 }
 
 // HasAged reports whether an aged sample is available.
@@ -43,6 +76,21 @@ func (r *Registered) HasAged() bool { return r.Aged != nil && r.Aged.NumRows() >
 type Registry struct {
 	mu   sync.RWMutex
 	sets map[string]*Registered
+	hook RegisterHook
+}
+
+// RegisterHook runs inside Register, after validation but before the
+// dataset becomes visible to Lookup. Returning an error fails the
+// registration. The durable ledger installs one to bind every new
+// dataset's charges to stable storage (fail closed: a dataset that cannot
+// be made durable is not served).
+type RegisterHook func(*Registered) error
+
+// SetRegisterHook installs h for all future registrations (nil clears).
+func (reg *Registry) SetRegisterHook(h RegisterHook) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.hook = h
 }
 
 // NewRegistry returns an empty registry.
@@ -115,6 +163,14 @@ func (reg *Registry) Register(name string, t *Table, opts RegisterOptions) (*Reg
 	defer reg.mu.Unlock()
 	if _, ok := reg.sets[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	if reg.hook != nil {
+		// Runs before the dataset is visible to Lookup, so a bound charger
+		// is in place before any concurrent Spend can reach it. Lock
+		// ordering: Registry.mu → (hook) Ledger.mu → Accountant.mu.
+		if err := reg.hook(r); err != nil {
+			return nil, err
+		}
 	}
 	reg.sets[name] = r
 	return r, nil

@@ -26,6 +26,13 @@ type Charge struct {
 // The accountant is the platform-side defense against privacy-budget
 // attacks (paper §6.2): analyst code never holds the ledger, so a malicious
 // query cannot spend budget conditionally on the data it sees.
+//
+// Lock ordering: mu is a leaf lock. Accountant methods call into nothing
+// that locks, so any caller may invoke them while holding its own locks —
+// the durable ledger (internal/ledger) relies on this, calling Spend while
+// holding its ledger mutex so the exhaustion check-then-refund pair is
+// serialized under that lock (Registry.mu → Ledger.mu → Accountant.mu).
+// Never acquire another system lock from inside this package.
 type Accountant struct {
 	mu    sync.Mutex
 	total float64

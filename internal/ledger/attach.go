@@ -1,0 +1,47 @@
+package ledger
+
+import (
+	"fmt"
+
+	"gupt/internal/dataset"
+)
+
+// Attach binds every dataset in the registry to the ledger and installs a
+// registration hook so datasets registered later (the guptd register op)
+// bind too. Each binding re-registers the dataset in the ledger, replays
+// its recovered spend into the fresh accountant (clamping to exhausted on
+// over-spend), and routes the dataset's charges through the durable
+// log-before-charge path.
+//
+// Call Attach at boot, after the initial datasets are registered and
+// before serving: the hook makes later registrations safe, but bindings
+// for already-registered datasets do not synchronize with in-flight
+// charges on them.
+//
+// Lock ordering: the hook runs under the registry's lock and takes the
+// ledger's, which in turn takes each accountant's —
+// Registry.mu → Ledger.mu → Accountant.mu, never the reverse.
+func Attach(l *Ledger, reg *dataset.Registry) error {
+	bind := func(r *dataset.Registered) error {
+		b, err := l.Bind(r.Name, r.Accountant)
+		if err != nil {
+			return fmt.Errorf("ledger: attaching %q: %w", r.Name, err)
+		}
+		r.BindCharger(b)
+		return nil
+	}
+	for _, name := range reg.Names() {
+		r, err := reg.Lookup(name)
+		if err != nil {
+			continue // unregistered between Names and Lookup
+		}
+		if err := bind(r); err != nil {
+			return err
+		}
+	}
+	// New registrations fail if they cannot be made durable: a dataset
+	// serving queries outside the ledger would silently revive budget
+	// amnesia for exactly the datasets registered at runtime.
+	reg.SetRegisterHook(bind)
+	return nil
+}

@@ -1,0 +1,98 @@
+package ledger
+
+import (
+	"bytes"
+	"errors"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A final record whose payload bytes were lost (CRC fails, frame runs to
+// exactly EOF) is a torn tail, not interior corruption: truncate and warn.
+func TestRecoverCRCTornAtTail(t *testing.T) {
+	dir := t.TempDir()
+	var buf []byte
+	buf = EncodeRecord(buf, Record{Type: RecordRegister, Seq: 1, Dataset: "ds", Total: 10})
+	buf = EncodeRecord(buf, Record{Type: RecordCharge, Seq: 2, Dataset: "ds", Label: "q", Epsilon: 3})
+	tornStart := len(buf)
+	buf = EncodeRecord(buf, Record{Type: RecordCharge, Seq: 3, Dataset: "ds", Label: "lost", Epsilon: 5})
+	buf[len(buf)-1] ^= 0xff // the payload sector the crash never persisted
+	if err := os.WriteFile(filepath.Join(dir, walName), buf, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var logbuf bytes.Buffer
+	rec, err := Recover(dir, log.New(&logbuf, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.TornTail {
+		t.Fatal("CRC failure at exact EOF must count as a torn tail")
+	}
+	if got := rec.Datasets["ds"].Spent; got != 3 {
+		t.Fatalf("spent = %v, want 3", got)
+	}
+	if fi, _ := os.Stat(filepath.Join(dir, walName)); fi.Size() != int64(tornStart) {
+		t.Fatalf("file size = %d, want %d (torn frame truncated)", fi.Size(), tornStart)
+	}
+	if !strings.Contains(logbuf.String(), "truncating torn record") {
+		t.Errorf("no truncation warning, got %q", logbuf.String())
+	}
+}
+
+// FuzzDecodeRecord feeds arbitrary bytes through the WAL record decoder:
+// it must never panic, every successfully decoded record must re-encode
+// and decode back to itself (round trip), and flipping any payload bit of
+// a valid frame must be detected by the CRC.
+func FuzzDecodeRecord(f *testing.F) {
+	seed := []Record{
+		{Type: RecordCharge, Seq: 1, At: 12345, Dataset: "census", Label: "mean-age", Epsilon: 0.5},
+		{Type: RecordRefund, Seq: 2, At: 1, Dataset: "census", ChargeSeq: 1, Epsilon: 0.5},
+		{Type: RecordRegister, Seq: 3, Dataset: "ads", Total: 10},
+		{Type: RecordSnapshotMarker, Seq: 4, SnapshotSeq: 3},
+	}
+	for _, r := range seed {
+		f.Add(EncodeRecord(nil, r))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := DecodeRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrTorn) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+
+		// Round trip: encode the decoded record and decode it again. The
+		// encodings are compared byte-for-byte (not the structs) so NaN
+		// epsilon bit patterns still compare equal.
+		re := EncodeRecord(nil, r)
+		r2, n2, err := DecodeRecord(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 != len(re) || !bytes.Equal(re, EncodeRecord(nil, r2)) {
+			t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", r, r2)
+		}
+
+		// Corrupt CRC detection: flipping any payload byte of the valid
+		// frame must fail decoding (the header's declared length and CRC
+		// fields are covered by the payload checks and length bound).
+		for i := frameHeaderLen; i < len(re); i++ {
+			bad := append([]byte(nil), re...)
+			bad[i] ^= 0x01
+			if _, _, err := DecodeRecord(bad); err == nil {
+				t.Fatalf("payload corruption at byte %d went undetected", i)
+			}
+		}
+	})
+}

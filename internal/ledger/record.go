@@ -1,0 +1,269 @@
+// Package ledger is GUPT's durability subsystem for privacy-budget state.
+//
+// The platform's core §6.2 guarantee — the analyst can never spend more
+// than a dataset's lifetime ε — only holds if spent budget survives
+// crashes. An in-memory accountant forgets every charge when guptd dies,
+// so an attacker could reset their consumption by killing the daemon
+// ("budget amnesia", see SECURITY.md). This package closes that hole with
+// a write-ahead log: every charge is appended to an fsync'd, checksummed
+// log *before* the in-memory accountant debits it, so a crash at any
+// instant can only over-count spent budget, never under-count it.
+//
+// On-disk layout (one directory per deployment):
+//
+//	wal.log        append-only record log (framing below)
+//	snapshot.json  atomic compaction of the log prefix (see snapshot.go)
+//
+// WAL framing, little-endian:
+//
+//	| length uint32 | crc32c(payload) uint32 | payload (length bytes) |
+//
+// payload:
+//
+//	| type uint8 | seq uint64 | unixNano int64 | type-specific body |
+//
+// Strings are uint16 length + bytes. Every record carries a strictly
+// increasing sequence number; replay is idempotent because records at or
+// below the snapshot's LastSeq are skipped. A torn final record (the tail
+// the crash interrupted) is truncated with a warning; a corrupt record
+// with valid data after it means real corruption and fails recovery.
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// RecordType discriminates WAL payloads.
+type RecordType uint8
+
+const (
+	// RecordCharge debits Epsilon from Dataset's budget. Appended and
+	// fsync'd before the in-memory accountant spends (log-before-charge).
+	RecordCharge RecordType = 1
+	// RecordRefund cancels the provisional charge with sequence number
+	// ChargeSeq: it is appended only when the in-memory accountant refused
+	// the already-logged debit (budget exhausted). Losing a refund in a
+	// crash over-counts spent budget — the safe direction.
+	RecordRefund RecordType = 2
+	// RecordRegister declares Dataset's lifetime budget Total. Appended
+	// the first time a dataset binds to the ledger and whenever its total
+	// changes.
+	RecordRegister RecordType = 3
+	// RecordSnapshotMarker is the first record of a freshly compacted WAL;
+	// SnapshotSeq names the sequence number the snapshot file absorbed.
+	RecordSnapshotMarker RecordType = 4
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case RecordCharge:
+		return "charge"
+	case RecordRefund:
+		return "refund"
+	case RecordRegister:
+		return "register"
+	case RecordSnapshotMarker:
+		return "snapshot-marker"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Record is the decoded form of one WAL entry. Which fields are meaningful
+// depends on Type; the rest are zero.
+type Record struct {
+	Type RecordType
+	Seq  uint64
+	At   int64 // unixNano of the append
+
+	Dataset string  // charge, refund, register
+	Label   string  // charge: audit label
+	Epsilon float64 // charge, refund
+	Total   float64 // register
+
+	ChargeSeq   uint64 // refund: the charge it cancels
+	SnapshotSeq uint64 // snapshot-marker
+}
+
+// Framing limits. A length prefix beyond maxPayload means the frame is
+// garbage (or the file is corrupt); rejecting it bounds decode allocation.
+const (
+	frameHeaderLen = 8 // uint32 length + uint32 crc
+	maxPayload     = 1 << 16
+	maxStringLen   = 1 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. ErrCorrupt means a well-framed record failed its CRC or
+// its payload grammar; ErrTorn means the byte stream ended mid-record.
+var (
+	ErrCorrupt = errors.New("ledger: corrupt record")
+	ErrTorn    = errors.New("ledger: torn record")
+)
+
+// EncodeRecord appends the framed encoding of r to dst and returns the
+// extended slice.
+func EncodeRecord(dst []byte, r Record) []byte {
+	payload := encodePayload(nil, r)
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+func encodePayload(dst []byte, r Record) []byte {
+	dst = append(dst, byte(r.Type))
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.At))
+	switch r.Type {
+	case RecordCharge:
+		dst = appendString(dst, r.Dataset)
+		dst = appendString(dst, r.Label)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Epsilon))
+	case RecordRefund:
+		dst = appendString(dst, r.Dataset)
+		dst = binary.LittleEndian.AppendUint64(dst, r.ChargeSeq)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Epsilon))
+	case RecordRegister:
+		dst = appendString(dst, r.Dataset)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Total))
+	case RecordSnapshotMarker:
+		dst = binary.LittleEndian.AppendUint64(dst, r.SnapshotSeq)
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	if len(s) > maxStringLen {
+		s = s[:maxStringLen]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// DecodeRecord decodes one framed record from the front of b. It returns
+// the record and the number of bytes consumed. A stream that ends
+// mid-record returns ErrTorn; a complete frame whose checksum or grammar
+// is wrong returns ErrCorrupt. It never panics on arbitrary input.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderLen {
+		return Record{}, 0, ErrTorn
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n > maxPayload {
+		return Record{}, 0, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, n)
+	}
+	want := binary.LittleEndian.Uint32(b[4:8])
+	end := frameHeaderLen + int(n)
+	if len(b) < end {
+		return Record{}, 0, ErrTorn
+	}
+	payload := b[frameHeaderLen:end]
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return Record{}, 0, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	r, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return r, end, nil
+}
+
+func decodePayload(p []byte) (Record, error) {
+	d := decoder{b: p}
+	r := Record{
+		Type: RecordType(d.u8()),
+		Seq:  d.u64(),
+		At:   int64(d.u64()),
+	}
+	switch r.Type {
+	case RecordCharge:
+		r.Dataset = d.str()
+		r.Label = d.str()
+		r.Epsilon = math.Float64frombits(d.u64())
+	case RecordRefund:
+		r.Dataset = d.str()
+		r.ChargeSeq = d.u64()
+		r.Epsilon = math.Float64frombits(d.u64())
+	case RecordRegister:
+		r.Dataset = d.str()
+		r.Total = math.Float64frombits(d.u64())
+	case RecordSnapshotMarker:
+		r.SnapshotSeq = d.u64()
+	default:
+		return Record{}, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, r.Type)
+	}
+	if d.err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, d.err)
+	}
+	if len(d.b) != 0 {
+		return Record{}, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(d.b))
+	}
+	return r, nil
+}
+
+// decoder consumes little-endian fields from a payload, latching the first
+// framing error instead of panicking on short input.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if n > maxStringLen {
+		if d.err == nil {
+			d.err = fmt.Errorf("string length %d exceeds limit", n)
+		}
+		return ""
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

@@ -1,0 +1,175 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// RecoveredDataset is one dataset's replayed budget state.
+type RecoveredDataset struct {
+	// Total is the lifetime ε budget from the last register record (0 if
+	// only charges were found — e.g. the register record predates a lost
+	// prefix; binding re-registers it).
+	Total float64
+	// Spent is the replayed cumulative ε. It may exceed Total: provisional
+	// charges whose refunds were lost, or an owner who lowered the budget.
+	// Binding clamps the accountant to exhausted; recovery never errors on
+	// over-spend (see Bind).
+	Spent float64
+	// Charges counts settled (non-refunded) charge records.
+	Charges int
+}
+
+// Recovered is the result of replaying a ledger directory.
+type Recovered struct {
+	Datasets map[string]RecoveredDataset
+	// LastSeq is the highest sequence number seen (snapshot or WAL);
+	// appends continue after it.
+	LastSeq uint64
+	// WALRecords counts records replayed from the log tail (after the
+	// snapshot cut-off).
+	WALRecords int
+	// WALSize is the byte length of the log after any tail truncation.
+	WALSize int64
+	// TornTail reports that the final record was torn and truncated away.
+	TornTail bool
+	// SnapshotSeq / SnapshotAt describe the loaded snapshot (zero when the
+	// directory has none).
+	SnapshotSeq uint64
+	SnapshotAt  time.Time
+}
+
+// Recover replays the ledger directory: snapshot first, then every WAL
+// record above the snapshot's cut-off. It tolerates a missing directory,
+// missing files, an empty log, and a torn final record (which it truncates
+// off the file, with a warning to logger, so the next append starts at a
+// clean boundary). A corrupt record in the interior of the log — bad CRC
+// or grammar with valid data after it — fails recovery: that is real
+// corruption, and silently skipping it could under-count spent budget.
+//
+// Refund records cancel a charge only when the charge they name was seen
+// in the same replay; an orphaned refund is ignored, keeping replay
+// monotone in the over-count direction.
+func Recover(dir string, logger *log.Logger) (*Recovered, error) {
+	rec := &Recovered{Datasets: make(map[string]RecoveredDataset)}
+
+	snap, haveSnap, err := readSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if haveSnap {
+		rec.LastSeq = snap.LastSeq
+		rec.SnapshotSeq = snap.LastSeq
+		rec.SnapshotAt = snap.TakenAt
+		for _, d := range snap.Datasets {
+			rec.Datasets[d.Name] = RecoveredDataset{Total: d.Total, Spent: d.Spent, Charges: d.Charges}
+		}
+	}
+	// Leftover temp files mean a crash mid-compaction; the published
+	// snapshot and WAL (if any) are intact, so the temps are garbage.
+	os.Remove(filepath.Join(dir, snapshotName) + ".tmp")
+	os.Remove(filepath.Join(dir, walName) + ".tmp")
+
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return rec, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ledger: read wal: %w", err)
+	}
+
+	// pending maps a charge's seq to its ε so a later refund can cancel
+	// exactly the charge it names.
+	type pendingCharge struct {
+		dataset string
+		eps     float64
+	}
+	pending := make(map[uint64]pendingCharge)
+
+	off := 0
+	for off < len(data) {
+		r, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			tail := errors.Is(err, ErrTorn)
+			if !tail && errors.Is(err, ErrCorrupt) {
+				// A CRC failure whose frame runs to exactly EOF is a torn
+				// payload write, not interior corruption.
+				tail = tornAtEOF(data[off:])
+			}
+			if !tail {
+				return nil, fmt.Errorf("ledger: wal corrupt at offset %d: %w", off, err)
+			}
+			if logger != nil {
+				logger.Printf("ledger: truncating torn record at wal offset %d (%d trailing bytes): %v", off, len(data)-off, err)
+			}
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return nil, fmt.Errorf("ledger: truncate torn wal tail: %w", err)
+			}
+			rec.TornTail = true
+			data = data[:off]
+			break
+		}
+		off += n
+		if r.Seq <= rec.SnapshotSeq && r.Type != RecordSnapshotMarker {
+			continue // absorbed by the snapshot already
+		}
+		if r.Seq > rec.LastSeq {
+			rec.LastSeq = r.Seq
+		}
+		rec.WALRecords++
+		switch r.Type {
+		case RecordRegister:
+			d := rec.Datasets[r.Dataset]
+			d.Total = r.Total
+			rec.Datasets[r.Dataset] = d
+		case RecordCharge:
+			d := rec.Datasets[r.Dataset]
+			d.Spent += r.Epsilon
+			d.Charges++
+			rec.Datasets[r.Dataset] = d
+			pending[r.Seq] = pendingCharge{dataset: r.Dataset, eps: r.Epsilon}
+		case RecordRefund:
+			p, ok := pending[r.ChargeSeq]
+			if !ok || p.dataset != r.Dataset {
+				if logger != nil {
+					logger.Printf("ledger: ignoring orphan refund seq %d for charge %d (%s)", r.Seq, r.ChargeSeq, r.Dataset)
+				}
+				continue
+			}
+			delete(pending, r.ChargeSeq)
+			d := rec.Datasets[r.Dataset]
+			d.Spent -= p.eps
+			d.Charges--
+			rec.Datasets[r.Dataset] = d
+		case RecordSnapshotMarker:
+			if r.Seq <= rec.SnapshotSeq {
+				continue // marker from an older compaction generation
+			}
+			if r.SnapshotSeq != rec.SnapshotSeq && logger != nil {
+				logger.Printf("ledger: snapshot-marker names seq %d but snapshot holds %d; replaying conservatively", r.SnapshotSeq, rec.SnapshotSeq)
+			}
+		}
+	}
+	rec.WALSize = int64(len(data))
+	return rec, nil
+}
+
+// tornAtEOF reports whether the frame starting at b extends to exactly the
+// end of the buffer — the signature of a write the crash cut short after
+// the header landed (CRC can't match a half-written payload). A bad frame
+// with more data after it is interior corruption instead.
+func tornAtEOF(b []byte) bool {
+	if len(b) < frameHeaderLen {
+		return true
+	}
+	n := int(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+	if n > maxPayload {
+		return false
+	}
+	return frameHeaderLen+n >= len(b)
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"time"
 )
 
 // DatasetStats is the per-dataset operator view served at /datasets. The
@@ -26,6 +27,40 @@ type DatasetStats struct {
 	Refusals int64 `json:"refusals"`
 }
 
+// LedgerStatus is the durable-ledger operator view served at /ledger.
+// Everything here is platform metadata — record counts, fsync and snapshot
+// timestamps — never ε values per query or anything derived from records.
+type LedgerStatus struct {
+	// Enabled is false when the server runs without a durable ledger
+	// (budget state is then lost on crash; see SECURITY.md).
+	Enabled bool `json:"enabled"`
+	// Dir is the ledger directory.
+	Dir string `json:"dir,omitempty"`
+	// SyncPolicy is the configured fsync policy ("every-record",
+	// "batched").
+	SyncPolicy string `json:"syncPolicy,omitempty"`
+	// Records is the lifetime record count (highest sequence number).
+	Records uint64 `json:"records"`
+	// SyncedRecords is the durable watermark; Records - SyncedRecords is
+	// the volatile tail a crash right now would replay provisionally.
+	SyncedRecords uint64 `json:"syncedRecords"`
+	// WALBytes is the current write-ahead log size.
+	WALBytes int64 `json:"walBytes"`
+	// Datasets counts datasets with ledger state.
+	Datasets int `json:"datasets"`
+	// LastFsync is the completion time of the most recent fsync.
+	LastFsync time.Time `json:"lastFsync"`
+	// SnapshotSeq and SnapshotAt describe the newest compaction snapshot;
+	// SnapshotAgeSeconds is its age at serve time (-1 when none exists).
+	SnapshotSeq        uint64    `json:"snapshotSeq"`
+	SnapshotAt         time.Time `json:"snapshotAt"`
+	SnapshotAgeSeconds float64   `json:"snapshotAgeSeconds"`
+	// RecoveredTornTail reports that boot-time recovery truncated a torn
+	// final record (expected after a crash mid-append, not during clean
+	// operation).
+	RecoveredTornTail bool `json:"recoveredTornTail"`
+}
+
 // AdminConfig wires the admin HTTP handler to a live server.
 type AdminConfig struct {
 	// Registry is the metrics registry served at /metrics.
@@ -33,6 +68,9 @@ type AdminConfig struct {
 	// Datasets supplies the per-dataset rows for /datasets; nil serves an
 	// empty list.
 	Datasets func() []DatasetStats
+	// Ledger supplies the durable-ledger status for /ledger; nil serves
+	// {"enabled": false}.
+	Ledger func() LedgerStatus
 	// Health reports serving health for /healthz; nil means always healthy.
 	Health func() error
 }
@@ -42,6 +80,7 @@ type AdminConfig struct {
 //	/metrics       JSON Snapshot of the registry (bucketed timings only)
 //	/healthz       200 "ok" or 503 with the health error
 //	/datasets      JSON []DatasetStats, sorted by name
+//	/ledger        JSON LedgerStatus for the durable budget ledger
 //	/debug/pprof/  the standard net/http/pprof profiling surface
 //
 // The handler is for the operator's loopback/ops network. It intentionally
@@ -64,6 +103,14 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, cfg.Registry.Snapshot())
+	})
+
+	mux.HandleFunc("/ledger", func(w http.ResponseWriter, req *http.Request) {
+		var st LedgerStatus
+		if cfg.Ledger != nil {
+			st = cfg.Ledger()
+		}
+		writeJSON(w, st)
 	})
 
 	mux.HandleFunc("/datasets", func(w http.ResponseWriter, req *http.Request) {

@@ -80,6 +80,54 @@ func TestAdminEndpoints(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(string(body), "goroutine") {
 		t.Fatalf("/debug/pprof/ = %d", code)
 	}
+
+	// No Ledger func configured: /ledger still serves, reporting disabled.
+	code, body = adminGet(t, srv, "/ledger")
+	if code != http.StatusOK {
+		t.Fatalf("/ledger = %d", code)
+	}
+	var ls LedgerStatus
+	if err := json.Unmarshal(body, &ls); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Enabled {
+		t.Fatalf("/ledger without a ledger = %+v, want Enabled false", ls)
+	}
+}
+
+func TestAdminLedgerStatus(t *testing.T) {
+	srv := httptest.NewServer(AdminHandler(AdminConfig{
+		Registry: NewRegistry(),
+		Ledger: func() LedgerStatus {
+			return LedgerStatus{
+				Enabled:            true,
+				Dir:                "/var/lib/gupt/ledger",
+				SyncPolicy:         "batched",
+				Records:            120,
+				SyncedRecords:      120,
+				WALBytes:           4096,
+				Datasets:           2,
+				SnapshotSeq:        100,
+				SnapshotAgeSeconds: 12.5,
+			}
+		},
+	}))
+	defer srv.Close()
+
+	code, body := adminGet(t, srv, "/ledger")
+	if code != http.StatusOK {
+		t.Fatalf("/ledger = %d", code)
+	}
+	var ls LedgerStatus
+	if err := json.Unmarshal(body, &ls); err != nil {
+		t.Fatal(err)
+	}
+	if !ls.Enabled || ls.Records != 120 || ls.SyncedRecords != 120 || ls.Datasets != 2 || ls.SnapshotSeq != 100 {
+		t.Fatalf("/ledger = %+v", ls)
+	}
+	if ls.SyncPolicy != "batched" || ls.WALBytes != 4096 {
+		t.Fatalf("/ledger = %+v", ls)
+	}
 }
 
 func TestAdminHealthError(t *testing.T) {
