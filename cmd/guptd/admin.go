@@ -50,6 +50,7 @@ func ledgerStatus(led *ledger.Ledger) telemetry.LedgerStatus {
 		SnapshotAt:         st.SnapshotAt,
 		SnapshotAgeSeconds: age,
 		RecoveredTornTail:  st.RecoveredTornTail,
+		Poisoned:           st.Poisoned,
 	}
 }
 

@@ -94,6 +94,12 @@ type Ledger struct {
 	state  map[string]*datasetState
 	seq    uint64
 	closed bool
+	// poisoned latches when a compaction published a fresh WAL whose
+	// rename could not be made durable (directory fsync failed after the
+	// point of no return). New appends would land on an inode a crash
+	// might orphan — the under-count direction — so the ledger fails all
+	// further mutation closed until the operator intervenes.
+	poisoned error
 
 	snapshotSeq uint64
 	snapshotAt  time.Time
@@ -206,10 +212,16 @@ func (l *Ledger) waitDurable(seq uint64) error {
 // register ensures the dataset exists in the ledger with the given total,
 // appending a register record when it is new or its total changed.
 func (l *Ledger) register(name string, total float64) (*datasetState, error) {
+	if err := validateString("dataset name", name); err != nil {
+		return nil, err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil, ErrClosed
+	}
+	if l.poisoned != nil {
+		return nil, l.poisoned
 	}
 	st, ok := l.state[name]
 	if ok && st.total == total {
@@ -245,10 +257,21 @@ func (l *Ledger) charge(name, label string, eps float64, acct *dp.Accountant) er
 		// garbage (NaN/negative) epsilon that would poison replay sums.
 		return fmt.Errorf("%w: got %v", dp.ErrInvalidEpsilon, eps)
 	}
+	if err := validateString("dataset name", name); err != nil {
+		return err
+	}
+	if err := validateString("charge label", label); err != nil {
+		return err
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return ErrClosed
+	}
+	if l.poisoned != nil {
+		err := l.poisoned
+		l.mu.Unlock()
+		return err
 	}
 	st, ok := l.state[name]
 	if !ok {
@@ -286,6 +309,7 @@ func (l *Ledger) charge(name, label string, eps float64, acct *dp.Accountant) er
 	}
 	l.crash(CrashAfterSpend)
 	compactErr := l.maybeCompactLocked()
+	benign := compactErr != nil && l.poisoned == nil
 	l.mu.Unlock()
 
 	if err := l.waitDurable(seq); err != nil {
@@ -293,7 +317,9 @@ func (l *Ledger) charge(name, label string, eps float64, acct *dp.Accountant) er
 		// closed because its charge may not be durable.
 		return err
 	}
-	if compactErr != nil && l.opts.Logger != nil {
+	if benign && l.opts.Logger != nil {
+		// Pre-rename compaction failures leave the old WAL intact; the
+		// poisoned case already logged itself in compactLocked.
 		l.opts.Logger.Printf("ledger: compaction failed (log keeps growing): %v", compactErr)
 	}
 	return nil
@@ -315,6 +341,9 @@ func (l *Ledger) Spent(name string) float64 {
 func (l *Ledger) maybeCompactLocked() error {
 	if l.opts.SnapshotThreshold < 0 || l.wal.size < l.opts.SnapshotThreshold {
 		return nil
+	}
+	if l.poisoned != nil {
+		return l.poisoned
 	}
 	return l.compactLocked()
 }
@@ -371,10 +400,13 @@ func (l *Ledger) compactLocked() error {
 		l.seq--
 		return fmt.Errorf("ledger: commit new wal: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
-		tmp.Close()
-		return fmt.Errorf("ledger: fsync ledger dir: %w", err)
-	}
+	// Point of no return: the directory entry now names the fresh WAL, so
+	// every append from here on must target the new inode. The swap and
+	// watermark updates below happen even if the directory fsync fails —
+	// returning early would leave acknowledged charges landing on the old,
+	// unlinked inode while recovery reads the fresh wal.log, losing them
+	// (the under-count direction).
+	dirErr := fsyncDir(l.dir)
 	l.wal.appended.Store(l.seq)
 	l.wal.flushMu.Lock()
 	l.wal.synced = l.seq
@@ -384,6 +416,19 @@ func (l *Ledger) compactLocked() error {
 	l.snapshotAt = snap.TakenAt
 	l.snapshots.Inc()
 	l.crash(CrashAfterWALSwap)
+	if dirErr != nil {
+		// Without the directory fsync the rename itself may not survive a
+		// crash: recovery could resurrect the old wal.log while new charges
+		// exist only on the fresh inode. The snapshot already absorbed
+		// everything up to this point (it is durable and its LastSeq covers
+		// all prior records), so nothing acknowledged is at risk — but no
+		// FUTURE charge can be made crash-safe. Fail them closed.
+		l.poisoned = fmt.Errorf("ledger: wal swap not durable (dir fsync failed): %w", dirErr)
+		if l.opts.Logger != nil {
+			l.opts.Logger.Printf("ledger: poisoned, failing further charges closed: %v", l.poisoned)
+		}
+		return l.poisoned
+	}
 	return nil
 }
 
@@ -393,6 +438,9 @@ func (l *Ledger) Compact() error {
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
+	}
+	if l.poisoned != nil {
+		return l.poisoned
 	}
 	return l.compactLocked()
 }
@@ -434,6 +482,10 @@ type Status struct {
 	// RecoveredTornTail reports that boot-time recovery truncated a torn
 	// final record.
 	RecoveredTornTail bool
+	// Poisoned, when non-empty, is the error that put the ledger into the
+	// fail-closed state (a WAL swap whose rename could not be fsync'd);
+	// all further charges are refused. Empty when healthy.
+	Poisoned string
 }
 
 // Status snapshots the ledger's operational state.
@@ -441,7 +493,12 @@ func (l *Ledger) Status() Status {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	synced, lastSync := l.wal.syncedThrough()
+	var poisoned string
+	if l.poisoned != nil {
+		poisoned = l.poisoned.Error()
+	}
 	return Status{
+		Poisoned:          poisoned,
 		Dir:               l.dir,
 		SyncPolicy:        l.opts.Sync.String(),
 		Records:           l.seq,

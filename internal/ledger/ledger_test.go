@@ -315,3 +315,111 @@ func TestBatchedAckDurability(t *testing.T) {
 		}
 	}
 }
+
+// A directory-fsync failure after the compaction rename is past the point
+// of no return: the swap must still happen (appends target the inode the
+// directory entry now names) and the ledger must fail further charges
+// closed, since their durability across a crash can no longer be
+// guaranteed. Nothing acknowledged may be lost across a reopen.
+func TestCompactDirFsyncFailurePoisons(t *testing.T) {
+	calls := 0
+	fsyncDir = func(dir string) error {
+		calls++
+		if calls == 2 { // 1st: snapshot publish; 2nd: post-rename WAL swap
+			return errors.New("injected dir fsync failure")
+		}
+		return syncDir(dir)
+	}
+	defer func() { fsyncDir = syncDir }()
+
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{SnapshotThreshold: -1})
+	acct := dp.NewAccountant(10)
+	b, err := l.Bind("ds", acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend("q", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("Compact err = %v, want the injected dir fsync failure", err)
+	}
+	st := l.Status()
+	if st.Poisoned == "" {
+		t.Fatal("Status.Poisoned empty after a post-rename dir fsync failure")
+	}
+	if st.SnapshotSeq == 0 {
+		t.Fatal("snapshot bookkeeping lost: the rename already published it")
+	}
+	// The swap must have happened: the live WAL is the fresh marker-only
+	// file, not the old unlinked inode (whose records recovery never sees).
+	markerLen := int64(len(EncodeRecord(nil, Record{Type: RecordSnapshotMarker})))
+	if st.WALBytes != markerLen {
+		t.Fatalf("WALBytes = %d, want %d (fresh marker-only WAL)", st.WALBytes, markerLen)
+	}
+	// Charges fail closed from here on, and nothing leaks into the books.
+	if err := b.Spend("q2", 1); err == nil || !strings.Contains(err.Error(), "not durable") {
+		t.Fatalf("Spend on poisoned ledger err = %v, want fail-closed", err)
+	}
+	if got := acct.Spent(); got != 3 {
+		t.Fatalf("failed charge debited the accountant: spent = %v", got)
+	}
+	if got := l.Spent("ds"); got != 3 {
+		t.Fatalf("failed charge reached the ledger books: spent = %v", got)
+	}
+	if err := l.Compact(); err == nil {
+		t.Fatal("Compact on a poisoned ledger must refuse")
+	}
+	l.Close()
+
+	// Everything acknowledged before the poison survives a reopen: the
+	// snapshot absorbed it, whichever wal.log inode a crash would expose.
+	rec, err := Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Datasets["ds"].Spent; got != 3 {
+		t.Fatalf("recovered spent = %v, want 3", got)
+	}
+}
+
+// Over-long dataset names and labels are rejected up front: the wire
+// format caps strings at maxStringLen, and truncating instead would alias
+// two datasets sharing a 1024-byte prefix to one ledger entry on replay.
+func TestOverLongStringsRejected(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{})
+	long := strings.Repeat("x", maxStringLen+1)
+	if _, err := l.Bind(long, dp.NewAccountant(1)); err == nil {
+		t.Fatal("Bind accepted an over-long dataset name")
+	}
+	acct := dp.NewAccountant(1)
+	b, err := l.Bind("ds", acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(long, 0.1); err == nil {
+		t.Fatal("Spend accepted an over-long label")
+	}
+	if got := acct.Spent(); got != 0 {
+		t.Fatalf("rejected charge debited the accountant: spent = %v", got)
+	}
+	// A name exactly at the limit round-trips intact.
+	edge := strings.Repeat("y", maxStringLen)
+	be, err := l.Bind(edge, dp.NewAccountant(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Spend("q", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	rec, err := Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Datasets[edge].Spent; got != 0.5 {
+		t.Fatalf("limit-length dataset name did not round-trip: spent = %v, want 0.5", got)
+	}
+}

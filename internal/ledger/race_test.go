@@ -81,6 +81,103 @@ func TestConcurrentChargesOneDataset(t *testing.T) {
 	}
 }
 
+// Group commits race compaction: a tiny snapshot threshold makes every
+// few charges swap the WAL file while batched flush leaders are mid-fsync
+// on it. The leader copies the fd under flushMu and swap waits for the
+// syncing flag to clear, so a leader never fsyncs a closed fd (that would
+// latch a sync error and fail every later charge). Run with -race.
+func TestGroupCommitRacesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{
+		Sync:              SyncBatched,
+		FlushInterval:     100 * time.Microsecond,
+		SnapshotThreshold: 256, // compact every handful of records
+	})
+	b, err := l.Bind("ds", dp.NewAccountant(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 150
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := b.Spend("q", 0.25); err != nil {
+					t.Errorf("charge during compaction churn: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := l.Status(); st.SnapshotSeq == 0 {
+		t.Fatal("no compaction happened; the race was not exercised")
+	}
+	l.Close()
+	rec, err := Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rec.Datasets["ds"].Spent, float64(goroutines*perG)*0.25; got < want-1e-6 {
+		t.Fatalf("recovered spent = %v, want ≥ %v", got, want)
+	}
+}
+
+// The widest version of the same race: a long flush interval keeps the
+// group-commit leader asleep (fd in hand) across entire explicit Compact
+// calls issued from another goroutine, so without the flushMu handshake
+// the leader would fsync the swapped-out, closed fd.
+func TestExplicitCompactRacesFlushLeader(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{
+		Sync:              SyncBatched,
+		FlushInterval:     2 * time.Millisecond,
+		SnapshotThreshold: -1, // only the explicit Compact loop below
+	})
+	b, err := l.Bind("ds", dp.NewAccountant(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := b.Spend("q", 0.25); err != nil {
+					t.Errorf("charge racing Compact: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if err := l.Compact(); err != nil {
+			t.Errorf("Compact: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	l.Close()
+	rec, err := Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Datasets["ds"].Spent; got <= 0 {
+		t.Fatalf("recovered spent = %v, want > 0", got)
+	}
+}
+
 // Concurrent charges across several datasets sharing one ledger: group
 // commits interleave across datasets without crosstalk.
 func TestConcurrentChargesManyDatasets(t *testing.T) {

@@ -22,11 +22,15 @@
 //
 //	| type uint8 | seq uint64 | unixNano int64 | type-specific body |
 //
-// Strings are uint16 length + bytes. Every record carries a strictly
-// increasing sequence number; replay is idempotent because records at or
-// below the snapshot's LastSeq are skipped. A torn final record (the tail
-// the crash interrupted) is truncated with a warning; a corrupt record
-// with valid data after it means real corruption and fails recovery.
+// Strings are uint16 length + bytes (at most maxStringLen; over-long
+// names and labels are rejected at register/charge time, never
+// truncated). Every record carries a strictly increasing sequence number;
+// replay is idempotent because records at or below the snapshot's LastSeq
+// are skipped. A torn final record (the tail the crash interrupted —
+// a stream ending mid-frame, a CRC mismatch running to exactly EOF, or an
+// all-zero tail) is truncated with a warning; any other corruption fails
+// recovery, including a CRC-valid record with bad grammar, which no torn
+// write can produce.
 package ledger
 
 import (
@@ -107,6 +111,23 @@ var (
 	ErrTorn    = errors.New("ledger: torn record")
 )
 
+// errCRCMismatch marks the ErrCorrupt subclass a torn write can actually
+// produce: a checksum failure. Recovery truncates a bad *final* record
+// only for this class — a CRC-valid record with bad grammar (say, an
+// unknown type from a newer version) cannot be a cut-short write, so
+// dropping it could silently lose a real charge.
+var errCRCMismatch = errors.New("crc mismatch")
+
+// validateString rejects strings the WAL framing cannot represent. Called
+// at register/charge time so encoding never has to truncate: two names
+// sharing a long prefix must never alias to one ledger entry on replay.
+func validateString(what, s string) error {
+	if len(s) > maxStringLen {
+		return fmt.Errorf("ledger: %s is %d bytes, exceeds the %d-byte limit", what, len(s), maxStringLen)
+	}
+	return nil
+}
+
 // EncodeRecord appends the framed encoding of r to dst and returns the
 // extended slice.
 func EncodeRecord(dst []byte, r Record) []byte {
@@ -141,9 +162,10 @@ func encodePayload(dst []byte, r Record) []byte {
 }
 
 func appendString(dst []byte, s string) []byte {
-	if len(s) > maxStringLen {
-		s = s[:maxStringLen]
-	}
+	// Over-long strings are rejected before any record is built
+	// (validateString at register/charge time). Encoding the raw length
+	// here means a violation that somehow slips through decodes as
+	// ErrCorrupt instead of silently aliasing two truncated names.
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
 	return append(dst, s...)
 }
@@ -167,7 +189,7 @@ func DecodeRecord(b []byte) (Record, int, error) {
 	}
 	payload := b[frameHeaderLen:end]
 	if got := crc32.Checksum(payload, crcTable); got != want {
-		return Record{}, 0, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+		return Record{}, 0, fmt.Errorf("%w: %w (got %08x want %08x)", ErrCorrupt, errCRCMismatch, got, want)
 	}
 	r, err := decodePayload(payload)
 	if err != nil {

@@ -47,9 +47,10 @@ type Recovered struct {
 // record above the snapshot's cut-off. It tolerates a missing directory,
 // missing files, an empty log, and a torn final record (which it truncates
 // off the file, with a warning to logger, so the next append starts at a
-// clean boundary). A corrupt record in the interior of the log — bad CRC
-// or grammar with valid data after it — fails recovery: that is real
-// corruption, and silently skipping it could under-count spent budget.
+// clean boundary). Anything else fails recovery — a bad CRC with valid
+// data after it, and a CRC-valid record whose grammar is wrong even at
+// EOF (a torn write cannot forge a checksum): that is real corruption,
+// and silently skipping it could under-count spent budget.
 //
 // Refund records cancel a charge only when the charge they name was seen
 // in the same replay; an orphaned refund is ignored, keeping replay
@@ -95,11 +96,20 @@ func Recover(dir string, logger *log.Logger) (*Recovered, error) {
 	for off < len(data) {
 		r, n, err := DecodeRecord(data[off:])
 		if err != nil {
+			// Only damage a cut-short write can produce may be truncated
+			// as a torn tail: the stream ending mid-record, a CRC failure
+			// on a frame running to exactly EOF (payload sectors lost), or
+			// an all-zero remainder (the size update outran the data
+			// blocks). A CRC-valid record with bad grammar — e.g. an
+			// unknown type from a newer version — cannot be torn, because
+			// a torn write cannot forge a checksum; it fails recovery even
+			// at EOF rather than risk dropping a real charge.
 			tail := errors.Is(err, ErrTorn)
-			if !tail && errors.Is(err, ErrCorrupt) {
-				// A CRC failure whose frame runs to exactly EOF is a torn
-				// payload write, not interior corruption.
+			if !tail && errors.Is(err, errCRCMismatch) {
 				tail = tornAtEOF(data[off:])
+			}
+			if !tail {
+				tail = allZero(data[off:])
 			}
 			if !tail {
 				return nil, fmt.Errorf("ledger: wal corrupt at offset %d: %w", off, err)
@@ -172,4 +182,18 @@ func tornAtEOF(b []byte) bool {
 		return false
 	}
 	return frameHeaderLen+n >= len(b)
+}
+
+// allZero reports whether every byte of b is zero — the signature of a
+// tail whose file-size update survived a crash but whose data blocks never
+// landed (delayed allocation). No legitimate record encodes to zeros (the
+// smallest payload is 17 bytes, so the length prefix is never zero), so an
+// all-zero tail is torn, not interior corruption.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -258,3 +258,58 @@ func TestBindAfterPreCharge(t *testing.T) {
 		t.Fatalf("spent = %v, want 4 (no double restore)", got)
 	}
 }
+
+// A CRC-valid record with bad grammar (here: an unknown type from a
+// hypothetical newer version) cannot be a torn write — a cut-short write
+// cannot forge a checksum — so recovery must fail even when it is the
+// final record, rather than truncate away something real.
+func TestRecoverGrammarCorruptAtEOFFails(t *testing.T) {
+	dir := t.TempDir()
+	var buf []byte
+	buf = EncodeRecord(buf, Record{Type: RecordRegister, Seq: 1, Dataset: "ds", Total: 10})
+	buf = EncodeRecord(buf, Record{Type: RecordType(99), Seq: 2})
+	path := filepath.Join(dir, walName)
+	if err := os.WriteFile(path, buf, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir, nil); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("recovery err = %v, want ErrCorrupt (CRC-valid grammar corruption must not be truncated)", err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(len(buf)) {
+		t.Fatalf("recovery modified the file: %d bytes, want %d (err %v)", fi.Size(), len(buf), err)
+	}
+}
+
+// An all-zero tail — the file-size update survived the crash, the data
+// blocks did not — is a torn write: truncated with a warning, with the
+// records before it intact. Exercises tails shorter than a frame header,
+// exactly one zero header (whose empty payload trivially passes CRC), and
+// a longer zero run.
+func TestRecoverZeroFilledTail(t *testing.T) {
+	for _, pad := range []int{3, frameHeaderLen, 40} {
+		dir := t.TempDir()
+		var buf []byte
+		buf = EncodeRecord(buf, Record{Type: RecordRegister, Seq: 1, Dataset: "ds", Total: 10})
+		buf = EncodeRecord(buf, Record{Type: RecordCharge, Seq: 2, Dataset: "ds", Label: "q", Epsilon: 2})
+		keep := len(buf)
+		buf = append(buf, make([]byte, pad)...)
+		path := filepath.Join(dir, walName)
+		if err := os.WriteFile(path, buf, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		var logbuf bytes.Buffer
+		rec, err := Recover(dir, log.New(&logbuf, "", 0))
+		if err != nil {
+			t.Fatalf("pad=%d: %v", pad, err)
+		}
+		if !rec.TornTail {
+			t.Fatalf("pad=%d: zero tail not reported as torn", pad)
+		}
+		if got := rec.Datasets["ds"].Spent; got != 2 {
+			t.Fatalf("pad=%d: spent = %v, want 2", pad, got)
+		}
+		if fi, _ := os.Stat(path); fi.Size() != int64(keep) {
+			t.Fatalf("pad=%d: file size %d, want %d (zero tail truncated)", pad, fi.Size(), keep)
+		}
+	}
+}

@@ -74,7 +74,7 @@ func writeSnapshot(dir string, s snapshotFile, beforeRename func()) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("ledger: commit snapshot: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := fsyncDir(dir); err != nil {
 		return fmt.Errorf("ledger: fsync ledger dir: %w", err)
 	}
 	return nil

@@ -45,7 +45,11 @@ const walName = "wal.log"
 // compaction) under its own mutex, so wal fields written on the append
 // path need no extra lock. The group-commit state is guarded by flushMu,
 // which is never held across an fsync — the leader syncs the file outside
-// the lock so followers can queue up and appends can proceed.
+// the lock so followers can queue up and appends can proceed. Because the
+// leader runs without the Ledger mutex, f is additionally protected by
+// flushMu against compaction's swap: the leader copies f under flushMu
+// while syncing is set, and swap/close wait for syncing to clear before
+// replacing or closing the file, so a leader never fsyncs a closed fd.
 type wal struct {
 	f    *os.File
 	path string
@@ -130,15 +134,20 @@ func (w *wal) waitSynced(seq uint64, interval time.Duration) (int64, error) {
 			w.flushCond.Wait()
 			continue
 		}
-		// Become the flush leader. Sleep briefly so concurrent appenders
+		// Become the flush leader. syncing=true keeps swap (compaction)
+		// and close from replacing or closing the fd mid-fsync — both
+		// wait for it to clear. Sleep briefly so concurrent appenders
 		// join this batch, then sync once outside the lock.
 		w.syncing = true
 		w.flushMu.Unlock()
 		if interval > 0 {
 			time.Sleep(interval)
 		}
+		w.flushMu.Lock()
+		f := w.f // cannot go stale: swap waits while syncing is set
+		w.flushMu.Unlock()
 		target := w.appended.Load() // everything written before the fsync below
-		err := w.f.Sync()
+		err := f.Sync()
 		w.flushMu.Lock()
 		w.syncing = false
 		w.lastSync = time.Now()
@@ -178,35 +187,60 @@ func (w *wal) syncedThrough() (uint64, time.Time) {
 
 // swap replaces the open file with the freshly compacted one. Callers hold
 // the Ledger mutex and have already brought the old file fully synced, so
-// no group-commit waiter still depends on the old fd.
+// no group-commit waiter still needs the old file durable — but a flush
+// leader may be mid-fsync on it, so swap waits for syncing to clear before
+// installing the new file (under flushMu, the lock leaders copy w.f under)
+// and closing the old one. No new leader can slip in between: compaction's
+// preceding sync satisfied every queued waiter, and the Ledger mutex held
+// here keeps new records from being appended.
 func (w *wal) swap(f *os.File, size int64) {
+	w.flushMu.Lock()
+	for w.syncing {
+		w.flushCond.Wait()
+	}
 	old := w.f
 	w.f = f
+	w.flushMu.Unlock()
 	w.size = size
 	old.Close()
 }
 
 func (w *wal) close() error {
-	err := w.f.Sync()
 	w.flushMu.Lock()
-	if err != nil && w.syncErr == nil {
-		w.syncErr = err
+	for w.syncing {
+		w.flushCond.Wait()
 	}
-	if err == nil {
+	w.syncing = true // exclusive fd ownership: no leader syncs a closing fd
+	f := w.f
+	w.flushMu.Unlock()
+
+	err := f.Sync()
+	cerr := f.Close()
+
+	w.flushMu.Lock()
+	w.lastSync = time.Now()
+	if err != nil {
+		if w.syncErr == nil {
+			w.syncErr = err
+		}
+	} else {
 		if seq := w.appended.Load(); seq > w.synced {
 			w.synced = seq
 		}
 	}
-	w.lastSync = time.Now()
+	w.syncing = false
 	w.flushCond.Broadcast()
 	w.flushMu.Unlock()
-	if cerr := w.f.Close(); err == nil {
+	if err == nil {
 		err = cerr
 	}
 	return err
 }
 
-// syncDir fsyncs a directory so renames within it are durable.
+// fsyncDir fsyncs a directory so renames within it are durable. Tests
+// swap it out to exercise the post-rename failure path in compaction.
+var fsyncDir = syncDir
+
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {

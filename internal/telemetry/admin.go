@@ -59,6 +59,11 @@ type LedgerStatus struct {
 	// final record (expected after a crash mid-append, not during clean
 	// operation).
 	RecoveredTornTail bool `json:"recoveredTornTail"`
+	// Poisoned, when non-empty, is the error that put the ledger into its
+	// fail-closed state (a WAL swap whose rename could not be made
+	// durable); all charges are being refused until the operator
+	// intervenes.
+	Poisoned string `json:"poisoned,omitempty"`
 }
 
 // AdminConfig wires the admin HTTP handler to a live server.
