@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench ledger-kill
+.PHONY: all build test race vet check fuzz bench bench-telemetry ledger-kill audit-kill
 
 all: check
 
@@ -22,9 +22,15 @@ race:
 ledger-kill:
 	$(GO) test -race -count=1 -run 'TestKill' ./internal/ledger
 
+# audit-kill is the same matrix for the tamper-evident audit log: SIGKILL
+# at every append/head-write boundary must leave a chain that verifies,
+# with at most benign crash artifacts (torn tail, lagged head).
+audit-kill:
+	$(GO) test -race -count=1 -run 'TestKill' ./internal/telemetry/audit
+
 # check is the pre-merge gate: static analysis plus the full suite under
-# the race detector, plus a dedicated pass of the ledger kill matrix.
-check: vet race ledger-kill
+# the race detector, plus dedicated passes of both kill matrices.
+check: vet race ledger-kill audit-kill
 
 # fuzz runs each fuzz target briefly; lengthen FUZZTIME for soak runs.
 FUZZTIME ?= 10s
@@ -42,3 +48,10 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# bench-telemetry measures instrumentation overhead on the query hot path
+# (untraced vs metrics-only vs fully traced) and regenerates the
+# checked-in report. Run on an idle machine; the experiment takes the best
+# of three passes to filter scheduler noise.
+bench-telemetry:
+	$(GO) run ./cmd/gupt-bench -quick -exp telemetry -json BENCH_PR5.json

@@ -60,7 +60,10 @@ func runners() map[string]runner {
 		"distribution": func(cfg experiments.Config) (tabler, error) {
 			return experiments.BudgetDistribution(cfg)
 		},
-		"optimizer":    func(cfg experiments.Config) (tabler, error) { return experiments.Optimizer(cfg) },
+		"optimizer": func(cfg experiments.Config) (tabler, error) { return experiments.Optimizer(cfg) },
+		"telemetry": func(cfg experiments.Config) (tabler, error) {
+			return experiments.TelemetryOverhead(cfg)
+		},
 		"timing":       func(cfg experiments.Config) (tabler, error) { return experiments.TimingAttack(cfg) },
 		"budgetattack": func(cfg experiments.Config) (tabler, error) { return experiments.BudgetAttack(cfg) },
 		"stateattack":  runStateAttack,

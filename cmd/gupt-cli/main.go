@@ -11,6 +11,7 @@
 //	         -program mean -col 0 -range 0,150 -epsilon 1
 //	gupt-cli -op query -dataset census -program mean -col 0 \
 //	         -range 0,150 -accuracy 0.9 -confidence 0.9
+//	gupt-cli audit verify /var/lib/gupt/audit   # check the audit log's hash chain
 package main
 
 import (
@@ -49,6 +50,15 @@ func (r *rangeFlags) Set(v string) error {
 func main() {
 	log.SetPrefix("gupt-cli: ")
 	log.SetFlags(0)
+
+	// The audit subcommands are operator tooling over local files; they
+	// take no server connection and dispatch before flag parsing.
+	if len(os.Args) > 1 && os.Args[1] == "audit" {
+		if err := runAudit(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7113", "guptd address")
@@ -161,6 +171,9 @@ func main() {
 		fmt.Printf("output: %v\n", resp.Output)
 		fmt.Printf("epsilon spent: %g   blocks: %d (size %d)   failed blocks: %d\n",
 			resp.EpsilonSpent, resp.NumBlocks, resp.BlockSize, resp.FailedBlocks)
+		if resp.TraceID != "" {
+			fmt.Printf("trace: %s\n", resp.TraceID)
+		}
 	default:
 		log.Fatalf("unknown -op %q", *op)
 	}

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 
 	"gupt/internal/compman"
+	"gupt/internal/telemetry"
 )
 
 func main() {
@@ -22,15 +24,39 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7201", "address to listen on")
-		scratch = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
+		listen    = flag.String("listen", "127.0.0.1:7201", "address to listen on")
+		scratch   = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
+		adminAddr = flag.String("admin-addr", "", "operator admin HTTP endpoint (/metrics, /healthz, /debug/pprof); empty disables")
 	)
 	flag.Parse()
 
+	tel := telemetry.NewRegistry()
 	w := compman.NewWorker(compman.WorkerConfig{
 		ScratchRoot: *scratch,
 		Logger:      log.Default(),
+		Telemetry:   tel,
 	})
+
+	// The worker's own admin plane: chamber counters and its per-stage
+	// span histograms (bucketed, like every telemetry export). Operator-
+	// facing only — bind to loopback or an ops network.
+	if *adminAddr != "" {
+		al, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		handler := telemetry.AdminHandler(telemetry.AdminConfig{
+			Registry: tel,
+			Health:   func() error { return nil },
+		})
+		go func() {
+			if err := http.Serve(al, handler); err != nil {
+				log.Printf("admin server: %v", err)
+			}
+		}()
+		log.Printf("admin endpoint on http://%s (/metrics /healthz /debug/pprof/)", al.Addr())
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

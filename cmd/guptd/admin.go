@@ -6,24 +6,31 @@ import (
 	"net/http"
 	"time"
 
+	"gupt/internal/compman"
 	"gupt/internal/dataset"
 	"gupt/internal/ledger"
 	"gupt/internal/telemetry"
 )
 
 // newAdminHandler assembles guptd's admin endpoint: the shared telemetry
-// registry at /metrics, per-dataset budget state at /datasets, the durable
-// ledger's status at /ledger, /healthz, and /debug/pprof/. The endpoint is
-// operator-facing — bind it to loopback or an ops network, never the
-// analyst-facing address (see SECURITY.md, "Telemetry and the
-// observability side channel").
-func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry, led *ledger.Ledger) http.Handler {
-	return telemetry.AdminHandler(telemetry.AdminConfig{
+// registry at /metrics (JSON or Prometheus text by content negotiation),
+// per-dataset budget state at /datasets, the durable ledger's status at
+// /ledger, completed query traces at /traces, the live query table at
+// /queries, /healthz, and /debug/pprof/. The endpoint is operator-facing —
+// bind it to loopback or an ops network, never the analyst-facing address
+// (see SECURITY.md, "Telemetry and the observability side channel").
+func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry, led *ledger.Ledger, srv *compman.Server) http.Handler {
+	cfg := telemetry.AdminConfig{
 		Registry: tel,
 		Health:   func() error { return nil },
 		Datasets: func() []telemetry.DatasetStats { return datasetStats(tel, reg) },
 		Ledger:   func() telemetry.LedgerStatus { return ledgerStatus(led) },
-	})
+	}
+	if srv != nil {
+		cfg.Traces = srv.Traces
+		cfg.Queries = srv.LiveQueries
+	}
+	return telemetry.AdminHandler(cfg)
 }
 
 // ledgerStatus maps the ledger's operational state onto the admin wire

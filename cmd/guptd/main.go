@@ -34,6 +34,7 @@ import (
 	"gupt/internal/dataset"
 	"gupt/internal/ledger"
 	"gupt/internal/telemetry"
+	"gupt/internal/telemetry/audit"
 )
 
 type datasetFlags []string
@@ -50,6 +51,10 @@ func main() {
 		adminAddr    = flag.String("admin-addr", "", "operator admin HTTP endpoint (/metrics, /healthz, /datasets, /debug/pprof); empty disables")
 		traceLog     = flag.Bool("unsafe-trace-log", false, "log per-query lifecycle traces with raw stage durations; UNSAFE where analysts can read logs (see SECURITY.md)")
 		traceSlower  = flag.Duration("trace-threshold", 0, "with -unsafe-trace-log, only log queries at least this slow (0 logs all)")
+		traceBufSize = flag.Int("trace-buffer", 0, "completed-trace ring capacity served at /traces (0 = default 256)")
+		auditDir     = flag.String("audit-dir", "", "tamper-evident audit log directory (hash-chained query records, verifiable with 'gupt-cli audit verify'); empty disables")
+		auditMax     = flag.Int64("audit-max-bytes", 0, "rotate audit segments at this size (0 = default 4MiB)")
+		auditFsync   = flag.Bool("audit-fsync", false, "fsync the audit log after every record (durability over throughput)")
 		quantum      = flag.Duration("quantum", 0, "per-block timing quantum applied to all queries (0 disables)")
 		scratch      = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
 		state        = flag.String("state", "", "legacy budget state file; superseded by -ledger-dir")
@@ -136,6 +141,21 @@ func main() {
 	if led != nil {
 		statePath = "" // the WAL is authoritative; don't double-journal
 	}
+
+	// Tamper-evident audit log: every settled query and session appends a
+	// hash-chained record. Opening recovers the chain tip (and truncates a
+	// torn tail from a crash mid-append) before any new record is written.
+	var alog *audit.Log
+	if *auditDir != "" {
+		var err error
+		alog, err = audit.Open(*auditDir, audit.Options{MaxBytes: *auditMax, Fsync: *auditFsync})
+		if err != nil {
+			log.Fatalf("opening audit log: %v", err)
+		}
+		log.Printf("audit log %s: chain at seq %d (fsync=%v); verify with 'gupt-cli audit verify -dir %s'",
+			*auditDir, alog.LastSeq(), *auditFsync, *auditDir)
+	}
+
 	cfg := compman.ServerConfig{
 		DefaultQuantum:  *quantum,
 		ScratchRoot:     *scratch,
@@ -148,6 +168,8 @@ func main() {
 		MaxFailFrac:     *maxFailFrac,
 		Logger:          log.Default(),
 		Telemetry:       tel,
+		Audit:           alog,
+		TraceBufferSize: *traceBufSize,
 	}
 	if *traceLog {
 		log.Print("WARNING: -unsafe-trace-log exposes raw per-stage query timings in the log; " +
@@ -159,12 +181,12 @@ func main() {
 
 	var stopAdmin func()
 	if *adminAddr != "" {
-		al, stop, err := serveAdmin(*adminAddr, newAdminHandler(tel, reg, led))
+		al, stop, err := serveAdmin(*adminAddr, newAdminHandler(tel, reg, led, srv))
 		if err != nil {
 			log.Fatalf("admin endpoint: %v", err)
 		}
 		stopAdmin = stop
-		log.Printf("admin endpoint on http://%s (/metrics /healthz /datasets /debug/pprof/)", al.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics /traces /queries /healthz /datasets /ledger /debug/pprof/)", al.Addr())
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -189,6 +211,11 @@ func main() {
 			// nothing volatile (a crash here would still only over-count).
 			if err := led.Close(); err != nil {
 				log.Printf("final ledger flush failed: %v", err)
+			}
+		}
+		if alog != nil {
+			if err := alog.Close(); err != nil {
+				log.Printf("closing audit log: %v", err)
 			}
 		}
 		if stopAdmin != nil {

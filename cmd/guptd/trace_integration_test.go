@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"gupt/internal/compman"
+	"gupt/internal/dataset"
+	"gupt/internal/telemetry"
+	"gupt/internal/telemetry/audit"
+)
+
+// startWorkerProcess builds the real gupt-worker binary and runs it as a
+// separate OS process on a kernel-assigned port, returning its address.
+// This is deliberately NOT an in-process worker: the point of the test is
+// that trace context survives the actual process boundary.
+func startWorkerProcess(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gupt-worker")
+	build := exec.Command("go", "build", "-o", bin, "gupt/cmd/gupt-worker")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building gupt-worker: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	// The worker logs its bound address; scan for it rather than racing a
+	// fixed port.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "executing blocks on "); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("executing blocks on "):])
+				return
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("gupt-worker never reported its listen address")
+		return ""
+	}
+}
+
+// The tentpole acceptance walk: one query through a guptd-shaped server
+// backed by an out-of-process gupt-worker must produce a single trace at
+// /traces whose span tree includes the worker's own spans, an empty
+// /queries table once settled, a Prometheus-format /metrics view, and a
+// verifiable audit record carrying the same trace id.
+func TestQueryTraceAcrossProcesses(t *testing.T) {
+	workerAddr := startWorkerProcess(t)
+
+	var sb strings.Builder
+	sb.WriteString("age\n")
+	for i := 0; i < 400; i++ {
+		sb.WriteString("40\n")
+	}
+	reg := dataset.NewRegistry()
+	if err := registerSpec(reg, "census="+writeCSV(t, sb.String())+":budget=5:header"); err != nil {
+		t.Fatal(err)
+	}
+
+	auditDir := t.TempDir()
+	alog, err := audit.Open(auditDir, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alog.Close()
+
+	client, admin := startGuptd(t, reg, compman.ServerConfig{
+		WorkerAddrs: []string{workerAddr},
+		Audit:       alog,
+	})
+
+	resp, err := client.Query(&compman.Request{
+		Dataset:      "census",
+		Program:      &compman.ProgramSpec{Type: "mean"},
+		OutputRanges: []compman.RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      1,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(resp.TraceID) {
+		t.Fatalf("Response.TraceID = %q, want 32 lowercase hex", resp.TraceID)
+	}
+
+	// /traces: exactly one completed trace, spanning both processes.
+	code, body := adminGet(t, admin, "/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces = %d", code)
+	}
+	var traces []telemetry.TraceSnapshot
+	if err := json.Unmarshal(body, &traces); err != nil {
+		t.Fatalf("/traces: %v\n%s", err, body)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("/traces has %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID != resp.TraceID || tr.Dataset != "census" || tr.Outcome != "ok" {
+		t.Fatalf("trace = %+v, want id %s dataset census outcome ok", tr, resp.TraceID)
+	}
+	workerStages := map[string]bool{}
+	serverStages := map[string]bool{}
+	for _, sp := range tr.Spans {
+		if sp.Process == "worker:"+workerAddr {
+			workerStages[sp.Stage] = true
+		} else if sp.Process == "" {
+			serverStages[sp.Stage] = true
+		}
+		if sp.BucketMillis != -1 && sp.BucketMillis <= 0 {
+			t.Errorf("span %s/%s has non-bucketed duration %v", sp.Process, sp.Stage, sp.BucketMillis)
+		}
+	}
+	if !workerStages[telemetry.StageWorkerSetup] || !workerStages[telemetry.StageWorkerExecute] {
+		t.Errorf("worker spans missing: got %v", workerStages)
+	}
+	if !serverStages[telemetry.StageBlocks] || !serverStages[telemetry.StageNoising] {
+		t.Errorf("server spans missing: got %v", serverStages)
+	}
+
+	// /queries: nothing live once the query settled.
+	code, body = adminGet(t, admin, "/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/queries = %d", code)
+	}
+	var live []telemetry.InflightSnapshot
+	if err := json.Unmarshal(body, &live); err != nil {
+		t.Fatalf("/queries: %v\n%s", err, body)
+	}
+	if len(live) != 0 {
+		t.Errorf("/queries = %+v after settlement, want empty", live)
+	}
+
+	// /metrics in Prometheus text format, by content negotiation.
+	req, err := http.NewRequest("GET", admin+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, err := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hresp.Header.Get("Content-Type"); got != telemetry.PrometheusContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, telemetry.PrometheusContentType)
+	}
+	prom := string(promBody)
+	if !strings.Contains(prom, "compman_query_latency_millis_bucket{le=") {
+		t.Errorf("Prometheus view missing latency buckets:\n%.400s", prom)
+	}
+	if strings.Contains(prom, "_sum") {
+		t.Error("Prometheus view exports a _sum series (raw-duration side channel)")
+	}
+
+	// The audit chain verifies and carries the query's trace id.
+	rep, err := audit.Verify(auditDir)
+	if err != nil {
+		t.Fatalf("audit verify: %v", err)
+	}
+	if rep.Records < 1 {
+		t.Fatal("no audit records written")
+	}
+	segs, _ := filepath.Glob(filepath.Join(auditDir, "audit-*.log"))
+	var found bool
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(data), resp.TraceID) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("audit log does not mention trace id %s", resp.TraceID)
+	}
+}

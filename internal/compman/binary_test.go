@@ -85,7 +85,7 @@ func TestWorkerBinaryProgram(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "binary", Path: script, OutputDims: 1}})
+	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "binary", Path: script, OutputDims: 1}}, nil)
 	out, err := chamber.Execute(context.Background(), workerBlock(5))
 	if err != nil {
 		t.Fatal(err)

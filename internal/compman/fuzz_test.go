@@ -3,6 +3,8 @@ package compman
 import (
 	"encoding/json"
 	"testing"
+
+	"gupt/internal/telemetry"
 )
 
 // The four wire decoders are the only entry points for bytes an untrusted
@@ -36,6 +38,8 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add(`{"ok":false,"error":"boom","epsilonCharged":0.5}`)
 	f.Add(`{"stats":{"queriesOK":3}}`)
 	f.Add(`{"session":[{"output":[1],"epsilonSpent":0.1}]}`)
+	f.Add(`{"ok":true,"traceId":"0123456789abcdef0123456789abcdef"}`)
+	f.Add(`{"ok":true,"traceId":"zz-not-hex"}`)
 	f.Add(`]]]`)
 	f.Fuzz(func(t *testing.T, input string) {
 		resp, err := DecodeResponse([]byte(input))
@@ -53,6 +57,8 @@ func FuzzDecodeWorkRequest(f *testing.F) {
 	f.Add(`{"block":[]}`)
 	f.Add(`{"spec":{"quantumMillis":-1}}`)
 	f.Add(`{"block":[[1e400]]}`)
+	f.Add(`{"spec":{"program":{"type":"mean"},"traceId":"0123456789abcdef0123456789abcdef"},"block":[[1]]}`)
+	f.Add(`{"spec":{"traceId":""}}`)
 	f.Add(`garbage`)
 	f.Fuzz(func(t *testing.T, input string) {
 		req, err := DecodeWorkRequest([]byte(input))
@@ -71,6 +77,10 @@ func FuzzDecodeWorkResponse(f *testing.F) {
 	f.Add(`{"output":null,"error":""}`)
 	f.Add(`!!not-json-at-all!!`)
 	f.Add(`{"output":[1,2,`)
+	f.Add(`{"output":[1],"traceId":"0123456789abcdef0123456789abcdef","spans":[{"stage":"worker.setup","status":"ok","millis":1.5}]}`)
+	f.Add(`{"spans":[{"stage":"worker.execute","millis":-1}]}`)
+	f.Add(`{"spans":[{"stage":"worker.execute","millis":1e400}]}`)
+	f.Add(`{"spans":[{"millis":null}]}`)
 	f.Fuzz(func(t *testing.T, input string) {
 		resp, err := DecodeWorkResponse([]byte(input))
 		if err != nil {
@@ -79,5 +89,12 @@ func FuzzDecodeWorkResponse(f *testing.F) {
 		if _, err := json.Marshal(resp); err != nil {
 			t.Errorf("accepted work response does not re-encode: %v", err)
 		}
+		// Anything the decoder accepts must also survive the trace merge:
+		// AddRemoteSpans is the sanitization boundary for wire-origin spans
+		// (caps strings, drops non-finite durations) and must never panic
+		// or poison the trace's own export path.
+		tr := telemetry.NewTrace(nil, "fuzz", "ds")
+		tr.AddRemoteSpans("worker:fuzz", resp.Spans)
+		_ = tr.String()
 	})
 }

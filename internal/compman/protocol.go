@@ -275,6 +275,14 @@ type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 
+	// TraceID is the server-assigned correlation id for this operation
+	// (queries and sessions): a random 128-bit hex string, never derived
+	// from analyst input. Analysts can quote it to the operator, who can
+	// find the query at /traces and in the audit log. Requests carry no
+	// trace field at all — accepting analyst-supplied ids would let an
+	// analyst forge audit correlation.
+	TraceID string `json:"traceId,omitempty"`
+
 	// Query results.
 	Output          []float64   `json:"output,omitempty"`
 	EpsilonSpent    float64     `json:"epsilonSpent,omitempty"`

@@ -10,7 +10,6 @@ import (
 	"net"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"gupt/internal/aging"
@@ -22,6 +21,7 @@ import (
 	"gupt/internal/mathutil"
 	"gupt/internal/sandbox"
 	"gupt/internal/telemetry"
+	"gupt/internal/telemetry/audit"
 )
 
 // ServerConfig tunes the trusted server component.
@@ -83,6 +83,16 @@ type ServerConfig struct {
 	// TraceThreshold suppresses trace-log lines for queries faster than
 	// this; zero logs every query when TraceLogger is set.
 	TraceThreshold time.Duration
+	// Audit, when set, receives one tamper-evident record per settled query
+	// and session (dataset, ε movements, outcome, trace id, bucketed
+	// latency — never outputs or raw durations). When TraceLogger is also
+	// set, its raw-duration lines are additionally folded in as explicit
+	// unsafe_raw records, so the side-channel exposure is itself on the
+	// audit record. Nil disables auditing.
+	Audit *audit.Log
+	// TraceBufferSize caps the /traces ring buffer of completed query
+	// traces; zero means telemetry.DefaultTraceBufferSize.
+	TraceBufferSize int
 }
 
 // Server is the trusted computation-manager server. It owns the dataset
@@ -96,7 +106,8 @@ type Server struct {
 	poolErr  error       // non-nil when WorkerAddrs were set but unreachable
 	tel      *telemetry.Registry
 	stats    *statsCollector
-	querySeq atomic.Int64 // operator-side trace correlation ids
+	traces   *telemetry.TraceBuffer // completed query traces, for /traces
+	inflight *telemetry.Inflight    // live query table, for /queries
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -113,14 +124,22 @@ func NewServer(reg *dataset.Registry, cfg ServerConfig) *Server {
 		tel = telemetry.NewRegistry()
 	}
 	s := &Server{
-		reg:   reg,
-		mgr:   budget.NewManager(reg),
-		cfg:   cfg,
-		tel:   tel,
-		stats: newStatsCollector(tel),
-		conns: make(map[net.Conn]struct{}),
+		reg:      reg,
+		mgr:      budget.NewManager(reg),
+		cfg:      cfg,
+		tel:      tel,
+		stats:    newStatsCollector(tel),
+		traces:   telemetry.NewTraceBuffer(cfg.TraceBufferSize),
+		inflight: telemetry.NewInflight(tel.Counter("compman.queries_slow")),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.mgr.Instrument(tel)
+	// The slow-query watchdog flags queries stuck past the deployment's
+	// query deadline — the operator's early warning for a wedged worker or
+	// chamber before (or without) the timeout abort.
+	if cfg.QueryTimeout > 0 {
+		s.inflight.StartWatchdog(cfg.QueryTimeout, time.Second)
+	}
 	if len(cfg.WorkerAddrs) > 0 {
 		pool, err := NewWorkerPool(cfg.WorkerAddrs)
 		if err != nil {
@@ -143,6 +162,15 @@ func (s *Server) Registry() *dataset.Registry { return s.reg }
 // Telemetry exposes the server's metrics registry, for serving an admin
 // endpoint (telemetry.AdminHandler) or asserting counters in tests.
 func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// Traces returns the completed-trace ring buffer's snapshots, newest
+// first — the /traces admin endpoint's data source. Durations are
+// bucketed (§6.3).
+func (s *Server) Traces() []telemetry.TraceSnapshot { return s.traces.Snapshots() }
+
+// LiveQueries returns the in-flight query table (stage + elapsed bucket),
+// the /queries admin endpoint's data source.
+func (s *Server) LiveQueries() []telemetry.InflightSnapshot { return s.inflight.Snapshots() }
 
 // Addr returns the address Serve is listening on, or nil before Serve.
 func (s *Server) Addr() net.Addr {
@@ -214,6 +242,7 @@ func (s *Server) Close() error {
 	if s.pool != nil {
 		s.pool.Close()
 	}
+	s.inflight.Stop()
 	return err
 }
 
@@ -274,7 +303,11 @@ func (s *Server) dispatch(req *Request) Response {
 	case OpRegister:
 		return s.handleRegister(req)
 	case OpSession:
-		return s.handleSession(req)
+		start := time.Now()
+		resp := s.handleSession(req)
+		resp.TraceID = telemetry.NewTraceID()
+		s.auditRecord(req.Dataset, &resp, sessionOutcome(&resp), time.Since(start))
+		return resp
 	case OpBudget:
 		rem, err := s.mgr.Remaining(req.Dataset)
 		if err != nil {
@@ -285,11 +318,18 @@ func (s *Server) dispatch(req *Request) Response {
 		start := time.Now()
 		inflight := s.tel.Gauge("compman.queries_inflight")
 		inflight.Inc()
-		// The trace id is a server-side sequence number: operator-meaningful
-		// for log correlation, never derived from analyst input.
-		tr := telemetry.NewTrace(s.tel, fmt.Sprintf("q%d", s.querySeq.Add(1)), req.Dataset)
+		// The trace id is a random 128-bit hex string: unique across
+		// restarts and instances, operator-meaningful for correlation,
+		// never derived from analyst input. It propagates to the workers
+		// over the WorkSpec and comes back to the analyst on the response.
+		tr := telemetry.NewTrace(s.tel, telemetry.NewTraceID(), req.Dataset)
+		live := s.inflight.Begin(tr.ID, req.Dataset)
+		tr.OnStage = live.SetStage
 		resp := s.handleQuery(req, tr)
+		live.End()
 		inflight.Dec()
+		resp.TraceID = tr.ID
+		outcome := queryOutcome(&resp)
 		if resp.OK {
 			s.stats.recordOK(time.Since(start))
 			if resp.FailedBlocks > 0 {
@@ -300,6 +340,8 @@ func (s *Server) dispatch(req *Request) Response {
 				strings.Contains(resp.Error, dp.ErrBudgetExhausted.Error()),
 				resp.EpsilonCharged > 0)
 		}
+		s.traces.Add(tr, outcome)
+		s.auditRecord(req.Dataset, &resp, outcome, tr.Elapsed())
 		s.logTrace(tr)
 		return resp
 	default:
@@ -309,10 +351,71 @@ func (s *Server) dispatch(req *Request) Response {
 
 func errResponse(err error) Response { return Response{Error: err.Error()} }
 
+// queryOutcome classifies a query response into the audit/trace outcome
+// vocabulary: ok, degraded (answered with substituted blocks),
+// budget_refused (refused before any charge), aborted (failed with its
+// charge consumed — the §6.2 posture), or error.
+func queryOutcome(resp *Response) string {
+	switch {
+	case resp.OK && resp.FailedBlocks > 0:
+		return "degraded"
+	case resp.OK:
+		return "ok"
+	case strings.Contains(resp.Error, dp.ErrBudgetExhausted.Error()):
+		return "budget_refused"
+	case resp.EpsilonCharged > 0:
+		return "aborted"
+	default:
+		return "error"
+	}
+}
+
+// sessionOutcome classifies a session response; a session whose batch ran
+// with some member failures is degraded, not failed (its ε was charged
+// atomically up front).
+func sessionOutcome(resp *Response) string {
+	if !resp.OK {
+		if strings.Contains(resp.Error, dp.ErrBudgetExhausted.Error()) {
+			return "budget_refused"
+		}
+		return "error"
+	}
+	for _, r := range resp.Session {
+		if r.Error != "" || r.FailedBlocks > 0 {
+			return "degraded"
+		}
+	}
+	return "ok"
+}
+
+// auditRecord appends one tamper-evident record for a settled query or
+// session. Append failures are logged, not fatal, same stance as
+// journalBudgets: refusing queries on a disk error would be a
+// denial-of-service lever.
+func (s *Server) auditRecord(dataset string, resp *Response, outcome string, elapsed time.Duration) {
+	if s.cfg.Audit == nil {
+		return
+	}
+	err := s.cfg.Audit.Append(audit.Record{
+		Type:                audit.TypeQuery,
+		TraceID:             resp.TraceID,
+		Dataset:             dataset,
+		Outcome:             outcome,
+		EpsilonCharged:      resp.EpsilonCharged,
+		Blocks:              resp.NumBlocks,
+		LatencyBucketMillis: telemetry.BucketUpperMillis(float64(elapsed)/float64(time.Millisecond), telemetry.DefaultLatencyBuckets),
+	})
+	if err != nil {
+		s.logf("compman: audit append: %v", err)
+	}
+}
+
 // logTrace emits the opt-in slow-query trace line. Raw per-stage durations
 // leave the process ONLY through this path, and only when the operator
 // explicitly configured TraceLogger — see SECURITY.md on why that log is
-// unsafe to expose to adversarial analysts.
+// unsafe to expose to adversarial analysts. When the audit log is enabled
+// too, the same line is folded in as an explicit unsafe_raw record, so the
+// side-channel exposure is itself tamper-evidently recorded.
 func (s *Server) logTrace(tr *telemetry.Trace) {
 	if s.cfg.TraceLogger == nil || tr == nil {
 		return
@@ -320,7 +423,20 @@ func (s *Server) logTrace(tr *telemetry.Trace) {
 	if elapsed := tr.Elapsed(); elapsed < s.cfg.TraceThreshold {
 		return
 	}
-	s.cfg.TraceLogger.Printf("%s", tr.String())
+	line := tr.String()
+	s.cfg.TraceLogger.Printf("%s", line)
+	if s.cfg.Audit != nil {
+		err := s.cfg.Audit.Append(audit.Record{
+			Type:      audit.TypeUnsafeTrace,
+			TraceID:   tr.ID,
+			Dataset:   tr.Dataset,
+			UnsafeRaw: true,
+			Detail:    line,
+		})
+		if err != nil {
+			s.logf("compman: audit append: %v", err)
+		}
+	}
 }
 
 // handleQuery is the trusted query path: resolve program and ranges, settle
@@ -390,11 +506,16 @@ func (s *Server) handleQuery(req *Request, tr *telemetry.Trace) Response {
 	}
 	if s.pool != nil {
 		progSpec := *req.Program
+		traceID := ""
+		if tr != nil {
+			traceID = tr.ID
+		}
 		opts.NewChamber = func(_ analytics.Program, pol sandbox.Policy) sandbox.Chamber {
 			return s.pool.Chamber(WorkSpec{
 				Program:       progSpec,
 				QuantumMillis: pol.Quantum.Milliseconds(),
-			})
+				TraceID:       traceID,
+			}, tr)
 		}
 		opts.Parallelism = s.pool.Size()
 	}

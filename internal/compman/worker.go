@@ -31,6 +31,11 @@ type WorkSpec struct {
 	Program ProgramSpec `json:"program"`
 	// QuantumMillis arms the timing-attack defense on the worker.
 	QuantumMillis int64 `json:"quantumMillis,omitempty"`
+	// TraceID propagates the server's trace context: the worker labels its
+	// spans with it and echoes it in the response, so one query yields one
+	// cross-process span tree. Always server-generated (telemetry.NewTraceID),
+	// never analyst input.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // WorkRequest is one block execution.
@@ -39,10 +44,18 @@ type WorkRequest struct {
 	Block [][]float64 `json:"block"`
 }
 
-// WorkResponse is the execution result.
+// WorkResponse is the execution result. Spans carry the worker's own trace
+// spans (chamber setup, block execution) back for merging into the
+// server-side trace; their raw durations are acceptable on this
+// platform-internal wire but are bucketed before any export (see
+// telemetry.RemoteSpan).
 type WorkResponse struct {
 	Output []float64 `json:"output,omitempty"`
 	Error  string    `json:"error,omitempty"`
+	// TraceID echoes the request's trace context; the pool treats a
+	// mismatched echo as a desynchronized stream.
+	TraceID string                 `json:"traceId,omitempty"`
+	Spans   []telemetry.RemoteSpan `json:"spans,omitempty"`
 }
 
 // WorkerConfig tunes a worker daemon.
@@ -55,6 +68,10 @@ type WorkerConfig struct {
 	ChamberWrapper func(sandbox.Chamber) sandbox.Chamber
 	// Logger receives diagnostics; nil silences them.
 	Logger *log.Logger
+	// Telemetry, when set, receives the worker's own metrics: per-stage
+	// bucketed latency histograms and execution counters, served by the
+	// worker's admin endpoint (cmd/gupt-worker -admin-addr). Nil disables.
+	Telemetry *telemetry.Registry
 }
 
 // Worker is the per-node client component of the computation manager: it
@@ -163,11 +180,20 @@ func (w *Worker) handleConn(conn net.Conn) {
 }
 
 func (w *Worker) execute(req *WorkRequest) WorkResponse {
+	resp := WorkResponse{TraceID: req.Spec.TraceID}
+
+	// The worker records its own spans — chamber setup and block execution —
+	// and ships them back for merging into the server-side trace. Durations
+	// also feed the worker's local bucketed histograms so a worker node is
+	// observable on its own admin endpoint.
+	setupStart := time.Now()
 	program, isBinary, err := req.Spec.Program.resolve()
 	if err != nil {
-		return WorkResponse{Error: err.Error()}
+		resp.Error = err.Error()
+		resp.Spans = append(resp.Spans, w.span(telemetry.StageWorkerSetup, telemetry.StatusError, setupStart))
+		return resp
 	}
-	pol := sandbox.Policy{}
+	pol := sandbox.Policy{Metrics: w.cfg.Telemetry}
 	if req.Spec.QuantumMillis > 0 {
 		pol.Quantum = time.Duration(req.Spec.QuantumMillis) * time.Millisecond
 	}
@@ -189,11 +215,28 @@ func (w *Worker) execute(req *WorkRequest) WorkResponse {
 	for i, r := range req.Block {
 		block[i] = mathutil.Vec(r)
 	}
+	resp.Spans = append(resp.Spans, w.span(telemetry.StageWorkerSetup, telemetry.StatusOK, setupStart))
+
+	execStart := time.Now()
 	out, err := chamber.Execute(context.Background(), block)
 	if err != nil {
-		return WorkResponse{Error: err.Error()}
+		resp.Error = err.Error()
+		resp.Spans = append(resp.Spans, w.span(telemetry.StageWorkerExecute, telemetry.StatusError, execStart))
+		return resp
 	}
-	return WorkResponse{Output: out}
+	resp.Output = out
+	resp.Spans = append(resp.Spans, w.span(telemetry.StageWorkerExecute, telemetry.StatusOK, execStart))
+	return resp
+}
+
+// span closes one worker-side stage: it feeds the local bucketed histogram
+// and returns the wire form for the server-side merge.
+func (w *Worker) span(stage, status string, start time.Time) telemetry.RemoteSpan {
+	d := time.Since(start)
+	if w.cfg.Telemetry != nil {
+		w.cfg.Telemetry.Histogram("trace.stage."+stage+".millis", telemetry.DefaultLatencyBuckets).Observe(d)
+	}
+	return telemetry.RemoteSpan{Stage: stage, Status: status, Millis: float64(d) / float64(time.Millisecond)}
 }
 
 // WorkerPool fans block executions out over a set of worker daemons. It is
@@ -279,14 +322,17 @@ func (p *WorkerPool) Size() int {
 
 // Chamber returns a sandbox.Chamber that executes blocks on the pool's
 // workers, round-robin. Safe for concurrent use up to one in-flight block
-// per worker; the engine's parallelism should be set to Size().
-func (p *WorkerPool) Chamber(spec WorkSpec) sandbox.Chamber {
-	return &poolChamber{pool: p, spec: spec}
+// per worker; the engine's parallelism should be set to Size(). tr, when
+// non-nil, receives the worker-side spans each reply ships back (labeled
+// "worker:<addr>"); its id should already be on spec.TraceID.
+func (p *WorkerPool) Chamber(spec WorkSpec, tr *telemetry.Trace) sandbox.Chamber {
+	return &poolChamber{pool: p, spec: spec, tr: tr}
 }
 
 type poolChamber struct {
 	pool *WorkerPool
 	spec WorkSpec
+	tr   *telemetry.Trace
 }
 
 // Execute implements sandbox.Chamber. Transport-level failures (worker
@@ -322,45 +368,46 @@ func (c *poolChamber) Execute(ctx context.Context, block []mathutil.Vec) (mathut
 		if err != nil {
 			return nil, err
 		}
-		out, transport, err := wc.execute(ctx, &req)
-		if err == nil {
-			return out, nil
+		resp, err := wc.execute(ctx, &req)
+		if err != nil {
+			lastErr = err // transport-level: retryable on another worker
+			continue
 		}
-		if !transport {
-			return nil, err
+		// The reply's spans merge into the query trace whether the block
+		// succeeded or failed — a failing chamber is exactly what the
+		// operator wants visible in the span tree.
+		c.tr.AddRemoteSpans("worker:"+wc.addr, resp.Spans)
+		if resp.Error != "" {
+			// Application-level: the worker is healthy, the computation
+			// itself failed. Never retried.
+			return nil, fmt.Errorf("compman: worker %s: %s", wc.addr, resp.Error)
 		}
-		lastErr = err
+		return mathutil.Vec(resp.Output), nil
 	}
 	return nil, lastErr
 }
 
 // execute runs one exchange on this worker, redialing a broken connection
-// before and once after a transport failure. transport reports whether the
-// returned error is transport-level (retryable on another worker).
-func (wc *workerConn) execute(ctx context.Context, req *WorkRequest) (out mathutil.Vec, transport bool, err error) {
+// before and once after a transport failure. A non-nil error is always
+// transport-level (retryable on another worker); application failures come
+// back inside the response.
+func (wc *workerConn) execute(ctx context.Context, req *WorkRequest) (*WorkResponse, error) {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
 	if wc.broken {
 		if dialErr := wc.redialLocked(); dialErr != nil {
-			return nil, true, dialErr
+			return nil, dialErr
 		}
 	}
-	out, err = wc.roundTrip(ctx, req)
+	resp, err := wc.roundTrip(ctx, req)
 	if err == nil {
-		return out, false, nil
-	}
-	if !wc.broken {
-		return nil, false, err // application-level: do not retry
+		return resp, nil
 	}
 	// Transient blip: one immediate redial + retry on the same worker.
 	if dialErr := wc.redialLocked(); dialErr != nil {
-		return nil, true, fmt.Errorf("compman: worker %s unreachable after %v", wc.addr, err)
+		return nil, fmt.Errorf("compman: worker %s unreachable after %v", wc.addr, err)
 	}
-	out, err = wc.roundTrip(ctx, req)
-	if err == nil {
-		return out, false, nil
-	}
-	return nil, wc.broken, err
+	return wc.roundTrip(ctx, req)
 }
 
 // redialLocked replaces a broken connection; the caller holds wc.mu.
@@ -376,8 +423,9 @@ func (wc *workerConn) redialLocked() error {
 }
 
 // roundTrip performs one request/response exchange; the caller holds wc.mu.
-// On transport failure it marks the connection broken.
-func (wc *workerConn) roundTrip(ctx context.Context, req *WorkRequest) (mathutil.Vec, error) {
+// On transport failure it marks the connection broken. Errors are
+// transport-level only; an application failure arrives in resp.Error.
+func (wc *workerConn) roundTrip(ctx context.Context, req *WorkRequest) (*WorkResponse, error) {
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = wc.conn.SetDeadline(deadline)
 	} else {
@@ -399,10 +447,13 @@ func (wc *workerConn) roundTrip(ctx context.Context, req *WorkRequest) (mathutil
 		wc.broken = true
 		return nil, fmt.Errorf("compman: worker %s: %w", wc.addr, err)
 	}
-	if resp.Error != "" {
-		return nil, fmt.Errorf("compman: worker %s: %s", wc.addr, resp.Error)
+	if req.Spec.TraceID != "" && resp.TraceID != "" && resp.TraceID != req.Spec.TraceID {
+		// A reply for a different request means request/response pairing
+		// slipped — same treatment as a corrupted stream.
+		wc.broken = true
+		return nil, fmt.Errorf("compman: worker %s: trace echo %q for request %q (stream desynchronized)", wc.addr, resp.TraceID, req.Spec.TraceID)
 	}
-	return mathutil.Vec(resp.Output), nil
+	return resp, nil
 }
 
 // counter and gauge resolve pool metrics through the (possibly nil)

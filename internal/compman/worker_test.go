@@ -49,7 +49,7 @@ func TestWorkerExecutesBlock(t *testing.T) {
 	}
 	defer pool.Close()
 
-	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}})
+	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}}, nil)
 	out, err := chamber.Execute(context.Background(), workerBlock(5))
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +69,7 @@ func TestWorkerPoolRoundRobin(t *testing.T) {
 	if pool.Size() != 3 {
 		t.Fatalf("Size = %d", pool.Size())
 	}
-	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}})
+	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}}, nil)
 	// Concurrent executions across the pool all succeed.
 	var wg sync.WaitGroup
 	errs := make(chan error, 12)
@@ -100,12 +100,12 @@ func TestWorkerBadProgram(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "sorcery"}})
+	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "sorcery"}}, nil)
 	if _, err := chamber.Execute(context.Background(), workerBlock(3)); err == nil || !strings.Contains(err.Error(), "sorcery") {
 		t.Errorf("bad program err = %v", err)
 	}
 	// The connection survives an application-level error.
-	good := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}})
+	good := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}}, nil)
 	if _, err := good.Execute(context.Background(), workerBlock(3)); err != nil {
 		t.Errorf("pool connection broken after app error: %v", err)
 	}
@@ -123,7 +123,7 @@ func TestWorkerQuantumEnforced(t *testing.T) {
 	chamber := pool.Chamber(WorkSpec{
 		Program:       ProgramSpec{Type: "mean", Col: 0},
 		QuantumMillis: 200,
-	})
+	}, nil)
 	start := time.Now()
 	if _, err := chamber.Execute(context.Background(), workerBlock(3)); err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func TestWorkerPoolClosedPick(t *testing.T) {
 		t.Fatal(err)
 	}
 	pool.Close()
-	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}})
+	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}}, nil)
 	if _, err := chamber.Execute(context.Background(), workerBlock(1)); err == nil {
 		t.Error("closed pool executed")
 	}
@@ -250,7 +250,7 @@ func TestWorkerPoolRecoversFromWorkerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}})
+	chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}}, nil)
 	if _, err := chamber.Execute(context.Background(), workerBlock(3)); err != nil {
 		t.Fatal(err)
 	}

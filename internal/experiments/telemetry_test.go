@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTelemetryOverheadShape(t *testing.T) {
+	r, err := TelemetryOverhead(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"untraced", "metrics", "traced"}
+	if len(r.Configs) != len(want) {
+		t.Fatalf("Configs = %v, want %v", r.Configs, want)
+	}
+	for i, name := range want {
+		if r.Configs[i] != name {
+			t.Errorf("Configs[%d] = %q, want %q", i, r.Configs[i], name)
+		}
+		if r.NsPerQuery[i] <= 0 {
+			t.Errorf("NsPerQuery[%s] = %v, want > 0", name, r.NsPerQuery[i])
+		}
+	}
+	if r.OverheadPct[0] != 0 {
+		t.Errorf("baseline overhead = %v, want 0", r.OverheadPct[0])
+	}
+	if !strings.Contains(r.Table(), "Telemetry overhead") {
+		t.Error("Table() missing caption")
+	}
+	if !strings.HasPrefix(r.CSV(), "config,ns_per_query,overhead_pct\n") {
+		t.Errorf("CSV header wrong: %q", r.CSV())
+	}
+}

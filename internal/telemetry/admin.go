@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -78,14 +79,31 @@ type AdminConfig struct {
 	Ledger func() LedgerStatus
 	// Health reports serving health for /healthz; nil means always healthy.
 	Health func() error
+	// Traces supplies recently completed trace snapshots for /traces
+	// (bucketed durations only); nil serves an empty list.
+	Traces func() []TraceSnapshot
+	// Queries supplies the in-flight query table for /queries; nil serves
+	// an empty list.
+	Queries func() []InflightSnapshot
+	// SkipRuntimeMetrics disables sampling Go runtime health
+	// (runtime.goroutines, runtime.heap_objects_bytes, runtime.gc_cycles,
+	// runtime.gc_pause_millis) into the registry on each /metrics scrape.
+	SkipRuntimeMetrics bool
 }
 
 // AdminHandler builds the guptd admin endpoint:
 //
-//	/metrics       JSON Snapshot of the registry (bucketed timings only)
+//	/metrics       registry snapshot: Prometheus text format when the
+//	               Accept header asks for text/plain or openmetrics (or
+//	               ?format=prometheus), the JSON Snapshot otherwise —
+//	               bucketed timings only, in both formats
 //	/healthz       200 "ok" or 503 with the health error
 //	/datasets      JSON []DatasetStats, sorted by name
 //	/ledger        JSON LedgerStatus for the durable budget ledger
+//	/traces        JSON []TraceSnapshot, newest first (ring buffer of
+//	               completed cross-process traces, durations bucketed)
+//	/queries       JSON []InflightSnapshot (live queries: stage + elapsed
+//	               bucket)
 //	/debug/pprof/  the standard net/http/pprof profiling surface
 //
 // The handler is for the operator's loopback/ops network. It intentionally
@@ -106,8 +124,41 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 		w.Write([]byte("ok\n"))
 	})
 
+	var sampler *RuntimeSampler
+	if !cfg.SkipRuntimeMetrics {
+		sampler = NewRuntimeSampler(cfg.Registry)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, cfg.Registry.Snapshot())
+		sampler.Sample()
+		snap := cfg.Registry.Snapshot()
+		if wantsPrometheus(req) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			_ = WritePrometheus(w, snap)
+			return
+		}
+		writeJSON(w, snap)
+	})
+
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
+		var traces []TraceSnapshot
+		if cfg.Traces != nil {
+			traces = cfg.Traces()
+		}
+		if traces == nil {
+			traces = []TraceSnapshot{}
+		}
+		writeJSON(w, traces)
+	})
+
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, req *http.Request) {
+		var queries []InflightSnapshot
+		if cfg.Queries != nil {
+			queries = cfg.Queries()
+		}
+		if queries == nil {
+			queries = []InflightSnapshot{}
+		}
+		writeJSON(w, queries)
 	})
 
 	mux.HandleFunc("/ledger", func(w http.ResponseWriter, req *http.Request) {
@@ -137,6 +188,24 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	return mux
+}
+
+// wantsPrometheus decides the /metrics representation. The JSON snapshot
+// stays the default (existing dashboards and the gupt-cli admin table
+// parse it); Prometheus scrapers advertise text/plain or openmetrics in
+// Accept, and ?format=prometheus / ?format=json force either one.
+func wantsPrometheus(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,371 @@
+package audit
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := l.Append(Record{
+			Type:                TypeQuery,
+			TraceID:             "0123456789abcdef0123456789abcdef",
+			Dataset:             "census",
+			Outcome:             "ok",
+			EpsilonCharged:      0.1,
+			Blocks:              20,
+			LatencyBucketMillis: 50,
+		}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func TestAppendVerifyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10)
+	if err := l.Append(Record{Type: TypeUnsafeTrace, UnsafeRaw: true, Detail: "trace q dataset=census blocks=ok/1.25ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatalf("verify clean log: %v\nreport: %+v", err, rep)
+	}
+	if rep.Records != 11 || rep.LastSeq != 11 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.TornTail || rep.HeadLagged || rep.HeadMissing {
+		t.Fatalf("clean log flagged crash artifacts: %+v", rep)
+	}
+	if rep.UnsafeRecords != 1 {
+		t.Fatalf("unsafe records = %d, want 1", rep.UnsafeRecords)
+	}
+}
+
+func TestReopenContinuesChain(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	l.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l2.LastSeq() != 3 {
+		t.Fatalf("reopened at seq %d, want 3", l2.LastSeq())
+	}
+	appendN(t, l2, 2)
+	l2.Close()
+
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatalf("verify after reopen: %v", err)
+	}
+	if rep.Records != 5 {
+		t.Fatalf("records = %d, want 5", rep.Records)
+	}
+}
+
+func TestVerifyDetectsOneByteEdit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 5)
+	l.Close()
+
+	// Flip one byte inside a value of a middle record: "census" -> "densus".
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(data, []byte("census"))
+	for j := 0; j < 2; j++ { // edit the third occurrence (record 3)
+		i = i + 1 + bytes.Index(data[i+1:], []byte("census"))
+	}
+	data[i] = 'd'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Verify(dir); err == nil {
+		t.Fatal("one-byte edit went undetected")
+	} else if !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("edit reported as %v, want hash mismatch", err)
+	}
+}
+
+func TestVerifyDetectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 5)
+	l.Close()
+
+	// Remove the final record cleanly (whole line, newline-terminated) —
+	// the chain itself stays valid, only the head sidecar can tell.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := data[:len(data)-1] // drop final newline
+	cut := bytes.LastIndexByte(trimmed, '\n') + 1
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Verify(dir); err == nil {
+		t.Fatal("tail truncation went undetected")
+	} else if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncation reported as %v", err)
+	}
+}
+
+func TestVerifyDetectsRemovedMiddleRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 5)
+	l.Close()
+
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	spliced := append(append([]byte{}, lines[0]...), bytes.Join(lines[2:], nil)...)
+	if err := os.WriteFile(path, spliced, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil {
+		t.Fatal("removed middle record went undetected")
+	}
+}
+
+func TestVerifyDetectsAddedField(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2)
+	l.Close()
+
+	// Splice an unknown field into the first record: re-marshaling would
+	// drop it silently, so strict decoding must reject it instead.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = bytes.Replace(data, []byte(`{"seq":1`), []byte(`{"note":"x","seq":1`), 1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil {
+		t.Fatal("added field went undetected")
+	}
+}
+
+func TestVerifyToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	l.Close()
+
+	// Simulate a crash mid-append: a partial, unterminated record fragment.
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":4,"time":17`)
+	f.Close()
+
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatalf("torn tail must verify as crash artifact, got %v", err)
+	}
+	if !rep.TornTail || rep.Records != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// Open recovers by truncating the fragment and appending continues.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if !l2.RecoveredTornTail {
+		t.Fatal("torn tail not reported by Open")
+	}
+	appendN(t, l2, 1)
+	l2.Close()
+	rep, err = Verify(dir)
+	if err != nil || rep.Records != 4 || rep.TornTail {
+		t.Fatalf("after recovery: %+v, %v", rep, err)
+	}
+}
+
+func TestVerifyHeadLagIsCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2)
+	// Save the head as of seq 2, append seq 3, then put the stale head
+	// back — exactly what a crash between append and head write leaves.
+	stale, err := os.ReadFile(filepath.Join(dir, headFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1)
+	l.Close()
+	if err := os.WriteFile(filepath.Join(dir, headFile), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatalf("one-record head lag must verify: %v", err)
+	}
+	if !rep.HeadLagged || rep.Records != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestVerifyDetectsDeletedHead(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	l.Close()
+	if err := os.Remove(filepath.Join(dir, headFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil {
+		t.Fatal("deleted head sidecar went undetected")
+	}
+}
+
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{MaxBytes: 600}) // a few records per segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 20)
+	l.Close()
+
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation, got segments %v", segs)
+	}
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatalf("verify across segments: %v", err)
+	}
+	if rep.Records != 20 || len(rep.Files) != len(segs) {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// The chain spans segments: edit a byte in the FIRST segment and the
+	// verifier still catches it.
+	path := filepath.Join(dir, segs[0])
+	data, _ := os.ReadFile(path)
+	data[bytes.Index(data, []byte("census"))] = 'x'
+	os.WriteFile(path, data, 0o644)
+	if _, err := Verify(dir); err == nil {
+		t.Fatal("edit in rotated segment went undetected")
+	}
+}
+
+func TestVerifyEmptyDir(t *testing.T) {
+	rep, err := Verify(t.TempDir())
+	if err != nil {
+		t.Fatalf("empty dir: %v", err)
+	}
+	if rep.Records != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestNilLog(t *testing.T) {
+	var l *Log
+	if err := l.Append(Record{Type: TypeQuery}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastSeq() != 0 {
+		t.Fatal("nil log has a seq")
+	}
+}
+
+func TestDetailCapped(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: TypeUnsafeTrace, UnsafeRaw: true, Detail: strings.Repeat("x", maxDetailLen*2)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	rep, err := Verify(dir)
+	if err != nil || rep.Records != 1 {
+		t.Fatalf("capped detail broke the chain: %+v, %v", rep, err)
+	}
+}
+
+func TestOpenRefusesInteriorCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	l.Close()
+
+	path := filepath.Join(dir, segName(1))
+	data, _ := os.ReadFile(path)
+	data[bytes.Index(data, []byte("census"))] = '#'
+	os.WriteFile(path, data, 0o644)
+
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open appended onto a corrupt chain")
+	}
+}

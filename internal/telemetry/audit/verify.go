@@ -1,0 +1,159 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Report is the result of a Verify walk. A nil error from Verify means the
+// chain is intact; the report's crash-window flags (TornTail, HeadLagged,
+// HeadMissing on a near-empty log) describe benign artifacts of an unclean
+// shutdown, not tampering.
+type Report struct {
+	// Files are the segment files examined, in chain order.
+	Files []string `json:"files"`
+	// Records is the number of intact records on the chain.
+	Records uint64 `json:"records"`
+	// LastSeq / LastHash are the chain tip. Mirror these off the box to
+	// detect whole-log rewrites (see the package comment's threat model).
+	LastSeq  uint64 `json:"lastSeq"`
+	LastHash string `json:"lastHash,omitempty"`
+	// TornTail reports an unterminated final fragment — a crash mid-append.
+	TornTail bool `json:"tornTail,omitempty"`
+	// HeadLagged reports a head sidecar exactly one record behind the log —
+	// a crash between an append and its head update.
+	HeadLagged bool `json:"headLagged,omitempty"`
+	// HeadMissing reports no head sidecar. Benign only when the log has at
+	// most one record (a crash before the first head write); Verify errors
+	// otherwise.
+	HeadMissing bool `json:"headMissing,omitempty"`
+	// UnsafeRecords counts records carrying raw timing data (the opt-in
+	// unsafe trace sink) — surfaced so an auditor notices the side-channel
+	// exposure window.
+	UnsafeRecords uint64 `json:"unsafeRecords,omitempty"`
+}
+
+// Verify walks every segment in dir, recomputes the hash chain, and checks
+// the head sidecar against the chain tip. It returns a non-nil error for
+// anything tamper-shaped: an edited byte (hash mismatch), a removed or
+// reordered record (sequence/chain break), added fields (strict decode), a
+// truncated tail (head ahead of the log), or a deleted head.
+func Verify(dir string) (Report, error) {
+	var rep Report
+	segs, err := segments(dir)
+	if err != nil {
+		return rep, err
+	}
+	rep.Files = segs
+
+	var (
+		prevHash     string // hash of the last verified record
+		prevPrevHash string // hash of the record before it (for head lag)
+	)
+	for si, seg := range segs {
+		path := filepath.Join(dir, seg)
+		f, err := os.Open(path)
+		if err != nil {
+			return rep, fmt.Errorf("audit: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		lastSegment := si == len(segs)-1
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec Record
+			if err := decodeStrict(line, &rec); err != nil {
+				// A malformed FINAL line of the FINAL segment is the crash
+				// window — but only if the file ends without a newline,
+				// which we detect by whether the scanner has more input.
+				if lastSegment && !sc.Scan() && tailUnterminated(path) {
+					rep.TornTail = true
+					break
+				}
+				f.Close()
+				return rep, fmt.Errorf("audit: %s: malformed record after seq %d: %v", seg, rep.LastSeq, err)
+			}
+			if rec.Seq != rep.LastSeq+1 {
+				f.Close()
+				return rep, fmt.Errorf("audit: %s: sequence break: record %d follows %d (records removed or reordered)", seg, rec.Seq, rep.LastSeq)
+			}
+			if rec.Prev != prevHash {
+				f.Close()
+				return rep, fmt.Errorf("audit: %s: chain break at seq %d: prev hash does not match record %d", seg, rec.Seq, rec.Seq-1)
+			}
+			if recordHash(rec) != rec.Hash {
+				f.Close()
+				return rep, fmt.Errorf("audit: %s: hash mismatch at seq %d: record was edited", seg, rec.Seq)
+			}
+			if rec.UnsafeRaw {
+				rep.UnsafeRecords++
+			}
+			prevPrevHash, prevHash = prevHash, rec.Hash
+			rep.LastSeq, rep.LastHash = rec.Seq, rec.Hash
+			rep.Records++
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return rep, fmt.Errorf("audit: %s: %w", seg, err)
+		}
+	}
+
+	// Head sidecar vs chain tip.
+	var h head
+	hb, err := os.ReadFile(filepath.Join(dir, headFile))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		rep.HeadMissing = true
+		if rep.LastSeq > 1 {
+			return rep, fmt.Errorf("audit: head sidecar missing with %d records on the chain (deleted?)", rep.Records)
+		}
+		return rep, nil
+	case err != nil:
+		return rep, fmt.Errorf("audit: %w", err)
+	}
+	if err := json.Unmarshal(hb, &h); err != nil {
+		return rep, fmt.Errorf("audit: head sidecar unreadable: %v", err)
+	}
+	switch {
+	case h.Seq == rep.LastSeq && h.Hash == rep.LastHash:
+		// In sync.
+	case h.Seq == rep.LastSeq && h.Hash != rep.LastHash:
+		return rep, fmt.Errorf("audit: head hash does not match record %d (tail record edited or replaced)", h.Seq)
+	case h.Seq > rep.LastSeq:
+		return rep, fmt.Errorf("audit: log truncated: head records seq %d but the log ends at seq %d", h.Seq, rep.LastSeq)
+	case h.Seq == rep.LastSeq-1 && h.Hash == prevPrevHash:
+		// Crash between append and head write: the head lags by exactly
+		// one record and matches the penultimate hash.
+		rep.HeadLagged = true
+	default:
+		return rep, fmt.Errorf("audit: head sidecar inconsistent: head seq %d/hash %.8s vs log tip %d/%.8s", h.Seq, h.Hash, rep.LastSeq, rep.LastHash)
+	}
+	return rep, nil
+}
+
+// tailUnterminated reports whether the file's final byte is not a newline
+// — the signature of a torn append, as opposed to an edited line.
+func tailUnterminated(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return false
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, st.Size()-1); err != nil {
+		return false
+	}
+	return buf[0] != '\n'
+}

@@ -14,6 +14,13 @@ import (
 // magnitude.
 var DefaultLatencyBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
 
+// GCPauseBuckets is the bucket layout for Go runtime GC pause times, which
+// live well below the query-latency range: upper bounds in milliseconds
+// from 10µs to 250ms. These are process health metrics with no per-query
+// structure, but they go through the same bucketed export discipline as
+// everything else.
+var GCPauseBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250}
+
 // Histogram counts observations into fixed buckets. It exports bucket
 // counts only: no sum, no min/max, no raw observations. An exported sum
 // would let an observer who isolates one query recover its exact duration
@@ -54,14 +61,19 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // ObserveMillis records one observation in milliseconds.
-func (h *Histogram) ObserveMillis(ms float64) {
-	if h == nil {
+func (h *Histogram) ObserveMillis(ms float64) { h.ObserveMillisN(ms, 1) }
+
+// ObserveMillisN records n observations of the same value in one atomic
+// add — the bulk path for resampling pre-bucketed sources (the runtime's
+// GC pause histogram) into a registry histogram.
+func (h *Histogram) ObserveMillisN(ms float64, n uint64) {
+	if h == nil || n == 0 {
 		return
 	}
 	// Smallest bucket whose upper bound covers the value; equality lands in
 	// the bucket (inclusive upper bounds).
 	i := sort.SearchFloat64s(h.bounds, ms)
-	h.counts[i].Add(1)
+	h.counts[i].Add(n)
 }
 
 // HistogramSnapshot is the exported form: bucket bounds and counts only.

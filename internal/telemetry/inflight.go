@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Inflight tracks queries currently executing: which dataset, which
+// lifecycle stage, and how long they have been running — the live
+// counterpart of the completed-trace ring buffer, served at /queries. A
+// watchdog sweeps the table and counts queries stuck past the
+// deployment's deadline, which is how an operator notices a wedged worker
+// or chamber before the query-timeout abort fires (or when no timeout is
+// configured at all).
+//
+// Elapsed times are exported bucketed, like every other timing (§6.3).
+type Inflight struct {
+	slow *Counter // queries seen stuck past the watchdog deadline
+
+	mu sync.Mutex
+	m  map[*InflightQuery]struct{}
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+// InflightQuery is one live query's entry in the table.
+type InflightQuery struct {
+	in      *Inflight
+	id      string
+	dataset string
+	start   time.Time
+
+	mu      sync.Mutex
+	stage   string
+	flagged bool // already counted by the watchdog
+}
+
+// NewInflight builds an empty table. slow receives the watchdog's
+// stuck-query count; it may be nil.
+func NewInflight(slow *Counter) *Inflight {
+	return &Inflight{slow: slow, m: make(map[*InflightQuery]struct{}), stop: make(chan struct{})}
+}
+
+// Begin registers a query. Nil-safe: a nil table returns a nil entry whose
+// methods are no-ops.
+func (in *Inflight) Begin(id, dataset string) *InflightQuery {
+	if in == nil {
+		return nil
+	}
+	q := &InflightQuery{in: in, id: id, dataset: dataset, start: time.Now(), stage: StageAdmission}
+	in.mu.Lock()
+	in.m[q] = struct{}{}
+	in.mu.Unlock()
+	return q
+}
+
+// SetStage updates the query's current lifecycle stage (wired to
+// Trace.OnStage). Nil-safe.
+func (q *InflightQuery) SetStage(stage string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.stage = stage
+	q.mu.Unlock()
+}
+
+// End removes the query from the table. Nil-safe; End twice is harmless.
+func (q *InflightQuery) End() {
+	if q == nil {
+		return
+	}
+	q.in.mu.Lock()
+	delete(q.in.m, q)
+	q.in.mu.Unlock()
+}
+
+// StartWatchdog launches the stuck-query sweep: every interval, queries
+// running longer than deadline are counted (once each) into the slow
+// counter. Returns immediately when deadline or interval is zero; stop it
+// via Stop. Nil-safe.
+func (in *Inflight) StartWatchdog(deadline, interval time.Duration) {
+	if in == nil || deadline <= 0 || interval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-in.stop:
+				return
+			case <-t.C:
+				in.sweep(deadline)
+			}
+		}
+	}()
+}
+
+// Stop terminates the watchdog goroutine (if any). Nil-safe, idempotent.
+func (in *Inflight) Stop() {
+	if in == nil {
+		return
+	}
+	in.stopOnce.Do(func() { close(in.stop) })
+}
+
+// sweep flags queries older than deadline that have not been counted yet.
+func (in *Inflight) sweep(deadline time.Duration) {
+	now := time.Now()
+	in.mu.Lock()
+	stale := make([]*InflightQuery, 0, 4)
+	for q := range in.m {
+		if now.Sub(q.start) > deadline {
+			stale = append(stale, q)
+		}
+	}
+	in.mu.Unlock()
+	for _, q := range stale {
+		q.mu.Lock()
+		first := !q.flagged
+		q.flagged = true
+		q.mu.Unlock()
+		if first {
+			in.slow.Inc()
+		}
+	}
+}
+
+// InflightSnapshot is the exported view of one live query: its stage and
+// its elapsed-time bucket, never a raw elapsed duration.
+type InflightSnapshot struct {
+	ID      string `json:"id"`
+	Dataset string `json:"dataset"`
+	Stage   string `json:"stage"`
+	// ElapsedBucketMillis is the upper bound of the DefaultLatencyBuckets
+	// bucket the query's current age falls in; -1 means beyond the largest
+	// bound.
+	ElapsedBucketMillis float64 `json:"elapsedBucketMillis"`
+	// Stuck reports that the watchdog has flagged this query as past the
+	// deployment deadline.
+	Stuck bool `json:"stuck,omitempty"`
+}
+
+// Snapshots returns the live queries, oldest first. Nil-safe.
+func (in *Inflight) Snapshots() []InflightSnapshot {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	qs := make([]*InflightQuery, 0, len(in.m))
+	for q := range in.m {
+		qs = append(qs, q)
+	}
+	in.mu.Unlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].start.Before(qs[j].start) })
+	now := time.Now()
+	out := make([]InflightSnapshot, 0, len(qs))
+	for _, q := range qs {
+		q.mu.Lock()
+		stage, stuck := q.stage, q.flagged
+		q.mu.Unlock()
+		out = append(out, InflightSnapshot{
+			ID:                  q.id,
+			Dataset:             q.dataset,
+			Stage:               stage,
+			ElapsedBucketMillis: BucketUpperMillis(float64(now.Sub(q.start))/float64(time.Millisecond), DefaultLatencyBuckets),
+			Stuck:               stuck,
+		})
+	}
+	return out
+}

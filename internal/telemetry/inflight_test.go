@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInflightLifecycle(t *testing.T) {
+	in := NewInflight(nil)
+	q1 := in.Begin("q1", "census")
+	time.Sleep(2 * time.Millisecond) // distinct start times for ordering
+	q2 := in.Begin("q2", "ads")
+	q2.SetStage(StageBlocks)
+
+	snaps := in.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d live queries, want 2", len(snaps))
+	}
+	if snaps[0].ID != "q1" || snaps[1].ID != "q2" {
+		t.Fatalf("not oldest-first: %+v", snaps)
+	}
+	if snaps[0].Stage != StageAdmission {
+		t.Fatalf("new query stage = %q, want admission", snaps[0].Stage)
+	}
+	if snaps[1].Stage != StageBlocks || snaps[1].Dataset != "ads" {
+		t.Fatalf("q2 = %+v", snaps[1])
+	}
+	// Elapsed is exported as a bucket bound, never raw.
+	for _, s := range snaps {
+		ok := s.ElapsedBucketMillis == -1
+		for _, b := range DefaultLatencyBuckets {
+			if s.ElapsedBucketMillis == b {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("elapsed %v is not a bucket bound", s.ElapsedBucketMillis)
+		}
+	}
+
+	q1.End()
+	q1.End() // double End is harmless
+	if snaps = in.Snapshots(); len(snaps) != 1 || snaps[0].ID != "q2" {
+		t.Fatalf("after End: %+v", snaps)
+	}
+	q2.End()
+	in.Stop()
+}
+
+func TestInflightWatchdog(t *testing.T) {
+	reg := NewRegistry()
+	slow := reg.Counter("compman.queries_slow")
+	in := NewInflight(slow)
+	defer in.Stop()
+
+	q := in.Begin("q1", "census")
+	defer q.End()
+	in.StartWatchdog(time.Millisecond, 5*time.Millisecond)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for slow.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never flagged the stuck query")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The query is counted once, not once per sweep.
+	time.Sleep(25 * time.Millisecond)
+	if got := slow.Value(); got != 1 {
+		t.Fatalf("stuck query counted %d times", got)
+	}
+	if snaps := in.Snapshots(); len(snaps) != 1 || !snaps[0].Stuck {
+		t.Fatalf("snapshot not marked stuck: %+v", snaps)
+	}
+}
+
+func TestInflightNilSafe(t *testing.T) {
+	var in *Inflight
+	q := in.Begin("q", "d")
+	q.SetStage(StageBlocks)
+	q.End()
+	in.StartWatchdog(time.Second, time.Second)
+	in.Stop()
+	if got := in.Snapshots(); got != nil {
+		t.Fatalf("nil table snapshots = %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a registry
+// snapshot. The renderer enforces the same §6.3 export discipline as the
+// JSON snapshot, with one deliberate deviation from Prometheus convention:
+// histograms are emitted WITHOUT a <name>_sum series. A cumulative
+// millisecond sum next to a count lets anyone who scrapes twice around a
+// single query recover that query's exact duration by differencing — the
+// precise measurement the timing side channel needs — so only the
+// cumulative bucket counts and <name>_count are exposed. PromQL's
+// histogram_quantile needs only the buckets; rate(..._sum) simply isn't
+// available, by design (see SECURITY.md).
+
+// PrometheusContentType is the Content-Type for the text exposition.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders snap in Prometheus text format. Metric names are
+// sanitized (dots and other invalid runes become underscores) and emitted
+// in sorted order, so identical registry states produce byte-identical
+// documents.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PrometheusName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PrometheusName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, snap.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		pn := PrometheusName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// Prometheus buckets are cumulative; ours are per-bucket counts.
+		var cum uint64
+		for i, bound := range h.BoundsMillis {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatBound(bound), cum); err != nil {
+				return err
+			}
+		}
+		// The overflow bucket closes the cumulative series at +Inf.
+		if len(h.Counts) > len(h.BoundsMillis) {
+			cum += h.Counts[len(h.BoundsMillis)]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n", pn, cum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect:
+// shortest decimal form, no exponent for the magnitudes bucket layouts use.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'f', -1, 64)
+}
+
+// PrometheusName maps a registry metric name onto the Prometheus name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid rune (the registry's
+// dots, most notably) becomes an underscore, and a leading digit gets an
+// underscore prefix.
+func PrometheusName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				sb.WriteByte('_')
+				sb.WriteRune(r)
+				continue
+			}
+			sb.WriteByte('_')
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"compman.queries_ok":           "compman_queries_ok",
+		"trace.stage.blocks.millis":    "trace_stage_blocks_millis",
+		"budget.refusals.census":       "budget_refusals_census",
+		"1weird":                       "_1weird",
+		"a-b c":                        "a_b_c",
+		"":                             "_",
+		"already_fine:with_colons_9":   "already_fine:with_colons_9",
+		"runtime.gc_pause_millis":      "runtime_gc_pause_millis",
+		"über.metric":                  "_ber_metric",
+		"compman.pool.inflight":        "compman_pool_inflight",
+		"engine.blocks_ok":             "engine_blocks_ok",
+		"sandbox.subprocess.spawns":    "sandbox_subprocess_spawns",
+		"ledger.group_commit.batch_sz": "ledger_group_commit_batch_sz",
+	}
+	for in, want := range cases {
+		if got := PrometheusName(in); got != want {
+			t.Errorf("PrometheusName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("compman.queries_ok").Add(3)
+	reg.Gauge("engine.blocks_inflight").Set(2)
+	h := reg.Histogram("compman.query_latency_millis", []float64{1, 10, 100})
+	h.ObserveMillis(0.5) // bucket le=1
+	h.ObserveMillis(7)   // bucket le=10
+	h.ObserveMillis(999) // overflow
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE compman_queries_ok counter\ncompman_queries_ok 3\n",
+		"# TYPE engine_blocks_inflight gauge\nengine_blocks_inflight 2\n",
+		"# TYPE compman_query_latency_millis histogram\n",
+		`compman_query_latency_millis_bucket{le="1"} 1`,
+		`compman_query_latency_millis_bucket{le="10"} 2`,
+		`compman_query_latency_millis_bucket{le="100"} 2`,
+		`compman_query_latency_millis_bucket{le="+Inf"} 3`,
+		"compman_query_latency_millis_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The deliberate deviation: no _sum series, ever (§6.3 — a sum would
+	// let consecutive scrapes be differenced into one query's duration).
+	if strings.Contains(out, "_sum") {
+		t.Fatalf("exposition contains a _sum series:\n%s", out)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 20; i++ {
+		reg.Counter(fmt.Sprintf("c.%d", i)).Inc()
+		reg.Gauge(fmt.Sprintf("g.%d", i)).Set(int64(i))
+	}
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("identical registry states produced different expositions")
+	}
+}
+
+// Every line of the exposition must parse as a comment or a
+// name[{labels}] value sample — a cheap structural lint that catches
+// malformed escaping without a real Prometheus parser.
+func TestWritePrometheusLineGrammar(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b").Inc()
+	reg.Histogram("lat.millis", DefaultLatencyBuckets).ObserveMillis(3)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			continue
+		}
+		// sample: name or name{le="x"} then one value
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad sample line %q", line)
+		}
+	}
+}

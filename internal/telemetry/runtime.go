@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// Runtime self-metrics: Go scheduler, heap and GC health sampled from
+// runtime/metrics into the registry, so the process serving privacy
+// budgets is itself observable (goroutine leaks, heap growth, GC pause
+// outliers) without importing any non-stdlib collector. Everything
+// exported is process-global state with no per-query structure; GC pauses
+// go through the usual fixed-bucket histogram discipline.
+//
+// The sampler is pull-driven: the admin handler samples on each /metrics
+// scrape, so an idle process does no background work and the exported
+// values are as fresh as the scrape.
+
+const (
+	metricGoroutines = "/sched/goroutines:goroutines"
+	metricHeapBytes  = "/memory/classes/heap/objects:bytes"
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+	metricGCPauses   = "/sched/pauses/total/gc:seconds"
+)
+
+// RuntimeSampler copies Go runtime health metrics into a registry. Use one
+// sampler per registry: it tracks the cumulative GC pause histogram
+// between samples and feeds only the deltas forward.
+type RuntimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+
+	goroutines *Gauge
+	heapBytes  *Gauge
+	gcCycles   *Gauge
+	gcPauses   *Histogram
+
+	// prevPauseCounts is the last-seen cumulative runtime pause histogram,
+	// used to compute per-sample deltas.
+	prevPauseCounts []uint64
+}
+
+// NewRuntimeSampler builds a sampler feeding reg. Returns nil (whose
+// Sample is a no-op) when reg is nil.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	if reg == nil {
+		return nil
+	}
+	return &RuntimeSampler{
+		samples: []metrics.Sample{
+			{Name: metricGoroutines},
+			{Name: metricHeapBytes},
+			{Name: metricGCCycles},
+			{Name: metricGCPauses},
+		},
+		goroutines: reg.Gauge("runtime.goroutines"),
+		heapBytes:  reg.Gauge("runtime.heap_objects_bytes"),
+		gcCycles:   reg.Gauge("runtime.gc_cycles"),
+		gcPauses:   reg.Histogram("runtime.gc_pause_millis", GCPauseBuckets),
+	}
+}
+
+// Sample reads the runtime metrics once and updates the registry. Safe for
+// concurrent use; no-op on a nil receiver.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	for _, sm := range s.samples {
+		switch sm.Name {
+		case metricGoroutines:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				s.goroutines.Set(int64(sm.Value.Uint64()))
+			}
+		case metricHeapBytes:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				s.heapBytes.Set(int64(sm.Value.Uint64()))
+			}
+		case metricGCCycles:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				s.gcCycles.Set(int64(sm.Value.Uint64()))
+			}
+		case metricGCPauses:
+			if sm.Value.Kind() == metrics.KindFloat64Histogram {
+				s.feedPauseDeltas(sm.Value.Float64Histogram())
+			}
+		}
+	}
+}
+
+// feedPauseDeltas forwards the growth of the runtime's cumulative pause
+// histogram into the registry histogram. Each runtime bucket's new
+// observations are recorded at the bucket's upper edge (its lower edge for
+// the final +Inf bucket) — within one bucket width of the truth, which is
+// all the bucketed export resolves anyway.
+func (s *RuntimeSampler) feedPauseDeltas(h *metrics.Float64Histogram) {
+	if h == nil {
+		return
+	}
+	if len(s.prevPauseCounts) != len(h.Counts) {
+		// First sample (or a runtime layout change): baseline without
+		// replaying history, so restart-time noise doesn't flood the
+		// histogram.
+		s.prevPauseCounts = append([]uint64(nil), h.Counts...)
+		return
+	}
+	for i, c := range h.Counts {
+		prev := s.prevPauseCounts[i]
+		s.prevPauseCounts[i] = c
+		if c <= prev {
+			continue
+		}
+		// Buckets[i] / Buckets[i+1] bound counts[i]; prefer the upper edge.
+		edgeSec := 0.0
+		switch {
+		case i+1 < len(h.Buckets) && !math.IsInf(h.Buckets[i+1], 1):
+			edgeSec = h.Buckets[i+1]
+		case i < len(h.Buckets) && !math.IsInf(h.Buckets[i], -1):
+			edgeSec = h.Buckets[i]
+		}
+		s.gcPauses.ObserveMillisN(edgeSec*1000, c-prev)
+	}
+}

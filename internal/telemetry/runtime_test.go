@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRuntimeSamplerGauges(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	s.Sample()
+	snap := reg.Snapshot()
+	if snap.Gauges["runtime.goroutines"] < 1 {
+		t.Fatalf("goroutines = %d", snap.Gauges["runtime.goroutines"])
+	}
+	if snap.Gauges["runtime.heap_objects_bytes"] <= 0 {
+		t.Fatalf("heap bytes = %d", snap.Gauges["runtime.heap_objects_bytes"])
+	}
+	if _, ok := snap.Histograms["runtime.gc_pause_millis"]; !ok {
+		t.Fatal("gc pause histogram not registered")
+	}
+}
+
+func TestRuntimeSamplerPauseDeltas(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+	// First sample baselines: process-lifetime GC history must not replay
+	// into the histogram.
+	s.Sample()
+	if c := reg.Snapshot().Histograms["runtime.gc_pause_millis"].Count; c != 0 {
+		t.Fatalf("first sample replayed %d historical pauses", c)
+	}
+	// Force GC cycles, then resample: only the new pauses land.
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	s.Sample()
+	if c := reg.Snapshot().Histograms["runtime.gc_pause_millis"].Count; c == 0 {
+		t.Fatal("no pause deltas recorded after forced GC")
+	}
+	// A third sample with no GC in between adds nothing.
+	before := reg.Snapshot().Histograms["runtime.gc_pause_millis"].Count
+	s.Sample()
+	after := reg.Snapshot().Histograms["runtime.gc_pause_millis"].Count
+	if after < before {
+		t.Fatalf("pause count went backwards: %d -> %d", before, after)
+	}
+}
+
+func TestRuntimeSamplerNil(t *testing.T) {
+	var s *RuntimeSampler
+	s.Sample() // must not panic
+	if got := NewRuntimeSampler(nil); got != nil {
+		t.Fatalf("sampler over nil registry = %v", got)
+	}
+}

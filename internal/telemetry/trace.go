@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"time"
@@ -21,6 +22,13 @@ const (
 	StageRelease     = "release"     // response assembly
 )
 
+// Worker-side stages, recorded inside gupt-worker and shipped back to the
+// server over the compman wire (see RemoteSpan).
+const (
+	StageWorkerSetup   = "worker.setup"   // program resolution + chamber construction
+	StageWorkerExecute = "worker.execute" // one block execution inside the chamber
+)
+
 // Span statuses.
 const (
 	StatusOK      = "ok"
@@ -31,10 +39,14 @@ const (
 // Span is one stage of a query's lifecycle. Its raw duration stays inside
 // the process: the registry sees only the bucketed histogram observation,
 // and the duration is printed only by Trace.String for the opt-in trace
-// log.
+// log (or the unsafe_trace audit record).
 type Span struct {
-	Stage    string
-	Status   string
+	Stage  string
+	Status string
+	// Process names the process that recorded the span; empty means this
+	// process (the server). Spans merged from workers carry
+	// "worker:<addr>".
+	Process  string
 	Duration time.Duration
 
 	tr    *Trace
@@ -56,20 +68,50 @@ func (s *Span) End(status string) {
 	}
 }
 
+// RemoteSpan is the wire form of a span recorded in another process of the
+// platform (a gupt-worker) and shipped back to the server for merging.
+// Millis is a raw duration — acceptable on the platform-internal
+// server↔worker wire (both ends are trusted components), but it must never
+// be exported as-is: merged spans leave the server only through the
+// bucketed histograms, the bucketed /traces snapshots, or the opt-in
+// unsafe trace sink.
+type RemoteSpan struct {
+	Stage  string  `json:"stage"`
+	Status string  `json:"status,omitempty"`
+	Millis float64 `json:"millis"`
+}
+
+// maxRemoteSpans caps how many worker spans one trace retains: a query over
+// thousands of blocks would otherwise balloon every trace with two spans
+// per block. Overflow is counted, not silently dropped.
+const maxRemoteSpans = 128
+
+// maxWireStringLen bounds stage/status strings accepted off the wire; the
+// worker is trusted, but a corrupted frame must not grow unbounded labels.
+const maxWireStringLen = 64
+
 // Trace records the lifecycle of one query as a sequence of stage spans.
 // A trace never holds record data, block contents, query parameters or
 // outputs — only stage names, statuses and durations.
 type Trace struct {
-	// ID is an operator-side correlation id (a server sequence number, never
-	// anything analyst-supplied).
+	// ID is an operator-side correlation id: a random 128-bit hex string
+	// (NewTraceID), never anything analyst-supplied, unique across
+	// restarts and across instances.
 	ID string
 	// Dataset names the dataset the query targeted.
 	Dataset string
+	// OnStage, when set before the first span starts, is invoked with each
+	// stage name as its span opens — the hook the in-flight query table
+	// uses to show where a query currently is. It must be fast and must
+	// not call back into the trace.
+	OnStage func(stage string)
 
-	mu    sync.Mutex
-	reg   *Registry
-	start time.Time
-	spans []*Span
+	mu            sync.Mutex
+	reg           *Registry
+	start         time.Time
+	spans         []*Span
+	remoteCount   int
+	remoteDropped int
 }
 
 // NewTrace starts a trace. reg may be nil; span durations then feed no
@@ -90,6 +132,59 @@ func (t *Trace) StartSpan(stage string) *Span {
 	t.mu.Lock()
 	t.spans = append(t.spans, s)
 	t.mu.Unlock()
+	if t.OnStage != nil {
+		t.OnStage(stage)
+	}
+	return s
+}
+
+// AddRemoteSpans merges spans recorded by another process (a worker) into
+// the trace, labeled with that process's name. The spans arrive complete —
+// they are appended as already-ended spans — and their durations feed the
+// same bucketed trace.stage.* histograms as local spans. Wire-origin
+// strings are length-capped and non-finite or negative durations dropped,
+// so a corrupted reply cannot poison the trace. At most maxRemoteSpans
+// remote spans are retained per trace; the overflow is counted and
+// reported in the snapshot. Nil-safe.
+func (t *Trace) AddRemoteSpans(process string, spans []RemoteSpan) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	process = capString(process)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, rs := range spans {
+		if math.IsNaN(rs.Millis) || math.IsInf(rs.Millis, 0) || rs.Millis < 0 {
+			continue
+		}
+		if t.remoteCount >= maxRemoteSpans {
+			t.remoteDropped++
+			continue
+		}
+		t.remoteCount++
+		stage := capString(rs.Stage)
+		status := capString(rs.Status)
+		if status == "" {
+			status = StatusOK
+		}
+		s := &Span{
+			Stage:    stage,
+			Status:   status,
+			Process:  process,
+			Duration: time.Duration(rs.Millis * float64(time.Millisecond)),
+			done:     true,
+		}
+		t.spans = append(t.spans, s)
+		if t.reg != nil {
+			t.reg.Histogram("trace.stage."+stage+".millis", DefaultLatencyBuckets).Observe(s.Duration)
+		}
+	}
+}
+
+func capString(s string) string {
+	if len(s) > maxWireStringLen {
+		return s[:maxWireStringLen]
+	}
 	return s
 }
 
@@ -113,7 +208,8 @@ func (t *Trace) Elapsed() time.Duration {
 
 // String renders the trace with raw per-span durations. This is the ONLY
 // place raw durations leave the telemetry layer, and it must only ever be
-// written to the opt-in slow-query trace log (see SECURITY.md): handing
+// written to the opt-in slow-query trace sink (the -unsafe-trace-log
+// logger, or the unsafe_trace audit record — see SECURITY.md): handing
 // this string to an analyst reopens the §6.3 timing side channel.
 func (t *Trace) String() string {
 	if t == nil {
@@ -128,7 +224,90 @@ func (t *Trace) String() string {
 		if !s.done {
 			status = "open"
 		}
-		fmt.Fprintf(&sb, " %s=%s/%s", s.Stage, status, s.Duration.Round(time.Microsecond))
+		if s.Process != "" {
+			fmt.Fprintf(&sb, " %s@%s=%s/%s", s.Stage, s.Process, status, s.Duration.Round(time.Microsecond))
+		} else {
+			fmt.Fprintf(&sb, " %s=%s/%s", s.Stage, status, s.Duration.Round(time.Microsecond))
+		}
 	}
 	return sb.String()
+}
+
+// BucketUpperMillis maps a raw duration in milliseconds onto the upper
+// bound of the latency bucket it falls in — the only resolution at which
+// timings may leave the process (§6.3). Overflow (above the largest bound)
+// returns -1, meaning "beyond the coarsest bucket".
+func BucketUpperMillis(ms float64, boundsMillis []float64) float64 {
+	for _, b := range boundsMillis {
+		if ms <= b {
+			return b
+		}
+	}
+	return -1
+}
+
+// SpanSnapshot is the exported view of one span: stage, status, process,
+// and the span's latency bucket — never its raw duration.
+type SpanSnapshot struct {
+	// Process is empty for server-side spans, "worker:<addr>" for merged
+	// worker spans.
+	Process string `json:"process,omitempty"`
+	Stage   string `json:"stage"`
+	Status  string `json:"status"`
+	// BucketMillis is the upper bound of the DefaultLatencyBuckets bucket
+	// the span's duration fell in; -1 means above the largest bound.
+	BucketMillis float64 `json:"bucketMillis"`
+}
+
+// TraceSnapshot is the exported view of one completed trace, served at
+// /traces. All durations are bucketed; the start time is truncated to
+// whole seconds so consecutive snapshots cannot be differenced into a
+// sub-second timing channel.
+type TraceSnapshot struct {
+	ID      string `json:"id"`
+	Dataset string `json:"dataset"`
+	// Outcome is the query's terminal state: ok, degraded, error, aborted
+	// or budget_refused.
+	Outcome string `json:"outcome"`
+	// StartUnix is the trace start, whole seconds.
+	StartUnix int64 `json:"startUnix"`
+	// ElapsedBucketMillis is the whole query's latency bucket (-1 =
+	// above the largest bound).
+	ElapsedBucketMillis float64 `json:"elapsedBucketMillis"`
+	// RemoteSpansDropped counts worker spans beyond the per-trace cap.
+	RemoteSpansDropped int            `json:"remoteSpansDropped,omitempty"`
+	Spans              []SpanSnapshot `json:"spans"`
+}
+
+// snapshot captures the trace's exported form; outcome is supplied by the
+// caller (the server knows how the query ended, the trace does not).
+func (t *Trace) snapshot(outcome string) TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	elapsed := t.Elapsed()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := TraceSnapshot{
+		ID:                  t.ID,
+		Dataset:             t.Dataset,
+		Outcome:             outcome,
+		StartUnix:           t.start.Unix(),
+		ElapsedBucketMillis: BucketUpperMillis(float64(elapsed)/float64(time.Millisecond), DefaultLatencyBuckets),
+		RemoteSpansDropped:  t.remoteDropped,
+		Spans:               make([]SpanSnapshot, 0, len(t.spans)),
+	}
+	for _, s := range t.spans {
+		status := s.Status
+		if !s.done {
+			status = "open"
+		}
+		snap.Spans = append(snap.Spans, SpanSnapshot{
+			Process:      s.Process,
+			Stage:        s.Stage,
+			Status:       status,
+			BucketMillis: BucketUpperMillis(float64(s.Duration)/float64(time.Millisecond), DefaultLatencyBuckets),
+		})
+	}
+	return snap
 }

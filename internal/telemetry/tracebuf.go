@@ -1,0 +1,59 @@
+package telemetry
+
+import "sync"
+
+// TraceBuffer is a fixed-size ring of recently completed traces, the
+// storage behind the /traces admin endpoint. It stores TraceSnapshots —
+// the already-bucketed export form — not live traces, so nothing an
+// operator can read out of the buffer carries a raw duration, and a trace
+// added to the buffer holds no reference back into the query path.
+type TraceBuffer struct {
+	mu   sync.Mutex
+	buf  []TraceSnapshot
+	next int // next write position
+	n    int // number of valid entries (≤ len(buf))
+}
+
+// DefaultTraceBufferSize is the ring capacity when none is configured.
+const DefaultTraceBufferSize = 256
+
+// NewTraceBuffer creates a ring holding the last size completed traces;
+// size <= 0 selects DefaultTraceBufferSize.
+func NewTraceBuffer(size int) *TraceBuffer {
+	if size <= 0 {
+		size = DefaultTraceBufferSize
+	}
+	return &TraceBuffer{buf: make([]TraceSnapshot, size)}
+}
+
+// Add records a completed trace with its terminal outcome, evicting the
+// oldest entry when full. Nil-safe on both receiver and trace.
+func (b *TraceBuffer) Add(tr *Trace, outcome string) {
+	if b == nil || tr == nil {
+		return
+	}
+	snap := tr.snapshot(outcome)
+	b.mu.Lock()
+	b.buf[b.next] = snap
+	b.next = (b.next + 1) % len(b.buf)
+	if b.n < len(b.buf) {
+		b.n++
+	}
+	b.mu.Unlock()
+}
+
+// Snapshots returns the buffered traces, newest first. Nil-safe.
+func (b *TraceBuffer) Snapshots() []TraceSnapshot {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TraceSnapshot, 0, b.n)
+	for i := 0; i < b.n; i++ {
+		// Walk backwards from the most recent write.
+		idx := (b.next - 1 - i + len(b.buf)*2) % len(b.buf)
+		out = append(out, b.buf[idx])
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+)
+
+func addTrace(buf *TraceBuffer, id string) {
+	tr := NewTrace(nil, id, "census")
+	tr.StartSpan(StageAdmission).End(StatusOK)
+	buf.Add(tr, "ok")
+}
+
+func TestTraceBufferNewestFirst(t *testing.T) {
+	buf := NewTraceBuffer(8)
+	for i := 0; i < 3; i++ {
+		addTrace(buf, fmt.Sprintf("t%d", i))
+	}
+	snaps := buf.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	for i, want := range []string{"t2", "t1", "t0"} {
+		if snaps[i].ID != want {
+			t.Fatalf("snapshot order %v, want newest first", []string{snaps[0].ID, snaps[1].ID, snaps[2].ID})
+		}
+		_ = i
+	}
+	if snaps[0].Outcome != "ok" || snaps[0].Dataset != "census" {
+		t.Fatalf("snapshot = %+v", snaps[0])
+	}
+	if len(snaps[0].Spans) != 1 || snaps[0].Spans[0].Stage != StageAdmission {
+		t.Fatalf("spans = %+v", snaps[0].Spans)
+	}
+}
+
+func TestTraceBufferEviction(t *testing.T) {
+	buf := NewTraceBuffer(4)
+	for i := 0; i < 10; i++ {
+		addTrace(buf, fmt.Sprintf("t%d", i))
+	}
+	snaps := buf.Snapshots()
+	if len(snaps) != 4 {
+		t.Fatalf("ring of 4 holds %d", len(snaps))
+	}
+	for i, want := range []string{"t9", "t8", "t7", "t6"} {
+		if snaps[i].ID != want {
+			t.Fatalf("snapshots = %+v, want t9..t6", snaps)
+		}
+	}
+}
+
+func TestTraceBufferNilSafe(t *testing.T) {
+	var buf *TraceBuffer
+	buf.Add(NewTrace(nil, "x", "d"), "ok") // must not panic
+	if got := buf.Snapshots(); got != nil {
+		t.Fatalf("nil buffer snapshots = %v", got)
+	}
+	// A real buffer ignores nil traces.
+	b := NewTraceBuffer(2)
+	b.Add(nil, "ok")
+	if got := b.Snapshots(); len(got) != 0 {
+		t.Fatalf("nil trace was buffered: %v", got)
+	}
+}
+
+func TestTraceSnapshotBucketsDurations(t *testing.T) {
+	tr := NewTrace(nil, "tid", "census")
+	tr.StartSpan(StageBlocks).End(StatusOK)
+	tr.AddRemoteSpans("worker:1.2.3.4:9", []RemoteSpan{{Stage: StageWorkerExecute, Millis: 7.777}})
+	buf := NewTraceBuffer(1)
+	buf.Add(tr, "ok")
+	snap := buf.Snapshots()[0]
+	for _, s := range snap.Spans {
+		valid := s.BucketMillis == -1
+		for _, b := range DefaultLatencyBuckets {
+			if s.BucketMillis == b {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("span %+v exports %v, not a bucket bound", s, s.BucketMillis)
+		}
+	}
+	// The worker span must be present, labeled, and bucketed (7.777 → 10).
+	last := snap.Spans[len(snap.Spans)-1]
+	if last.Process != "worker:1.2.3.4:9" || last.Stage != StageWorkerExecute {
+		t.Fatalf("worker span = %+v", last)
+	}
+	if last.BucketMillis != 10 {
+		t.Fatalf("7.777ms bucketed to %v, want 10", last.BucketMillis)
+	}
+}

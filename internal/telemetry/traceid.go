@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// Trace ids are random 128-bit values, hex-encoded (32 characters). Random
+// ids — rather than the per-process sequence numbers earlier versions used —
+// stay unique across server restarts and across instances of a horizontally
+// scaled deployment, so an operator joining the audit log, the trace buffer
+// and the worker-side spans of several guptd processes never sees two
+// different queries share an id. They carry no analyst input and no
+// timestamp structure: nothing about a query can be inferred from its id.
+
+// idFallbackCtr makes the degraded-entropy path (crypto/rand unreadable,
+// which on any supported OS effectively never happens) still produce
+// process-unique ids.
+var idFallbackCtr atomic.Uint64
+
+// NewTraceID returns a random 128-bit correlation id as 32 hex characters.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degraded fallback: monotonic time + counter. Not unpredictable,
+		// but ids are operator-side correlation handles, not secrets; the
+		// only property we must keep is uniqueness within the deployment.
+		binary.LittleEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+		binary.LittleEndian.PutUint64(b[8:], idFallbackCtr.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,27 @@
+package telemetry
+
+import "testing"
+
+func TestNewTraceIDFormat(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 32 {
+		t.Fatalf("trace id %q has length %d, want 32", id, len(id))
+	}
+	for _, r := range id {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+			t.Fatalf("trace id %q is not lowercase hex", id)
+		}
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	const n = 10000
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < n; i++ {
+		id := NewTraceID()
+		if _, dup := seen[id]; dup {
+			t.Fatalf("duplicate trace id %q after %d draws", id, i)
+		}
+		seen[id] = struct{}{}
+	}
+}
