@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench bench-telemetry ledger-kill audit-kill
+.PHONY: all build test race vet check fuzz bench bench-telemetry bench-wire ledger-kill audit-kill
 
 all: check
 
@@ -44,6 +44,7 @@ fuzz:
 	$(GO) test ./internal/compman -run xxx -fuzz FuzzDecodeResponse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/compman -run xxx -fuzz FuzzDecodeWorkRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/compman -run xxx -fuzz FuzzDecodeWorkResponse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/compman -run xxx -fuzz FuzzWireEquivalence -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ledger -run xxx -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME)
 
 bench:
@@ -55,3 +56,9 @@ bench:
 # of three passes to filter scheduler noise.
 bench-telemetry:
 	$(GO) run ./cmd/gupt-bench -quick -exp telemetry -json BENCH_PR5.json
+
+# bench-wire compares the legacy JSON wire against the binary framing on
+# both compman paths (client round trips / DP queries, worker block
+# shipping) and regenerates the checked-in report. Run on an idle machine.
+bench-wire:
+	$(GO) run ./cmd/gupt-bench -quick -exp wire -json BENCH_PR6.json

@@ -64,6 +64,9 @@ func runners() map[string]runner {
 		"telemetry": func(cfg experiments.Config) (tabler, error) {
 			return experiments.TelemetryOverhead(cfg)
 		},
+		"wire": func(cfg experiments.Config) (tabler, error) {
+			return experiments.WireOverhead(cfg)
+		},
 		"timing":       func(cfg experiments.Config) (tabler, error) { return experiments.TimingAttack(cfg) },
 		"budgetattack": func(cfg experiments.Config) (tabler, error) { return experiments.BudgetAttack(cfg) },
 		"stateattack":  runStateAttack,

@@ -67,6 +67,7 @@ func main() {
 		queryTimeout = flag.Duration("query-timeout", 0, "whole-query deadline; overruns abort with budget consumed (0 disables)")
 		retries      = flag.Int("retries", 0, "engine re-runs after a post-charge failure (never re-charges)")
 		maxFailFrac  = flag.Float64("max-fail-frac", 0, "abort queries when more than this fraction of blocks was substituted (0 disables)")
+		jsonWire     = flag.Bool("json-wire", false, "serve only the legacy newline-delimited JSON wire (rollback lever; binary-capable clients fall back automatically)")
 		datasets     datasetFlags
 	)
 	flag.Var(&datasets, "dataset", "dataset spec name=path[:budget=F][:aged=F][:header] (repeatable)")
@@ -170,6 +171,7 @@ func main() {
 		Telemetry:       tel,
 		Audit:           alog,
 		TraceBufferSize: *traceBufSize,
+		JSONWire:        *jsonWire,
 	}
 	if *traceLog {
 		log.Print("WARNING: -unsafe-trace-log exposes raw per-stage query timings in the log; " +

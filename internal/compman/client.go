@@ -10,32 +10,69 @@ import (
 )
 
 // Client is the analyst-side computation-manager component: a thin,
-// synchronized wrapper over the newline-delimited JSON protocol. It is safe
-// for concurrent use; requests are serialized on the single connection.
+// synchronized wrapper over the wire protocol (binary frames when the
+// server speaks them, newline-delimited JSON otherwise — see wire.go). It
+// is safe for concurrent use; requests are serialized on the single
+// connection.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	enc  *json.Encoder
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	enc     *json.Encoder
+	version uint8
+	wbuf    []byte // reused binary encode buffer
+	rbuf    []byte // reused binary frame read buffer
 }
 
-// Dial connects to a computation-manager server.
+// Dial connects to a computation-manager server, negotiating the newest
+// wire version both ends speak (older servers fall back to JSON).
 func Dial(addr string) (*Client, error) {
+	return DialVersion(addr, LatestWireVersion)
+}
+
+// DialVersion connects offering at most the given wire version.
+// WireVersionJSON skips negotiation entirely and speaks the legacy JSON
+// wire, which any server release understands.
+func DialVersion(addr string, version uint8) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("compman: dial %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	c, err := NewClientVersion(conn, version)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection on the legacy JSON wire. Use
+// NewClientVersion to negotiate the binary wire on a raw connection.
 func NewClient(conn net.Conn) *Client {
 	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 1<<20),
-		enc:  json.NewEncoder(conn),
+		conn:    conn,
+		r:       bufio.NewReaderSize(conn, 1<<20),
+		enc:     json.NewEncoder(conn),
+		version: WireVersionJSON,
 	}
 }
+
+// NewClientVersion wraps an established connection, performing the
+// connect-time version handshake up to the given version. A garbled
+// handshake fails closed with ErrWireNegotiation; the caller still owns
+// the connection.
+func NewClientVersion(conn net.Conn, version uint8) (*Client, error) {
+	c := NewClient(conn)
+	v, err := negotiateWire(conn, c.r, version)
+	if err != nil {
+		return nil, err
+	}
+	c.version = v
+	return c, nil
+}
+
+// WireVersion reports the negotiated wire version.
+func (c *Client) WireVersion() uint8 { return c.version }
 
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -51,10 +88,32 @@ type QueryError struct {
 
 func (e *QueryError) Error() string { return e.Msg }
 
-// roundTrip sends one request and decodes one response.
+// roundTrip sends one request and decodes one response on whichever wire
+// the connection negotiated.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var resp *Response
+	var err error
+	if c.version >= WireVersionBinary {
+		resp, err = c.roundTripBinary(req)
+	} else {
+		resp, err = c.roundTripJSON(req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		if resp.Error == "" {
+			resp.Error = "unspecified server error"
+		}
+		return nil, &QueryError{Msg: resp.Error, EpsilonCharged: resp.EpsilonCharged}
+	}
+	return resp, nil
+}
+
+// roundTripJSON runs one exchange on the legacy JSON wire; c.mu held.
+func (c *Client) roundTripJSON(req *Request) (*Response, error) {
 	if err := c.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("compman: send: %w", err)
 	}
@@ -66,11 +125,27 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compman: %w", err)
 	}
-	if !resp.OK {
-		if resp.Error == "" {
-			resp.Error = "unspecified server error"
-		}
-		return nil, &QueryError{Msg: resp.Error, EpsilonCharged: resp.EpsilonCharged}
+	return resp, nil
+}
+
+// roundTripBinary runs one exchange on the binary wire; c.mu held. Both
+// buffers persist across calls, so steady-state framing allocates nothing.
+func (c *Client) roundTripBinary(req *Request) (*Response, error) {
+	frame, err := AppendRequestFrame(c.wbuf[:0], req)
+	if err != nil {
+		return nil, fmt.Errorf("compman: encode: %w", err)
+	}
+	if _, err := c.conn.Write(frame); err != nil {
+		return nil, fmt.Errorf("compman: send: %w", err)
+	}
+	c.wbuf = frame[:0]
+	payload, err := readWireFrame(c.r, &c.rbuf)
+	if err != nil {
+		return nil, fmt.Errorf("compman: receive: %w", err)
+	}
+	resp, err := decodePayload(payload, wireMsgResponse, "response", decodeResponseBody)
+	if err != nil {
+		return nil, fmt.Errorf("compman: %w", err)
 	}
 	return resp, nil
 }

@@ -248,7 +248,15 @@ func TestQueryValidationErrors(t *testing.T) {
 }
 
 func TestMalformedWireRequest(t *testing.T) {
-	client, _ := startServer(t, 100)
+	_, srv := startServer(t, 100)
+	// Garbage on the JSON wire gets an error response and a live
+	// connection. (On the binary wire garbage is indistinguishable from a
+	// desynchronized frame stream and fails closed — see wire tests.)
+	client, err := DialVersion(srv.Addr().String(), WireVersionJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
 	// Write garbage directly on the wire; the server should answer with an
 	// error response, not drop the connection.
 	if _, err := client.conn.Write([]byte("this is not json\n")); err != nil {

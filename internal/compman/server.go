@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"strings"
@@ -93,6 +94,12 @@ type ServerConfig struct {
 	// TraceBufferSize caps the /traces ring buffer of completed query
 	// traces; zero means telemetry.DefaultTraceBufferSize.
 	TraceBufferSize int
+	// JSONWire pins the listener to the legacy newline-delimited JSON wire,
+	// reproducing a pre-binary release: binary hellos are read as malformed
+	// JSON lines and answered with an error response, which binary-capable
+	// clients take as the signal to fall back to JSON. Kept for one release
+	// as the rollback lever while the binary wire beds in; see wire.go.
+	JSONWire bool
 }
 
 // Server is the trusted computation-manager server. It owns the dataset
@@ -259,7 +266,27 @@ func (s *Server) handleConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	scanner := bufio.NewScanner(conn)
+	br := bufio.NewReaderSize(conn, 64*1024)
+	if !s.cfg.JSONWire {
+		// Connect-time wire sniff: a binary hello selects the framed wire, a
+		// JSON first byte leaves the buffered stream untouched for the
+		// scanner below. A garbled hello fails closed (§ wire.go).
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		version, err := sniffWire(conn, br, LatestWireVersion)
+		if err != nil {
+			if err != io.EOF {
+				s.logf("compman: wire sniff: %v", err)
+			}
+			return
+		}
+		if version >= WireVersionBinary {
+			s.serveBinary(conn, br)
+			return
+		}
+	}
+	scanner := bufio.NewScanner(br)
 	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	enc := json.NewEncoder(conn)
 	for {
@@ -288,6 +315,45 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	if err := scanner.Err(); err != nil {
 		s.logf("compman: read: %v", err)
+	}
+}
+
+// serveBinary is the framed-wire request loop. Both scratch buffers are
+// checked out of the shared pool once per connection and reused for every
+// message; a body-level decode error answers like a malformed JSON line,
+// while a frame-level error (bad length or CRC) means the stream can no
+// longer be trusted to be in sync and tears the connection down.
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
+	rbuf, wbuf := getWireBuf(), getWireBuf()
+	defer putWireBuf(rbuf)
+	defer putWireBuf(wbuf)
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		payload, err := readWireFrame(br, rbuf)
+		if err != nil {
+			if err != io.EOF {
+				s.logf("compman: read frame: %v", err)
+			}
+			return
+		}
+		var resp Response
+		if req, derr := decodePayload(payload, wireMsgRequest, "request", decodeRequestBody); derr != nil {
+			resp = Response{Error: derr.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		frame, err := AppendResponseFrame((*wbuf)[:0], &resp)
+		if err != nil {
+			s.logf("compman: encode response: %v", err)
+			return
+		}
+		if _, err := conn.Write(frame); err != nil {
+			s.logf("compman: write response: %v", err)
+			return
+		}
+		*wbuf = frame[:0]
 	}
 }
 

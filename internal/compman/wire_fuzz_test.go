@@ -1,0 +1,146 @@
+package compman
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gupt/internal/telemetry"
+)
+
+// FuzzWireEquivalence is the binary wire's differential lockdown: any
+// frame the binary decoder accepts must (a) re-encode to a stable
+// canonical frame, and (b) when the message is JSON-representable, decode
+// to the semantically identical message through the JSON wire. Semantic
+// identity is asserted on canonical binary frames, which compare NaN
+// payloads and -0.0 bit-exactly where DeepEqual cannot. Messages JSON
+// cannot carry (non-finite floats — json.Marshal refuses them) are held to
+// the binary-only half of the property.
+//
+// The corpus seeds every message kind with every Op, including the
+// trace-context fields (Response.TraceID, WorkSpec.TraceID,
+// WorkResponse.Spans), plus framing edge cases.
+func FuzzWireEquivalence(f *testing.F) {
+	for _, req := range sampleRequests() {
+		if frame, err := AppendRequestFrame(nil, req); err == nil {
+			f.Add(frame)
+		}
+	}
+	for _, resp := range sampleResponses() {
+		if frame, err := AppendResponseFrame(nil, resp); err == nil {
+			f.Add(frame)
+		}
+	}
+	if frame, err := AppendWorkRequestFrame(nil, sampleWorkRequest()); err == nil {
+		f.Add(frame)
+	}
+	if frame, err := AppendWorkResponseFrame(nil, sampleWorkResponse()); err == nil {
+		f.Add(frame)
+	}
+	// Framing edge cases: empty input, torn header, zero-length frame with
+	// a valid CRC, declared length past the buffer, garbage.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0, 1})
+	f.Add([]byte("!!not-a-frame-at-all!!\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, _, err := DecodeRequestFrame(data); err == nil {
+			canon := mustFrame(t, "request", func(dst []byte) ([]byte, error) { return AppendRequestFrame(dst, req) })
+			checkBinaryStable(t, "request", canon, func(b []byte) (any, error) {
+				m, _, err := DecodeRequestFrame(b)
+				return m, err
+			}, func(m any, dst []byte) ([]byte, error) { return AppendRequestFrame(dst, m.(*Request)) })
+			checkJSONLeg(t, "request", req, canon, func(line []byte) (any, error) {
+				return DecodeRequest(line)
+			}, func(m any, dst []byte) ([]byte, error) { return AppendRequestFrame(dst, m.(*Request)) })
+		}
+		if resp, _, err := DecodeResponseFrame(data); err == nil {
+			canon := mustFrame(t, "response", func(dst []byte) ([]byte, error) { return AppendResponseFrame(dst, resp) })
+			checkBinaryStable(t, "response", canon, func(b []byte) (any, error) {
+				m, _, err := DecodeResponseFrame(b)
+				return m, err
+			}, func(m any, dst []byte) ([]byte, error) { return AppendResponseFrame(dst, m.(*Response)) })
+			checkJSONLeg(t, "response", resp, canon, func(line []byte) (any, error) {
+				return DecodeResponse(line)
+			}, func(m any, dst []byte) ([]byte, error) { return AppendResponseFrame(dst, m.(*Response)) })
+		}
+		if wreq, _, err := DecodeWorkRequestFrame(data); err == nil {
+			canon := mustFrame(t, "work request", func(dst []byte) ([]byte, error) { return AppendWorkRequestFrame(dst, wreq) })
+			checkBinaryStable(t, "work request", canon, func(b []byte) (any, error) {
+				m, _, err := DecodeWorkRequestFrame(b)
+				return m, err
+			}, func(m any, dst []byte) ([]byte, error) { return AppendWorkRequestFrame(dst, m.(*WorkRequest)) })
+			checkJSONLeg(t, "work request", wreq, canon, func(line []byte) (any, error) {
+				return DecodeWorkRequest(line)
+			}, func(m any, dst []byte) ([]byte, error) { return AppendWorkRequestFrame(dst, m.(*WorkRequest)) })
+		}
+		if wresp, _, err := DecodeWorkResponseFrame(data); err == nil {
+			canon := mustFrame(t, "work response", func(dst []byte) ([]byte, error) { return AppendWorkResponseFrame(dst, wresp) })
+			checkBinaryStable(t, "work response", canon, func(b []byte) (any, error) {
+				m, _, err := DecodeWorkResponseFrame(b)
+				return m, err
+			}, func(m any, dst []byte) ([]byte, error) { return AppendWorkResponseFrame(dst, m.(*WorkResponse)) })
+			checkJSONLeg(t, "work response", wresp, canon, func(line []byte) (any, error) {
+				return DecodeWorkResponse(line)
+			}, func(m any, dst []byte) ([]byte, error) { return AppendWorkResponseFrame(dst, m.(*WorkResponse)) })
+			// Wire-origin spans must also survive the trace-merge
+			// sanitization boundary, same as the JSON fuzz target.
+			tr := telemetry.NewTrace(nil, "fuzz", "ds")
+			tr.AddRemoteSpans("worker:fuzz", wresp.Spans)
+			_ = tr.String()
+		}
+	})
+}
+
+// mustFrame encodes an accepted message; a decoder must never accept a
+// message its encoder refuses.
+func mustFrame(t *testing.T, what string, enc func([]byte) ([]byte, error)) []byte {
+	t.Helper()
+	frame, err := enc(nil)
+	if err != nil {
+		t.Fatalf("accepted %s does not re-encode: %v", what, err)
+	}
+	return frame
+}
+
+// checkBinaryStable asserts decode∘encode is the identity on canonical
+// frames: the second round trip must reproduce the same bytes.
+func checkBinaryStable(t *testing.T, what string, canon []byte, dec func([]byte) (any, error), enc func(any, []byte) ([]byte, error)) {
+	t.Helper()
+	again, err := dec(canon)
+	if err != nil {
+		t.Fatalf("%s: canonical frame rejected: %v", what, err)
+	}
+	frame2, err := enc(again, nil)
+	if err != nil {
+		t.Fatalf("%s: canonical frame does not re-encode: %v", what, err)
+	}
+	if !bytes.Equal(canon, frame2) {
+		t.Fatalf("%s: canonical frame unstable:\n first %x\nsecond %x", what, canon, frame2)
+	}
+}
+
+// checkJSONLeg routes the message through the legacy JSON wire and asserts
+// both wires agree, comparing canonical binary frames. json.Marshal
+// refusing the message (non-finite floats) skips the leg: those messages
+// simply cannot ride the JSON wire.
+func checkJSONLeg(t *testing.T, what string, msg any, canon []byte, jsonDec func([]byte) (any, error), enc func(any, []byte) ([]byte, error)) {
+	t.Helper()
+	line, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	viaJSON, err := jsonDec(line)
+	if err != nil {
+		t.Fatalf("%s: JSON wire rejected a binary-accepted message: %v\n%s", what, err, line)
+	}
+	frameJSON, err := enc(viaJSON, nil)
+	if err != nil {
+		t.Fatalf("%s: JSON-decoded message does not binary-encode: %v", what, err)
+	}
+	if !bytes.Equal(canon, frameJSON) {
+		t.Fatalf("%s: binary and JSON wires disagree:\nbinary %x\n  json %x\n  line %s", what, canon, frameJSON, line)
+	}
+}

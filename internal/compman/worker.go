@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
@@ -72,6 +73,11 @@ type WorkerConfig struct {
 	// bucketed latency histograms and execution counters, served by the
 	// worker's admin endpoint (cmd/gupt-worker -admin-addr). Nil disables.
 	Telemetry *telemetry.Registry
+	// JSONWire pins the worker to the legacy newline-delimited JSON wire,
+	// reproducing a pre-binary release (the pool's negotiation falls back
+	// automatically). Kept for one release as the rollback lever; see
+	// wire.go.
+	JSONWire bool
 }
 
 // Worker is the per-node client component of the computation manager: it
@@ -156,7 +162,21 @@ func (w *Worker) handleConn(conn net.Conn) {
 		delete(w.conns, conn)
 		w.mu.Unlock()
 	}()
-	scanner := bufio.NewScanner(conn)
+	br := bufio.NewReaderSize(conn, 64*1024)
+	if !w.cfg.JSONWire {
+		version, err := sniffWire(conn, br, LatestWireVersion)
+		if err != nil {
+			if err != io.EOF {
+				w.logf("compman: worker wire sniff: %v", err)
+			}
+			return
+		}
+		if version >= WireVersionBinary {
+			w.serveBinary(conn, br)
+			return
+		}
+	}
+	scanner := bufio.NewScanner(br)
 	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	enc := json.NewEncoder(conn)
 	for scanner.Scan() {
@@ -171,11 +191,50 @@ func (w *Worker) handleConn(conn net.Conn) {
 			resp = w.execute(req)
 		}
 		if err := enc.Encode(resp); err != nil {
-			if w.cfg.Logger != nil {
-				w.cfg.Logger.Printf("compman: worker write: %v", err)
+			w.logf("compman: worker write: %v", err)
+			return
+		}
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logger != nil {
+		w.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// serveBinary is the worker's framed-wire loop: one WorkRequest frame in,
+// one WorkResponse frame out, pooled buffers reused across blocks — the
+// path every block of a cluster query crosses, so it must not allocate
+// per message.
+func (w *Worker) serveBinary(conn net.Conn, br *bufio.Reader) {
+	rbuf, wbuf := getWireBuf(), getWireBuf()
+	defer putWireBuf(rbuf)
+	defer putWireBuf(wbuf)
+	for {
+		payload, err := readWireFrame(br, rbuf)
+		if err != nil {
+			if err != io.EOF {
+				w.logf("compman: worker read frame: %v", err)
 			}
 			return
 		}
+		var resp WorkResponse
+		if req, derr := decodePayload(payload, wireMsgWorkRequest, "work request", decodeWorkRequestBody); derr != nil {
+			resp.Error = derr.Error()
+		} else {
+			resp = w.execute(req)
+		}
+		frame, err := AppendWorkResponseFrame((*wbuf)[:0], &resp)
+		if err != nil {
+			w.logf("compman: worker encode response: %v", err)
+			return
+		}
+		if _, err := conn.Write(frame); err != nil {
+			w.logf("compman: worker write: %v", err)
+			return
+		}
+		*wbuf = frame[:0]
 	}
 }
 
@@ -266,21 +325,33 @@ func (p *WorkerPool) Instrument(tel *telemetry.Registry) {
 type workerConn struct {
 	mu      sync.Mutex
 	addr    string
+	want    uint8 // wire version to offer on every (re)dial
+	version uint8 // wire version this connection negotiated
 	conn    net.Conn
 	r       *bufio.Reader
 	enc     *json.Encoder
-	broken  bool // transport failed; redial before reuse
+	wbuf    []byte // reused binary encode buffer
+	rbuf    []byte // reused binary frame read buffer
+	broken  bool   // transport failed; redial before reuse
 	redials *telemetry.Counter
 }
 
-// NewWorkerPool dials every worker address. All must be reachable.
+// NewWorkerPool dials every worker address, negotiating the newest wire
+// version each worker speaks (older workers fall back to JSON per
+// connection). All must be reachable.
 func NewWorkerPool(addrs []string) (*WorkerPool, error) {
+	return NewWorkerPoolVersion(addrs, LatestWireVersion)
+}
+
+// NewWorkerPoolVersion dials every worker address offering at most the
+// given wire version; WireVersionJSON pins the pool to the legacy wire.
+func NewWorkerPoolVersion(addrs []string, version uint8) (*WorkerPool, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("compman: worker pool needs at least one address")
 	}
 	p := &WorkerPool{}
 	for _, addr := range addrs {
-		wc, err := dialWorker(addr)
+		wc, err := dialWorker(addr, version)
 		if err != nil {
 			p.Close()
 			return nil, err
@@ -290,17 +361,27 @@ func NewWorkerPool(addrs []string) (*WorkerPool, error) {
 	return p, nil
 }
 
-func dialWorker(addr string) (*workerConn, error) {
+func dialWorker(addr string, version uint8) (*workerConn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("compman: dial worker %s: %w", addr, err)
 	}
-	return &workerConn{
+	wc := &workerConn{
 		addr: addr,
+		want: version,
 		conn: conn,
 		r:    bufio.NewReaderSize(conn, 1<<20),
 		enc:  json.NewEncoder(conn),
-	}, nil
+	}
+	// Negotiation re-runs on every redial: a worker restarted on a
+	// different release renegotiates instead of desynchronizing.
+	v, err := negotiateWire(conn, wc.r, version)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("compman: worker %s: %w", addr, err)
+	}
+	wc.version = v
+	return wc, nil
 }
 
 // Close releases all worker connections.
@@ -413,12 +494,13 @@ func (wc *workerConn) execute(ctx context.Context, req *WorkRequest) (*WorkRespo
 // redialLocked replaces a broken connection; the caller holds wc.mu.
 func (wc *workerConn) redialLocked() error {
 	wc.redials.Inc()
-	fresh, err := dialWorker(wc.addr)
+	fresh, err := dialWorker(wc.addr, wc.want)
 	if err != nil {
 		return err
 	}
 	wc.conn.Close()
 	wc.conn, wc.r, wc.enc, wc.broken = fresh.conn, fresh.r, fresh.enc, false
+	wc.version = fresh.version
 	return nil
 }
 
@@ -431,27 +513,64 @@ func (wc *workerConn) roundTrip(ctx context.Context, req *WorkRequest) (*WorkRes
 	} else {
 		_ = wc.conn.SetDeadline(time.Time{})
 	}
-	if err := wc.enc.Encode(req); err != nil {
-		wc.broken = true
-		return nil, fmt.Errorf("compman: worker %s send: %w", wc.addr, err)
+	var resp *WorkResponse
+	var err error
+	if wc.version >= WireVersionBinary {
+		resp, err = wc.exchangeBinary(req)
+	} else {
+		resp, err = wc.exchangeJSON(req)
 	}
-	line, err := wc.r.ReadBytes('\n')
 	if err != nil {
+		// Send/receive failures and corrupted replies all leave the stream
+		// unsynchronized; drop the connection rather than risk pairing
+		// future replies wrongly.
 		wc.broken = true
-		return nil, fmt.Errorf("compman: worker %s receive: %w", wc.addr, err)
-	}
-	resp, err := DecodeWorkResponse(line)
-	if err != nil {
-		// A corrupted reply leaves the stream unsynchronized; drop the
-		// connection rather than risk pairing future replies wrongly.
-		wc.broken = true
-		return nil, fmt.Errorf("compman: worker %s: %w", wc.addr, err)
+		return nil, err
 	}
 	if req.Spec.TraceID != "" && resp.TraceID != "" && resp.TraceID != req.Spec.TraceID {
 		// A reply for a different request means request/response pairing
 		// slipped — same treatment as a corrupted stream.
 		wc.broken = true
 		return nil, fmt.Errorf("compman: worker %s: trace echo %q for request %q (stream desynchronized)", wc.addr, resp.TraceID, req.Spec.TraceID)
+	}
+	return resp, nil
+}
+
+// exchangeJSON runs one exchange on the legacy JSON wire; wc.mu held.
+func (wc *workerConn) exchangeJSON(req *WorkRequest) (*WorkResponse, error) {
+	if err := wc.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("compman: worker %s send: %w", wc.addr, err)
+	}
+	line, err := wc.r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("compman: worker %s receive: %w", wc.addr, err)
+	}
+	resp, err := DecodeWorkResponse(line)
+	if err != nil {
+		return nil, fmt.Errorf("compman: worker %s: %w", wc.addr, err)
+	}
+	return resp, nil
+}
+
+// exchangeBinary runs one exchange on the framed wire; wc.mu held. The
+// connection-owned buffers persist across blocks, so the per-block framing
+// cost is the contiguous float64 copy and nothing else.
+func (wc *workerConn) exchangeBinary(req *WorkRequest) (*WorkResponse, error) {
+	frame, err := AppendWorkRequestFrame(wc.wbuf[:0], req)
+	if err != nil {
+		return nil, fmt.Errorf("compman: worker %s encode: %w", wc.addr, err)
+	}
+	if _, err := wc.conn.Write(frame); err != nil {
+		return nil, fmt.Errorf("compman: worker %s send: %w", wc.addr, err)
+	}
+	wc.wbuf = frame[:0]
+	payload, err := readWireFrame(wc.r, &wc.rbuf)
+	if err != nil {
+		return nil, fmt.Errorf("compman: worker %s receive: %w", wc.addr, err)
+	}
+	resp, err := decodePayload(payload, wireMsgWorkResponse, "work response", decodeWorkResponseBody)
+	if err != nil {
+		return nil, fmt.Errorf("compman: worker %s: %w", wc.addr, err)
 	}
 	return resp, nil
 }

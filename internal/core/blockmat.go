@@ -1,0 +1,34 @@
+package core
+
+import "gupt/internal/mathutil"
+
+// blockMatrix stores the engine's block outputs in one contiguous
+// column-major buffer: column d (all blocks' values for output dimension d)
+// occupies data[d*n : (d+1)*n]. The release pipeline — loose-range
+// estimation, clamp+average, noising — consumes outputs a dimension at a
+// time, so the column-major layout turns its inner loops into sequential
+// walks over contiguous memory instead of strided hops across per-block
+// slices, and the single backing array replaces one allocation per block.
+type blockMatrix struct {
+	data []float64
+	n    int // blocks (rows)
+	dims int // output dimensions (columns)
+}
+
+func newBlockMatrix(n, dims int) *blockMatrix {
+	return &blockMatrix{data: make([]float64, n*dims), n: n, dims: dims}
+}
+
+// setRow records block i's output vector. Distinct blocks write disjoint
+// entries, so concurrent setRow calls for different i need no locking.
+func (m *blockMatrix) setRow(i int, v mathutil.Vec) {
+	for d, x := range v {
+		m.data[d*m.n+i] = x
+	}
+}
+
+// col returns dimension d's values across all blocks, in block order, as a
+// view into the backing array. Callers must not retain it past the matrix.
+func (m *blockMatrix) col(d int) []float64 {
+	return m.data[d*m.n : (d+1)*m.n]
+}

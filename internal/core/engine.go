@@ -247,15 +247,13 @@ func Run(ctx context.Context, program analytics.Program, rows []mathutil.Vec, sp
 		}
 	}
 
-	// Clamp and average (Algorithm 1 lines 5–6).
+	// Clamp and average (Algorithm 1 lines 5–6), one contiguous column per
+	// output dimension. SumClamped accumulates in block order, so the
+	// result is bit-identical to the per-element scalar loop it replaced.
 	avgs := make(mathutil.Vec, outputDims)
 	for d := 0; d < outputDims; d++ {
 		r := effective[d]
-		var sum float64
-		for _, o := range outputs {
-			sum += r.Clamp(o[d])
-		}
-		avgs[d] = sum / float64(len(outputs))
+		avgs[d] = mathutil.SumClamped(outputs.col(d), r.Lo, r.Hi) / float64(outputs.n)
 	}
 	aggSpan.End(telemetry.StatusOK)
 
@@ -263,15 +261,16 @@ func Run(ctx context.Context, program analytics.Program, rows []mathutil.Vec, sp
 	defer noiseSpan.End(telemetry.StatusError)
 
 	// Per-dimension Laplace noise (Algorithm 1 lines 7–8, with the §4.2
-	// resampling-aware sensitivity).
-	final := make(mathutil.Vec, outputDims)
+	// resampling-aware sensitivity), drawn as one batch under a single
+	// generator lock. The draw stream matches per-dimension scalar calls
+	// exactly, so seeds reproduce historical outputs.
+	sens := make([]float64, outputDims)
 	for d := 0; d < outputDims; d++ {
-		r := effective[d]
-		noisy, err := dp.Laplace(noiseRNG, avgs[d], part.Sensitivity(r.Width()), split.AggregateEps)
-		if err != nil {
-			return nil, err
-		}
-		final[d] = noisy
+		sens[d] = part.Sensitivity(effective[d].Width())
+	}
+	final, err := dp.LaplaceVec(noiseRNG, avgs, sens, split.AggregateEps)
+	if err != nil {
+		return nil, err
 	}
 	noiseSpan.End(telemetry.StatusOK)
 
@@ -293,7 +292,7 @@ func Run(ctx context.Context, program analytics.Program, rows []mathutil.Vec, sp
 // non-finite values) contributes the substitute vector, so the release
 // pipeline sees a complete, well-formed matrix of block outputs. Only
 // cancellation of the caller's context aborts the run.
-func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.Vec, part *Partition, substitute mathutil.Vec, opts Options) ([]mathutil.Vec, int, error) {
+func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.Vec, part *Partition, substitute mathutil.Vec, opts Options) (*blockMatrix, int, error) {
 	// engine substitutes itself, to count failures
 	pol := sandbox.Policy{Quantum: opts.Quantum, Metrics: opts.Metrics}
 	chamber := opts.NewChamber(program, pol)
@@ -305,7 +304,8 @@ func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.V
 	blocksTimedOut := opts.Metrics.Counter("engine.blocks_timed_out")
 	inflight := opts.Metrics.Gauge("engine.blocks_inflight")
 
-	outputs := make([]mathutil.Vec, part.NumBlocks())
+	outputs := newBlockMatrix(part.NumBlocks(), len(substitute))
+	written := make([]bool, part.NumBlocks())
 	sem := make(chan struct{}, opts.Parallelism)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -351,11 +351,12 @@ func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.V
 				failed++
 				mu.Unlock()
 				blocksSubstituted.Inc()
-				out = substitute.Clone()
+				out = substitute
 			} else {
 				blocksOK.Inc()
 			}
-			outputs[i] = out
+			outputs.setRow(i, out)
+			written[i] = true
 		}(i)
 	}
 	wg.Wait()
@@ -366,10 +367,10 @@ func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.V
 		return nil, 0, err
 	}
 	// Blocks skipped by an early break (can only happen on cancellation,
-	// already returned above) would be nil; guard anyway.
-	for i, o := range outputs {
-		if o == nil {
-			outputs[i] = substitute.Clone()
+	// already returned above) would be unwritten; guard anyway.
+	for i, ok := range written {
+		if !ok {
+			outputs.setRow(i, substitute)
 			failed++
 			blocksSubstituted.Inc()
 		}

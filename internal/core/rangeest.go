@@ -138,15 +138,14 @@ func estimateHelperRanges(rng *mathutil.RNG, rows []mathutil.Vec, spec RangeSpec
 // one record changes, but with resampling a record touches γ blocks, so the
 // percentile mechanism runs at rangeEps/γ per dimension (group privacy) to
 // keep the charged rangeEps honest.
-func estimateLooseRanges(rng *mathutil.RNG, blockOutputs []mathutil.Vec, spec RangeSpec, rangeEps float64, gamma int) ([]dp.Range, error) {
+func estimateLooseRanges(rng *mathutil.RNG, blockOutputs *blockMatrix, spec RangeSpec, rangeEps float64, gamma int) ([]dp.Range, error) {
 	pLo, pHi := spec.percentilePair()
 	out := make([]dp.Range, len(spec.Output))
-	col := make([]float64, len(blockOutputs))
 	for d := range spec.Output {
-		for i, o := range blockOutputs {
-			col[i] = o[d]
-		}
-		iqr, err := dp.PercentileRange(rng, col, pLo, pHi, spec.Output[d], rangeEps/float64(gamma))
+		// The column-major block matrix hands the estimator dimension d's
+		// values as one contiguous view — the per-dimension gather copy the
+		// row-major layout needed is gone.
+		iqr, err := dp.PercentileRange(rng, blockOutputs.col(d), pLo, pHi, spec.Output[d], rangeEps/float64(gamma))
 		if err != nil {
 			return nil, fmt.Errorf("core: loose range estimation dim %d: %w", d, err)
 		}

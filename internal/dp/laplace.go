@@ -33,13 +33,22 @@ func LaplaceVec(rng *mathutil.RNG, value mathutil.Vec, sensitivities []float64, 
 	if len(value) != len(sensitivities) {
 		return nil, fmt.Errorf("dp: %d values but %d sensitivities", len(value), len(sensitivities))
 	}
-	out := make(mathutil.Vec, len(value))
-	for i, v := range value {
-		s := sensitivities[i]
+	// Validate every sensitivity before drawing, then draw the whole batch
+	// under one generator lock (RNG.LaplaceFill). The draw sequence is
+	// bit-identical to calling Laplace per dimension in index order, so the
+	// DP guarantees (and regression fixtures) proven against the scalar
+	// path transfer unchanged.
+	scales := make([]float64, len(sensitivities))
+	for i, s := range sensitivities {
 		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
 			return nil, fmt.Errorf("dp: invalid sensitivity %v at dimension %d", s, i)
 		}
-		out[i] = v + rng.Laplace(s/eps)
+		scales[i] = s / eps
+	}
+	out := make(mathutil.Vec, len(value))
+	rng.LaplaceFill(out, scales)
+	for i, v := range value {
+		out[i] += v
 	}
 	return out, nil
 }

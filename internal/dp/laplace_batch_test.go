@@ -1,0 +1,62 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"gupt/internal/mathutil"
+)
+
+// LaplaceVec's batched draws must be bit-identical to calling Laplace per
+// dimension in index order on the same RNG stream: the engine's noising
+// stage switched to the batch path on that exact contract (see
+// core/engine.go), and the determinism fixtures proven against the scalar
+// path stand only while it holds.
+func TestLaplaceVecMatchesScalarLaplace(t *testing.T) {
+	value := mathutil.Vec{10, -3.5, 0, 2.25e6, math.Copysign(0, -1)}
+	sens := []float64{1, 0.25, 0, 3, 0.5}
+	const eps = 0.7
+
+	batched := mathutil.NewRNG(1234)
+	scalar := mathutil.NewRNG(1234)
+
+	got, err := LaplaceVec(batched, value, sens, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range value {
+		want, err := Laplace(scalar, value[i], sens[i], eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Errorf("dim %d: batched %x, scalar %x", i, math.Float64bits(got[i]), math.Float64bits(want))
+		}
+	}
+	if a, b := batched.Float64(), scalar.Float64(); a != b {
+		t.Errorf("RNG streams diverged after LaplaceVec: %v vs %v", a, b)
+	}
+}
+
+// A rejected batch must consume no randomness: validation happens before
+// any draw, so a failed call leaves the noise stream exactly where it was.
+func TestLaplaceVecInvalidSensitivityDrawsNothing(t *testing.T) {
+	rng := mathutil.NewRNG(8)
+	fresh := mathutil.NewRNG(8)
+	cases := [][]float64{
+		{1, -0.5},
+		{math.NaN(), 1},
+		{1, math.Inf(1)},
+	}
+	for _, sens := range cases {
+		if _, err := LaplaceVec(rng, mathutil.Vec{1, 2}, sens, 1); err == nil {
+			t.Errorf("sensitivities %v accepted", sens)
+		}
+	}
+	if _, err := LaplaceVec(rng, mathutil.Vec{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if a, b := rng.Float64(), fresh.Float64(); a != b {
+		t.Errorf("failed LaplaceVec calls consumed randomness: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"gupt/internal/compman"
+	"gupt/internal/dataset"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+)
+
+// WireOverheadResult compares the legacy newline-delimited JSON wire with
+// the length-prefixed binary framing on both compman paths: the client
+// control plane (protocol round trips and full DP queries against guptd)
+// and the worker data plane (blocks shipped to gupt-worker chambers). The
+// data plane is where the bytes are — every block crosses the wire as a
+// float matrix — so blocks/sec is the headline figure BENCH_PR6.json pins;
+// the control-plane columns prove the framed wire also wins (round trips)
+// or at least never regresses (full queries, which are engine-dominated).
+type WireOverheadResult struct {
+	// Rows/Queries/RoundTrips pin the control-plane workload: Queries
+	// timed ε-spending mean queries plus RoundTrips timed budget-op
+	// exchanges against a Rows-record table, per wire.
+	Rows       int
+	Queries    int
+	RoundTrips int
+	// Blocks/BlockRows/BlockDims pin the data-plane workload: Blocks
+	// chamber executions, each shipping a BlockRows×BlockDims float
+	// matrix to a worker and a vector back.
+	Blocks    int
+	BlockRows int
+	BlockDims int
+	// Modes lists the measured wires in run order: json, binary.
+	Modes []string
+	// NsPerRoundTrip is the budget-op protocol round trip — the purest
+	// wire measurement, no engine work on either end.
+	NsPerRoundTrip []float64
+	// NsPerQuery is the full DP mean query, engine included.
+	NsPerQuery []float64
+	// NsPerBlock and BlocksPerSec measure the worker data plane.
+	NsPerBlock   []float64
+	BlocksPerSec []float64
+	// RoundTripSpeedup/QuerySpeedup/BlockSpeedup are the ×-over-JSON
+	// ratios, indexed like Modes (1 for the JSON baseline itself).
+	RoundTripSpeedup []float64
+	QuerySpeedup     []float64
+	BlockSpeedup     []float64
+}
+
+// wireModes enumerates the two measured configurations. The JSON mode pins
+// both ends to the legacy wire exactly as a pre-binary release would run
+// it (server skips the sniff, client skips the hello).
+var wireModes = []struct {
+	name    string
+	json    bool
+	version uint8
+}{
+	{"json", true, compman.WireVersionJSON},
+	{"binary", false, compman.LatestWireVersion},
+}
+
+// WireOverhead runs the measurement. Each wire gets a fresh server,
+// registry and worker so ledger state and allocator history are identical;
+// within a wire, every figure is the best of three passes over the same
+// deterministic sequence, which filters scheduler noise better than an
+// average on a loaded machine.
+func WireOverhead(cfg Config) (*WireOverheadResult, error) {
+	res := &WireOverheadResult{
+		Rows:       cfg.scale(5000, 1000),
+		Queries:    cfg.scale(30, 8),
+		RoundTrips: cfg.scale(2000, 300),
+		Blocks:     cfg.scale(200, 30),
+		BlockRows:  cfg.scale(2000, 400),
+		BlockDims:  8,
+	}
+	const passes = 3
+
+	for _, mode := range wireModes {
+		nsTrip, nsQuery, err := wireClientPath(cfg, res, mode.json, mode.version, passes)
+		if err != nil {
+			return nil, fmt.Errorf("wire overhead %s client path: %w", mode.name, err)
+		}
+		nsBlock, err := wireWorkerPath(cfg, res, mode.json, mode.version, passes)
+		if err != nil {
+			return nil, fmt.Errorf("wire overhead %s worker path: %w", mode.name, err)
+		}
+		res.Modes = append(res.Modes, mode.name)
+		res.NsPerRoundTrip = append(res.NsPerRoundTrip, nsTrip)
+		res.NsPerQuery = append(res.NsPerQuery, nsQuery)
+		res.NsPerBlock = append(res.NsPerBlock, nsBlock)
+		res.BlocksPerSec = append(res.BlocksPerSec, 1e9/nsBlock)
+	}
+	for i := range res.Modes {
+		res.RoundTripSpeedup = append(res.RoundTripSpeedup, res.NsPerRoundTrip[0]/res.NsPerRoundTrip[i])
+		res.QuerySpeedup = append(res.QuerySpeedup, res.NsPerQuery[0]/res.NsPerQuery[i])
+		res.BlockSpeedup = append(res.BlockSpeedup, res.NsPerBlock[0]/res.NsPerBlock[i])
+	}
+	return res, nil
+}
+
+// wireClientPath measures the guptd-facing wire: budget-op round trips
+// (pure protocol) and full mean queries (protocol + engine) over one
+// persistent connection, as gupt-cli holds one.
+func wireClientPath(cfg Config, res *WireOverheadResult, jsonWire bool, version uint8, passes int) (nsTrip, nsQuery float64, err error) {
+	reg := dataset.NewRegistry()
+	rng := mathutil.NewRNG(cfg.Seed)
+	tbl := dataset.New([]string{"age"})
+	for i := 0; i < res.Rows; i++ {
+		if err := tbl.Append(mathutil.Vec{mathutil.Clamp(40+10*rng.NormFloat64(), 0, 150)}); err != nil {
+			return 0, 0, err
+		}
+	}
+	// Budget covers warmup plus every timed pass with a wide margin, so
+	// the ledger never becomes the variable under test.
+	if _, err := reg.Register("census", tbl, dataset.RegisterOptions{
+		TotalBudget: 1e6,
+		Ranges:      []dp.Range{{Lo: 0, Hi: 150}},
+		Seed:        cfg.Seed,
+	}); err != nil {
+		return 0, 0, err
+	}
+	srv := compman.NewServer(reg, compman.ServerConfig{JSONWire: jsonWire})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	client, err := compman.DialVersion(l.Addr().String(), version)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer client.Close()
+
+	query := func(q int) error {
+		_, err := client.Query(&compman.Request{
+			Dataset:      "census",
+			Program:      &compman.ProgramSpec{Type: "mean", Col: 0},
+			OutputRanges: []compman.RangeSpec{{Lo: 0, Hi: 150}},
+			Epsilon:      0.05,
+			BlockSize:    res.Rows / 20,
+			Seed:         cfg.Seed + int64(q),
+		})
+		return err
+	}
+
+	// One untimed pass of each shape first: the first configuration would
+	// otherwise pay all the connection/allocator warmup.
+	for i := 0; i < res.RoundTrips; i++ {
+		if _, err := client.RemainingBudget("census"); err != nil {
+			return 0, 0, err
+		}
+	}
+	for q := 0; q < res.Queries; q++ {
+		if err := query(q); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	bestTrip := time.Duration(1<<63 - 1)
+	bestQuery := bestTrip
+	for p := 0; p < passes; p++ {
+		start := time.Now()
+		for i := 0; i < res.RoundTrips; i++ {
+			if _, err := client.RemainingBudget("census"); err != nil {
+				return 0, 0, err
+			}
+		}
+		if d := time.Since(start); d < bestTrip {
+			bestTrip = d
+		}
+		start = time.Now()
+		for q := 0; q < res.Queries; q++ {
+			if err := query(q); err != nil {
+				return 0, 0, err
+			}
+		}
+		if d := time.Since(start); d < bestQuery {
+			bestQuery = d
+		}
+	}
+	return float64(bestTrip.Nanoseconds()) / float64(res.RoundTrips),
+		float64(bestQuery.Nanoseconds()) / float64(res.Queries), nil
+}
+
+// wireWorkerPath measures the data plane: a block matrix shipped to a
+// gupt-worker chamber and the aggregate shipped back, over the pool's
+// persistent connection. This is the exchange the binary wire's contiguous
+// float encoding targets.
+func wireWorkerPath(cfg Config, res *WireOverheadResult, jsonWire bool, version uint8, passes int) (float64, error) {
+	worker := compman.NewWorker(compman.WorkerConfig{JSONWire: jsonWire})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	go worker.Serve(l)
+	defer worker.Close()
+
+	pool, err := compman.NewWorkerPoolVersion([]string{l.Addr().String()}, version)
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Close()
+
+	rng := mathutil.NewRNG(cfg.Seed)
+	block := make([]mathutil.Vec, res.BlockRows)
+	for i := range block {
+		row := make(mathutil.Vec, res.BlockDims)
+		for d := range row {
+			row[d] = 200 * (rng.Float64() - 0.5)
+		}
+		block[i] = row
+	}
+	spec := compman.WorkSpec{Program: compman.ProgramSpec{Type: "mean", Col: 0}}
+	ctx := context.Background()
+
+	execute := func() error {
+		_, err := pool.Chamber(spec, nil).Execute(ctx, block)
+		return err
+	}
+	for i := 0; i < res.Blocks/4+1; i++ {
+		if err := execute(); err != nil {
+			return 0, err
+		}
+	}
+	best := time.Duration(1<<63 - 1)
+	for p := 0; p < passes; p++ {
+		start := time.Now()
+		for i := 0; i < res.Blocks; i++ {
+			if err := execute(); err != nil {
+				return 0, err
+			}
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(res.Blocks), nil
+}
+
+// Table renders the comparison.
+func (r *WireOverheadResult) Table() string {
+	t := newTable("wire", "round-trip", "dp query", "per-block", "blocks/sec", "block speedup")
+	for i, mode := range r.Modes {
+		t.addRow(mode,
+			time.Duration(r.NsPerRoundTrip[i]).Round(100*time.Nanosecond).String(),
+			time.Duration(r.NsPerQuery[i]).Round(time.Microsecond).String(),
+			time.Duration(r.NsPerBlock[i]).Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", r.BlocksPerSec[i]),
+			fmt.Sprintf("%.2fx", r.BlockSpeedup[i]))
+	}
+	return fmt.Sprintf("Wire overhead: JSON vs binary framing (%d-row table, %d×%d blocks, best of 3)\n",
+		r.Rows, r.BlockRows, r.BlockDims) + t.String()
+}
+
+// CSV renders the series; cmd/gupt-bench embeds it in BENCH_PR6.json.
+func (r *WireOverheadResult) CSV() string {
+	var c csvBuilder
+	c.row("mode", "ns_per_round_trip", "ns_per_query", "ns_per_block", "blocks_per_sec",
+		"round_trip_speedup_x", "query_speedup_x", "block_speedup_x")
+	for i, mode := range r.Modes {
+		c.row(mode,
+			fmt.Sprintf("%g", r.NsPerRoundTrip[i]),
+			fmt.Sprintf("%g", r.NsPerQuery[i]),
+			fmt.Sprintf("%g", r.NsPerBlock[i]),
+			fmt.Sprintf("%g", r.BlocksPerSec[i]),
+			fmt.Sprintf("%g", r.RoundTripSpeedup[i]),
+			fmt.Sprintf("%g", r.QuerySpeedup[i]),
+			fmt.Sprintf("%g", r.BlockSpeedup[i]))
+	}
+	return c.String()
+}

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -9,6 +10,17 @@ import (
 	"time"
 
 	"gupt/internal/mathutil"
+)
+
+// Binary-wire layout facts, mirrored from internal/compman/wire.go (which
+// imports this package from its chaos tests, so the dependency cannot run
+// the other way). compman's wire tests pin these against the canonical
+// constants so they cannot drift silently.
+const (
+	wireMagic          = 0xB1
+	wireHelloLen       = 5
+	wireFrameHeaderLen = 8
+	maxWireFrame       = 64 << 20
 )
 
 // ProtoFault enumerates the wire-level faults a Proxy can inject into the
@@ -210,7 +222,13 @@ func (p *Proxy) serve(l net.Listener) {
 }
 
 // handle relays one client connection. Requests stream upstream untouched;
-// replies pass through the fault schedule line by line.
+// replies pass through the fault schedule one protocol unit at a time — a
+// newline-terminated line on the JSON wire, a CRC32C frame on the binary
+// wire. The proxy sniffs which wire a connection negotiated from the
+// upstream's first reply byte (a binary hello echo starts with
+// wireMagic, which no JSON reply can) and relays the hello echo
+// verbatim: negotiation is connection bookkeeping, not a reply, and
+// garbling it is the job of the directed fail-closed tests.
 func (p *Proxy) handle(client net.Conn) {
 	defer func() {
 		client.Close()
@@ -231,35 +249,107 @@ func (p *Proxy) handle(client net.Conn) {
 	}()
 
 	r := bufio.NewReaderSize(upstream, 1<<20)
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	framed := first[0] == wireMagic
+	if framed {
+		hello := make([]byte, wireHelloLen)
+		if _, err := io.ReadFull(r, hello); err != nil {
+			return
+		}
+		if _, err := client.Write(hello); err != nil {
+			return
+		}
+	}
 	for {
-		line, err := r.ReadBytes('\n')
+		var unit []byte
+		var err error
+		if framed {
+			unit, err = readFrameUnit(r)
+		} else {
+			unit, err = r.ReadBytes('\n')
+		}
 		if err != nil {
 			return
 		}
 		switch p.Schedule.next() {
 		case ProtoNone:
-			if _, err := client.Write(line); err != nil {
+			if _, err := client.Write(unit); err != nil {
 				return
 			}
 		case ProtoCorrupt:
-			if _, err := client.Write([]byte("!!not-json-at-all!!\n")); err != nil {
+			if _, err := client.Write(corruptUnit(unit, framed)); err != nil {
 				return
 			}
 		case ProtoTruncate:
-			cut := len(line) / 2
-			if cut == 0 {
-				cut = 1
-			}
-			if _, err := client.Write(append(line[:cut:cut], '\n')); err != nil {
+			if _, err := client.Write(truncateUnit(unit, framed)); err != nil {
 				return
 			}
 		case ProtoDisconnect:
 			return
 		case ProtoStall:
 			time.Sleep(p.Schedule.stallFor())
-			if _, err := client.Write(line); err != nil {
+			if _, err := client.Write(unit); err != nil {
 				return
 			}
 		}
 	}
+}
+
+// readFrameUnit reads one binary-wire frame — header plus payload — as a
+// single reply unit, without validating its checksum (the proxy forwards
+// whatever the worker sent; validation is the receiver's job).
+func readFrameUnit(r *bufio.Reader) ([]byte, error) {
+	hdr := make([]byte, wireFrameHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxWireFrame {
+		return nil, fmt.Errorf("faultinject: upstream frame length %d exceeds limit", n)
+	}
+	unit := make([]byte, wireFrameHeaderLen+int(n))
+	copy(unit, hdr)
+	if _, err := io.ReadFull(r, unit[wireFrameHeaderLen:]); err != nil {
+		return nil, err
+	}
+	return unit, nil
+}
+
+// corruptUnit returns a same-shape reply whose content cannot decode: junk
+// bytes on the JSON wire, a bit-flipped payload under an unchanged header
+// (guaranteed CRC mismatch) on the binary wire. Either way the receiver
+// sees an immediately detectable corruption, not a stall.
+func corruptUnit(unit []byte, framed bool) []byte {
+	if !framed {
+		return []byte("!!not-json-at-all!!\n")
+	}
+	out := append([]byte(nil), unit...)
+	for i := wireFrameHeaderLen; i < len(out); i++ {
+		out[i] ^= 0xFF
+	}
+	return out
+}
+
+// truncateUnit returns a torn reply the receiver detects immediately: a
+// short newline-terminated prefix on the JSON wire; on the binary wire a
+// frame whose header declares half the payload but keeps the original
+// checksum, so the length/CRC cross-check fails on arrival instead of the
+// reader blocking for bytes that never come.
+func truncateUnit(unit []byte, framed bool) []byte {
+	if !framed {
+		cut := len(unit) / 2
+		if cut == 0 {
+			cut = 1
+		}
+		return append(unit[:cut:cut], '\n')
+	}
+	cut := (len(unit) - wireFrameHeaderLen) / 2
+	out := make([]byte, wireFrameHeaderLen+cut)
+	binary.LittleEndian.PutUint32(out[0:4], uint32(cut))
+	copy(out[4:8], unit[4:8]) // original CRC: cannot match the shorter payload
+	copy(out[wireFrameHeaderLen:], unit[wireFrameHeaderLen:wireFrameHeaderLen+cut])
+	return out
 }

@@ -75,19 +75,44 @@ func (g *RNG) Shuffle(n int, swap func(i, j int)) {
 // Laplace returns a draw from the Laplace distribution with mean 0 and the
 // given scale b (standard deviation b·√2), via inverse-CDF sampling.
 func (g *RNG) Laplace(scale float64) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.laplaceLocked(scale)
+}
+
+// laplaceLocked draws one Laplace variate from the underlying generator;
+// the caller holds g.mu. A non-positive scale returns 0 without consuming
+// randomness, matching the historical scalar behavior so batched and
+// scalar callers stay on the same stream.
+func (g *RNG) laplaceLocked(scale float64) float64 {
 	if scale <= 0 {
 		return 0
 	}
 	// u is uniform in (-1/2, 1/2); the inverse CDF of Lap(0, b) maps it to
 	// -b·sign(u)·ln(1-2|u|).
-	u := g.Float64() - 0.5
+	u := g.r.Float64() - 0.5
 	for u == -0.5 { // avoid log(0)
-		u = g.Float64() - 0.5
+		u = g.r.Float64() - 0.5
 	}
 	if u < 0 {
 		return scale * math.Log(1+2*u)
 	}
 	return -scale * math.Log(1-2*u)
+}
+
+// LaplaceFill fills dst[i] with an independent Laplace(0, scales[i]) draw,
+// taking the generator lock once for the whole batch instead of once per
+// variate. The variate stream is bit-identical to calling Laplace(scales[i])
+// sequentially in index order, so DP mechanisms can switch between the
+// scalar and batched paths without changing released outputs. It panics on
+// mismatched lengths; that is a programming error, not a data error.
+func (g *RNG) LaplaceFill(dst, scales []float64) {
+	mustSameLen(len(dst), len(scales))
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, s := range scales {
+		dst[i] = g.laplaceLocked(s)
+	}
 }
 
 // Exponential returns a draw from the exponential distribution with the

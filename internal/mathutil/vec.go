@@ -121,6 +121,27 @@ func (v Vec) Clamp(lo, hi float64) Vec {
 	return out
 }
 
+// SumClamped returns the sum of Clamp(x, lo, hi) over xs, accumulating in
+// index order so the result is bit-identical to the scalar clamp-then-add
+// loop it replaces. One pass over a contiguous slice with no allocation:
+// this is the engine's hot clamp+accumulate over a block-output column.
+func SumClamped(xs []float64, lo, hi float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		// Inlined Clamp, branch order identical to Clamp below.
+		switch {
+		case math.IsNaN(x):
+			x = lo
+		case x < lo:
+			x = lo
+		case x > hi:
+			x = hi
+		}
+		sum += x
+	}
+	return sum
+}
+
 // Clamp restricts x to the closed interval [lo, hi]. NaN inputs are mapped
 // to lo so that a misbehaving computation can never smuggle NaN through an
 // aggregation.
