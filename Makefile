@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench bench-telemetry bench-wire ledger-kill audit-kill
+.PHONY: all build test race vet check fuzz bench bench-telemetry bench-wire bench-cache ledger-kill audit-kill
 
 all: check
 
@@ -45,6 +45,7 @@ fuzz:
 	$(GO) test ./internal/compman -run xxx -fuzz FuzzDecodeWorkRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/compman -run xxx -fuzz FuzzDecodeWorkResponse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/compman -run xxx -fuzz FuzzWireEquivalence -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/compman -run xxx -fuzz FuzzFingerprint -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ledger -run xxx -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME)
 
 bench:
@@ -62,3 +63,9 @@ bench-telemetry:
 # shipping) and regenerates the checked-in report. Run on an idle machine.
 bench-wire:
 	$(GO) run ./cmd/gupt-bench -quick -exp wire -json BENCH_PR6.json
+
+# bench-cache measures the noisy-answer cache: hit-path vs cold-path
+# latency and cumulative ε over a repeat-heavy Zipf schedule with the
+# cache on vs off, and regenerates the checked-in report.
+bench-cache:
+	$(GO) run ./cmd/gupt-bench -quick -exp cache -json BENCH_PR7.json

@@ -1,0 +1,259 @@
+package gupt
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"gupt/internal/mathutil"
+)
+
+func seededMeanQuery(seed int64) Query {
+	return Query{
+		Dataset:      "census",
+		Program:      Mean{Col: 0},
+		OutputRanges: []Range{{Lo: 0, Hi: 150}},
+		Epsilon:      1,
+		Seed:         seed,
+	}
+}
+
+// TestCacheRepeatQueryZeroEpsilon is the tentpole contract end to end on
+// the embedded API: a byte-identical repeat of a released query is served
+// the same answer, flagged as a cache hit, and charges nothing.
+func TestCacheRepeatQueryZeroEpsilon(t *testing.T) {
+	p := newCensusPlatform(t, 10, 0)
+	p.EnableCache(16, 0)
+	ctx := context.Background()
+
+	first, err := p.Run(ctx, seededMeanQuery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("cold query flagged as cache hit")
+	}
+	remAfterFirst, _ := p.RemainingBudget("census")
+
+	second, err := p.Run(ctx, seededMeanQuery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("repeat query missed the cache")
+	}
+	if second.Output[0] != first.Output[0] {
+		t.Errorf("cache re-released a different answer: %v vs %v", second.Output[0], first.Output[0])
+	}
+	rem, _ := p.RemainingBudget("census")
+	if rem != remAfterFirst {
+		t.Errorf("cache hit charged budget: %v -> %v", remAfterFirst, rem)
+	}
+	st := p.CacheStats()
+	if st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// A different seed is a different released distribution: miss.
+	third, err := p.Run(ctx, seededMeanQuery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHit {
+		t.Error("different seed hit the cache")
+	}
+	rem2, _ := p.RemainingBudget("census")
+	if math.Abs(rem2-(rem-1)) > 1e-9 {
+		t.Errorf("fresh query charged %v, want 1", rem-rem2)
+	}
+}
+
+// TestCacheOffByDefault: embedded callers often replay seeded queries to
+// observe fresh draws, so caching must be strictly opt-in.
+func TestCacheOffByDefault(t *testing.T) {
+	p := newCensusPlatform(t, 10, 0)
+	ctx := context.Background()
+	if _, err := p.Run(ctx, seededMeanQuery(3)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(ctx, seededMeanQuery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("cache hit without EnableCache")
+	}
+	rem, _ := p.RemainingBudget("census")
+	if math.Abs(rem-8) > 1e-9 {
+		t.Errorf("remaining = %v, want 8 (both runs charged)", rem)
+	}
+}
+
+// TestCacheUncachableClosures: programs the fingerprint cannot see inside
+// (custom Program implementations, closures) must never be cached — an
+// aliased fingerprint could re-serve an answer from a different
+// distribution. They run normally, charging every time.
+func TestCacheUncachableClosures(t *testing.T) {
+	p := newCensusPlatform(t, 10, 0)
+	p.EnableCache(16, 0)
+	ctx := context.Background()
+	over60 := ProgramFunc{ProgName: "over60", Dims: 1, F: func(block []mathutil.Vec) (mathutil.Vec, error) {
+		count := 0
+		for _, r := range block {
+			if r[0] > 60 {
+				count++
+			}
+		}
+		return mathutil.Vec{float64(count) / float64(len(block))}, nil
+	}}
+	q := Query{
+		Dataset:      "census",
+		Program:      over60,
+		OutputRanges: []Range{{Lo: 0, Hi: 1}},
+		Epsilon:      1,
+		Seed:         3,
+	}
+	for i := 0; i < 2; i++ {
+		res, err := p.Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHit {
+			t.Fatalf("run %d: custom program was cached", i)
+		}
+	}
+	rem, _ := p.RemainingBudget("census")
+	if math.Abs(rem-8) > 1e-9 {
+		t.Errorf("remaining = %v, want 8", rem)
+	}
+	if st := p.CacheStats(); st.Entries != 0 {
+		t.Errorf("uncachable query filled the cache: %+v", st)
+	}
+}
+
+// TestCacheInvalidatedByMutation: synthesizing an aged sample mutates the
+// dataset's queryable state, so a post-mutation repeat must be a fresh
+// draw, not the pre-mutation answer.
+func TestCacheInvalidatedByMutation(t *testing.T) {
+	p := newCensusPlatform(t, 10, 0)
+	p.EnableCache(16, 0)
+	ctx := context.Background()
+
+	if _, err := p.Run(ctx, seededMeanQuery(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SynthesizeAgedSample("census", 0.5, 0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.CacheStats(); st.Entries != 0 {
+		t.Errorf("mutation left %d cached entries", st.Entries)
+	}
+	res, err := p.Run(ctx, seededMeanQuery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("post-mutation repeat served the pre-mutation answer")
+	}
+}
+
+// TestCacheSessionRepeat: a session's budget is charged atomically, so the
+// whole batch caches as one unit and a repeat re-serves every member.
+func TestCacheSessionRepeat(t *testing.T) {
+	p := newCensusPlatform(t, 10, 0)
+	p.EnableCache(16, 0)
+	ctx := context.Background()
+
+	buildSession := func() *Session {
+		s := p.NewSession("census", 2)
+		for _, q := range []Query{
+			{Program: Mean{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 150}}, Seed: 5},
+			{Program: Variance{Col: 0}, OutputRanges: []Range{{Lo: 0, Hi: 5000}}, Seed: 6},
+		} {
+			if err := s.Add(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+
+	first, err := buildSession().Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remAfterFirst, _ := p.RemainingBudget("census")
+
+	second, err := buildSession().Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range second {
+		if !second[i].CacheHit {
+			t.Fatalf("member %d missed the cache", i)
+		}
+		if second[i].Output[0] != first[i].Output[0] {
+			t.Errorf("member %d re-released a different answer", i)
+		}
+	}
+	rem, _ := p.RemainingBudget("census")
+	if rem != remAfterFirst {
+		t.Errorf("session cache hit charged budget: %v -> %v", remAfterFirst, rem)
+	}
+}
+
+// TestCacheInvalidationRace drives concurrent repeat queries against
+// concurrent dataset mutations under -race. The content version inside
+// every fingerprint makes a stale serve structurally impossible; this test
+// pins the absence of data races on the version/cache/ledger paths and
+// that the system stays coherent throughout.
+func TestCacheInvalidationRace(t *testing.T) {
+	p := newCensusPlatform(t, 1000, 0)
+	p.EnableCache(64, time.Minute)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				// Two workers per seed so repeats contend with mutations.
+				if _, err := p.Run(ctx, seededMeanQuery(int64(g%2))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if err := p.SynthesizeAgedSample("census", 0.1, 0, 0, int64(i)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the dust settles, one more repeat pair must behave: first run
+	// fills, second hits.
+	if _, err := p.Run(ctx, seededMeanQuery(99)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(ctx, seededMeanQuery(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("post-race repeat missed the cache")
+	}
+}

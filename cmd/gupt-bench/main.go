@@ -67,6 +67,9 @@ func runners() map[string]runner {
 		"wire": func(cfg experiments.Config) (tabler, error) {
 			return experiments.WireOverhead(cfg)
 		},
+		"cache": func(cfg experiments.Config) (tabler, error) {
+			return experiments.CacheEffect(cfg)
+		},
 		"timing":       func(cfg experiments.Config) (tabler, error) { return experiments.TimingAttack(cfg) },
 		"budgetattack": func(cfg experiments.Config) (tabler, error) { return experiments.BudgetAttack(cfg) },
 		"stateattack":  runStateAttack,

@@ -62,8 +62,8 @@ func main() {
 
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7113", "guptd address")
-		admin      = flag.String("admin", "", "guptd admin endpoint; with -op stats, renders the per-dataset budget table")
-		op         = flag.String("op", "query", "operation: query | budget | list | stats | ping")
+		admin      = flag.String("admin", "", "guptd admin endpoint; with -op stats renders the per-dataset budget table, with -op cache the noisy-answer cache counters")
+		op         = flag.String("op", "query", "operation: query | budget | list | stats | cache | ping")
 		ds         = flag.String("dataset", "", "dataset name")
 		program    = flag.String("program", "mean", "program: mean | median | variance | percentile | covariance | histogram | kmeans | logreg | linreg | naivebayes")
 		col        = flag.Int("col", 0, "target column")
@@ -89,10 +89,19 @@ func main() {
 	flag.Var(&ranges, "range", "output range lo,hi (repeat per output dimension)")
 	flag.Parse()
 
-	// The admin stats table talks HTTP to the operator plane; no protocol
-	// connection is needed.
+	// The admin stats and cache tables talk HTTP to the operator plane; no
+	// protocol connection is needed.
 	if *op == "stats" && *admin != "" {
 		if err := adminStats(*admin); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *op == "cache" {
+		if *admin == "" {
+			log.Fatal("-op cache needs -admin (the cache is an operator view)")
+		}
+		if err := adminCache(*admin); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -171,6 +180,9 @@ func main() {
 		fmt.Printf("output: %v\n", resp.Output)
 		fmt.Printf("epsilon spent: %g   blocks: %d (size %d)   failed blocks: %d\n",
 			resp.EpsilonSpent, resp.NumBlocks, resp.BlockSize, resp.FailedBlocks)
+		if resp.CacheHit {
+			fmt.Println("served from cache: this answer was already released; no budget was charged")
+		}
 		if resp.TraceID != "" {
 			fmt.Printf("trace: %s\n", resp.TraceID)
 		}

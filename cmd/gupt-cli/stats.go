@@ -37,6 +37,45 @@ func adminStats(adminAddr string) error {
 	return nil
 }
 
+// adminCache renders the noisy-answer cache's counters from guptd's admin
+// endpoint: hit/miss/eviction totals and current occupancy. Like -op stats
+// -admin, this is an operator view over HTTP, not the analyst protocol.
+func adminCache(adminAddr string) error {
+	url := "http://" + adminAddr + "/cache"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var st telemetry.CacheStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("parsing %s: %w", url, err)
+	}
+	renderCacheStatus(os.Stdout, st)
+	return nil
+}
+
+// renderCacheStatus pretty-prints the cache counters.
+func renderCacheStatus(w io.Writer, st telemetry.CacheStatus) {
+	if !st.Enabled {
+		fmt.Fprintln(w, "noisy-answer cache: disabled")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ENTRIES\tMAX\tBYTES\tTTL s\tHITS\tMISSES\tEVICTED\tEXPIRED\tINVALIDATED")
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		st.Entries, st.MaxEntries, st.Bytes, st.TTLSeconds,
+		st.Hits, st.Misses, st.Evictions, st.Expirations, st.Invalidations)
+	tw.Flush()
+}
+
 // renderDatasetTable pretty-prints the per-dataset budget state.
 func renderDatasetTable(w io.Writer, stats []telemetry.DatasetStats) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

@@ -27,7 +27,6 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:7201", "address to listen on")
 		scratch   = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
 		adminAddr = flag.String("admin-addr", "", "operator admin HTTP endpoint (/metrics, /healthz, /debug/pprof); empty disables")
-		jsonWire  = flag.Bool("json-wire", false, "serve only the legacy newline-delimited JSON wire (rollback lever; binary-capable pools fall back automatically)")
 	)
 	flag.Parse()
 
@@ -36,7 +35,6 @@ func main() {
 		ScratchRoot: *scratch,
 		Logger:      log.Default(),
 		Telemetry:   tel,
-		JSONWire:    *jsonWire,
 	})
 
 	// The worker's own admin plane: chamber counters and its per-stage

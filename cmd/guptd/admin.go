@@ -9,6 +9,7 @@ import (
 	"gupt/internal/compman"
 	"gupt/internal/dataset"
 	"gupt/internal/ledger"
+	"gupt/internal/qcache"
 	"gupt/internal/telemetry"
 )
 
@@ -29,8 +30,26 @@ func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry, led *ledger
 	if srv != nil {
 		cfg.Traces = srv.Traces
 		cfg.Queries = srv.LiveQueries
+		cfg.Cache = func() telemetry.CacheStatus { return cacheStatus(srv.CacheStats()) }
 	}
 	return telemetry.AdminHandler(cfg)
+}
+
+// cacheStatus maps the noisy-answer cache's counters onto the admin wire
+// form; a disabled cache (MaxEntries 0) reports Enabled: false.
+func cacheStatus(st qcache.Stats) telemetry.CacheStatus {
+	return telemetry.CacheStatus{
+		Enabled:       st.MaxEntries > 0,
+		Entries:       st.Entries,
+		MaxEntries:    st.MaxEntries,
+		Bytes:         st.Bytes,
+		TTLSeconds:    st.TTLSeconds,
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		Expirations:   st.Expirations,
+		Invalidations: st.Invalidations,
+	}
 }
 
 // ledgerStatus maps the ledger's operational state onto the admin wire

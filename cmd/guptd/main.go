@@ -1,8 +1,8 @@
 // Command guptd is the hosted GUPT service: the trusted computation manager
 // plus dataset manager behind a TCP endpoint. The data owner registers CSV
 // datasets at startup; analysts connect with gupt-cli (or any client
-// speaking the newline-delimited JSON protocol of internal/compman) and can
-// only ever obtain differentially private answers.
+// speaking the binary framed protocol of internal/compman) and can only
+// ever obtain differentially private answers.
 //
 // Usage:
 //
@@ -67,7 +67,8 @@ func main() {
 		queryTimeout = flag.Duration("query-timeout", 0, "whole-query deadline; overruns abort with budget consumed (0 disables)")
 		retries      = flag.Int("retries", 0, "engine re-runs after a post-charge failure (never re-charges)")
 		maxFailFrac  = flag.Float64("max-fail-frac", 0, "abort queries when more than this fraction of blocks was substituted (0 disables)")
-		jsonWire     = flag.Bool("json-wire", false, "serve only the legacy newline-delimited JSON wire (rollback lever; binary-capable clients fall back automatically)")
+		cacheEntries = flag.Int("cache-entries", 1024, "noisy-answer cache capacity: repeat queries are re-served their published answer at zero extra ε (0 disables)")
+		cacheTTL     = flag.Duration("cache-ttl", 10*time.Minute, "expire cached answers after this long (0 keeps them until evicted)")
 		datasets     datasetFlags
 	)
 	flag.Var(&datasets, "dataset", "dataset spec name=path[:budget=F][:aged=F][:header] (repeatable)")
@@ -171,7 +172,8 @@ func main() {
 		Telemetry:       tel,
 		Audit:           alog,
 		TraceBufferSize: *traceBufSize,
-		JSONWire:        *jsonWire,
+		CacheEntries:    *cacheEntries,
+		CacheTTL:        *cacheTTL,
 	}
 	if *traceLog {
 		log.Print("WARNING: -unsafe-trace-log exposes raw per-stage query timings in the log; " +
@@ -188,7 +190,7 @@ func main() {
 			log.Fatalf("admin endpoint: %v", err)
 		}
 		stopAdmin = stop
-		log.Printf("admin endpoint on http://%s (/metrics /traces /queries /healthz /datasets /ledger /debug/pprof/)", al.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics /traces /queries /healthz /datasets /ledger /cache /debug/pprof/)", al.Addr())
 	}
 
 	l, err := net.Listen("tcp", *listen)

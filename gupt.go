@@ -41,6 +41,7 @@ import (
 	"gupt/internal/dataset"
 	"gupt/internal/dp"
 	"gupt/internal/mathutil"
+	"gupt/internal/qcache"
 	"gupt/internal/sandbox"
 )
 
@@ -104,8 +105,9 @@ var ErrBudgetExhausted = dp.ErrBudgetExhausted
 // and the sample-and-aggregate engine behind one façade. It is safe for
 // concurrent use.
 type Platform struct {
-	reg *dataset.Registry
-	mgr *budget.Manager
+	reg   *dataset.Registry
+	mgr   *budget.Manager
+	cache *qcache.Cache // noisy-answer cache; nil until EnableCache
 }
 
 // New creates an empty platform.
@@ -177,8 +179,11 @@ func (p *Platform) RegisterCSV(name, path string, header bool, opts DatasetOptio
 	return err
 }
 
-// Unregister removes a dataset.
-func (p *Platform) Unregister(name string) error { return p.reg.Unregister(name) }
+// Unregister removes a dataset and drops its cached answers.
+func (p *Platform) Unregister(name string) error {
+	p.cache.Invalidate(name)
+	return p.reg.Unregister(name)
+}
 
 // Datasets lists registered dataset names.
 func (p *Platform) Datasets() []string { return p.reg.Names() }
@@ -263,6 +268,19 @@ func (p *Platform) Run(ctx context.Context, q Query) (*Result, error) {
 	if q.Program == nil {
 		return nil, errors.New("gupt: query needs a program")
 	}
+	label := fmt.Sprintf("%s:%s", q.Dataset, q.Program.Name())
+
+	// Noisy-answer cache (EnableCache): an exact repeat of a previously
+	// released query — same distribution-relevant fields, same dataset
+	// content version — is re-served the same published answer at zero
+	// additional ε. The re-release is journaled as a cache_hit ledger
+	// record; the accountant is never touched.
+	fp, cachable := p.queryFingerprint(&q, reg.ContentVersion())
+	if cachable {
+		if v, ok := p.cache.Get(fp); ok {
+			return p.cacheHitResult(q.Dataset, label, v.(Result))
+		}
+	}
 
 	spec := core.RangeSpec{
 		Mode: q.Mode, Output: q.OutputRanges, Translate: q.Translate,
@@ -306,7 +324,6 @@ func (p *Platform) Run(ctx context.Context, q Query) (*Result, error) {
 		opts.BlockSize = choice.BlockSize
 	}
 
-	label := fmt.Sprintf("%s:%s", q.Dataset, q.Program.Name())
 	switch {
 	case q.Epsilon > 0 && q.Accuracy != nil:
 		return nil, errors.New("gupt: set either Epsilon or Accuracy, not both")
@@ -333,7 +350,13 @@ func (p *Platform) Run(ctx context.Context, q Query) (*Result, error) {
 		return nil, errors.New("gupt: query needs a positive Epsilon or an Accuracy goal")
 	}
 
-	return core.Run(ctx, q.Program, rows, spec, opts)
+	res, err := core.Run(ctx, q.Program, rows, spec, opts)
+	// Fill with clean releases only: a degraded answer is safe to re-serve
+	// but would pin the degradation past the fault that caused it.
+	if err == nil && cachable && res.FailedBlocks == 0 {
+		p.cache.Put(fp, q.Dataset, *res, resultCacheSize(res))
+	}
+	return res, err
 }
 
 // EstimateEpsilon previews the ε an accuracy goal would cost on a dataset
@@ -408,5 +431,11 @@ func (p *Platform) SynthesizeAgedSample(name string, eps float64, bins, count in
 		}
 	}
 	reg.Aged = aged
+	// The aged sample feeds block-size planning and accuracy translation,
+	// so installing it mutates the dataset's queryable content: bump the
+	// content version (making every existing fingerprint unreachable) and
+	// eagerly drop the now-dead cache entries.
+	reg.BumpContentVersion()
+	p.cache.Invalidate(name)
 	return nil
 }

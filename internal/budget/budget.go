@@ -115,6 +115,24 @@ func (m *Manager) record(datasetName string, err error) error {
 	return err
 }
 
+// CacheHit journals an ε=0 re-release of a previously published answer for
+// the named dataset. No budget moves — the accountant is never touched —
+// but when a durable ledger backs the dataset, a cache_hit record lands in
+// the WAL so the books distinguish re-releases from fresh spends. The
+// counters (budget.cache_hits[.<dataset>]) carry event counts only.
+func (m *Manager) CacheHit(datasetName, label string) error {
+	r, err := m.reg.Lookup(datasetName)
+	if err != nil {
+		return err
+	}
+	if err := r.RecordCacheHit(label); err != nil {
+		return err
+	}
+	m.tel.Counter("budget.cache_hits").Inc()
+	m.tel.Counter("budget.cache_hits." + datasetName).Inc()
+	return nil
+}
+
 // Remaining reports the named dataset's unspent budget.
 func (m *Manager) Remaining(datasetName string) (float64, error) {
 	r, err := m.reg.Lookup(datasetName)

@@ -1,0 +1,308 @@
+package compman
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gupt/internal/dataset"
+	"gupt/internal/dp"
+	"gupt/internal/ledger"
+	"gupt/internal/mathutil"
+	"gupt/internal/telemetry/audit"
+)
+
+// startCachedServer builds a server with the noisy-answer cache on, over a
+// caller-supplied registry (so tests can attach a ledger or mutate
+// datasets underneath the server).
+func startCachedServer(t *testing.T, reg *dataset.Registry, cfg ServerConfig) (*Client, *Server) {
+	t.Helper()
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 64
+	}
+	srv := NewServer(reg, cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		wg.Wait()
+	})
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, srv
+}
+
+func censusRegistry(t *testing.T, totalBudget float64) *dataset.Registry {
+	t.Helper()
+	reg := dataset.NewRegistry()
+	rng := mathutil.NewRNG(1)
+	tbl := dataset.New([]string{"age"})
+	for i := 0; i < 5000; i++ {
+		if err := tbl.Append(mathutil.Vec{mathutil.Clamp(40+10*rng.NormFloat64(), 0, 150)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Register("census", tbl, dataset.RegisterOptions{
+		TotalBudget:  totalBudget,
+		Ranges:       []dp.Range{{Lo: 0, Hi: 150}},
+		AgedFraction: 0.1,
+		Seed:         2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestCacheHitEndToEnd is the tentpole's acceptance check over the hosted
+// protocol: a repeated byte-identical query is served from the cache with
+// zero ε charged, the durable ledger shows a cache_hit record and an
+// unchanged balance, and the tamper-evident audit chain verifies with a
+// cache_hit outcome.
+func TestCacheHitEndToEnd(t *testing.T) {
+	reg := censusRegistry(t, 100)
+	ldir, adir := t.TempDir(), t.TempDir()
+	led, err := ledger.Open(ldir, ledger.Options{Sync: ledger.SyncEveryRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Attach(led, reg); err != nil {
+		t.Fatal(err)
+	}
+	alog, err := audit.Open(adir, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alog.Close()
+	client, srv := startCachedServer(t, reg, ServerConfig{Audit: alog, CacheTTL: time.Minute})
+
+	first, err := client.Query(meanQuery(0.5, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("cold query flagged as cache hit")
+	}
+	if first.EpsilonCharged != 0.5 {
+		t.Fatalf("cold charge = %v, want 0.5", first.EpsilonCharged)
+	}
+	remAfterFirst, err := client.RemainingBudget("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := client.Query(meanQuery(0.5, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("repeat query missed the cache")
+	}
+	if second.EpsilonCharged != 0 {
+		t.Errorf("cache hit charged ε=%v, want 0", second.EpsilonCharged)
+	}
+	if second.EpsilonSpent != first.EpsilonSpent {
+		t.Errorf("hit reports EpsilonSpent %v, original %v", second.EpsilonSpent, first.EpsilonSpent)
+	}
+	if len(second.Output) != 1 || second.Output[0] != first.Output[0] {
+		t.Errorf("cache re-released a different answer: %v vs %v", second.Output, first.Output)
+	}
+	if second.TraceID == "" || second.TraceID == first.TraceID {
+		t.Errorf("hit must carry its own trace id: first %q second %q", first.TraceID, second.TraceID)
+	}
+	rem, err := client.RemainingBudget("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem != remAfterFirst {
+		t.Errorf("cache hit moved the balance: %v -> %v", remAfterFirst, rem)
+	}
+
+	// A near-identical query — ε differs — must NOT hit.
+	third, err := client.Query(meanQuery(0.25, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHit {
+		t.Error("different ε hit the cache")
+	}
+	rem2, _ := client.RemainingBudget("census")
+	if math.Abs(rem2-(rem-0.25)) > 1e-9 {
+		t.Errorf("fresh query charged %v, want 0.25", rem-rem2)
+	}
+
+	if st := srv.CacheStats(); st.Hits != 1 || st.Entries != 2 {
+		t.Errorf("server cache stats = %+v", st)
+	}
+
+	// Ledger: replay must show the original charges, an unchanged balance,
+	// and the hit as a count — never a spend.
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ledger.Recover(ldir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, ok := rec.Datasets["census"]
+	if !ok {
+		t.Fatal("census missing from ledger recovery")
+	}
+	if ds.CacheHits != 1 {
+		t.Errorf("recovered CacheHits = %d, want 1", ds.CacheHits)
+	}
+	if math.Abs(ds.Spent-0.75) > 1e-9 {
+		t.Errorf("recovered spent = %v, want 0.75 (two real charges only)", ds.Spent)
+	}
+
+	// Audit: the chain verifies and the re-release is on the record with a
+	// cache_hit outcome and zero ε.
+	if _, err := audit.Verify(adir); err != nil {
+		t.Fatalf("audit verify: %v", err)
+	}
+	var hits int
+	for _, r := range readAuditRecords(t, adir) {
+		if r.Outcome == "cache_hit" {
+			hits++
+			if r.EpsilonCharged != 0 {
+				t.Errorf("cache_hit audit record charged ε=%v", r.EpsilonCharged)
+			}
+		}
+	}
+	if hits != 1 {
+		t.Errorf("audit chain has %d cache_hit records, want 1", hits)
+	}
+}
+
+// TestCacheInvalidatedByReRegister: replacing a dataset's rows must make a
+// repeat query a fresh draw — the content version inside the fingerprint
+// guarantees it even before the eager invalidation reclaims memory.
+func TestCacheInvalidatedByReRegister(t *testing.T) {
+	reg := censusRegistry(t, 100)
+	client, srv := startCachedServer(t, reg, ServerConfig{})
+
+	first, err := client.Query(meanQuery(0.5, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := client.Query(meanQuery(0.5, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("repeat query missed the cache")
+	}
+
+	// Mutate underneath the server: same name, different rows.
+	if err := reg.Unregister("census"); err != nil {
+		t.Fatal(err)
+	}
+	tbl := dataset.New([]string{"age"})
+	for i := 0; i < 4000; i++ {
+		if err := tbl.Append(mathutil.Vec{float64(20 + i%3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Register("census", tbl, dataset.RegisterOptions{
+		TotalBudget: 100,
+		Ranges:      []dp.Range{{Lo: 0, Hi: 150}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := client.Query(meanQuery(0.5, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CacheHit {
+		t.Fatal("post-mutation repeat served the pre-mutation answer")
+	}
+	// ~21 vs ~40: the answer must track the new data, not the cache.
+	if math.Abs(after.Output[0]-first.Output[0]) < 5 {
+		t.Errorf("post-mutation answer %v suspiciously close to pre-mutation %v", after.Output[0], first.Output[0])
+	}
+	_ = srv
+}
+
+// TestCacheDisabledServer: CacheEntries 0 keeps the old behavior —
+// repeats are fresh draws, every query charges.
+func TestCacheDisabledServer(t *testing.T) {
+	client, _ := startServer(t, 100)
+	if _, err := client.Query(meanQuery(0.5, 250)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Query(meanQuery(0.5, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Fatal("cache hit on a cache-disabled server")
+	}
+	rem, _ := client.RemainingBudget("census")
+	if math.Abs(rem-99) > 1e-9 {
+		t.Errorf("remaining = %v, want 99", rem)
+	}
+}
+
+// TestCacheSessionEndToEnd: a repeated session batch is one cache unit —
+// the repeat re-serves every member and charges nothing.
+func TestCacheSessionEndToEnd(t *testing.T) {
+	reg := censusRegistry(t, 100)
+	client, _ := startCachedServer(t, reg, ServerConfig{})
+
+	sessionReq := func() *Request {
+		return &Request{
+			Op:      OpSession,
+			Dataset: "census",
+			Session: &SessionSpec{
+				TotalEpsilon: 2,
+				Queries: []SessionQuery{
+					{Program: ProgramSpec{Type: "mean", Col: 0}, OutputRanges: []RangeSpec{{Lo: 0, Hi: 150}}, Seed: 5},
+					{Program: ProgramSpec{Type: "variance", Col: 0}, OutputRanges: []RangeSpec{{Lo: 0, Hi: 5000}}, Seed: 6},
+				},
+			},
+		}
+	}
+	// roundTrip (in-package) rather than Client.Session: the test needs the
+	// whole Response — CacheHit and EpsilonCharged — not just the members.
+	first, err := client.roundTrip(sessionReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit || len(first.Session) != 2 {
+		t.Fatalf("cold session: hit=%v members=%d", first.CacheHit, len(first.Session))
+	}
+	remAfterFirst, _ := client.RemainingBudget("census")
+
+	second, err := client.roundTrip(sessionReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("repeat session missed the cache")
+	}
+	if second.EpsilonCharged != 0 {
+		t.Errorf("session hit charged ε=%v", second.EpsilonCharged)
+	}
+	for i := range second.Session {
+		if second.Session[i].Output[0] != first.Session[i].Output[0] {
+			t.Errorf("member %d re-released a different answer", i)
+		}
+	}
+	rem, _ := client.RemainingBudget("census")
+	if rem != remAfterFirst {
+		t.Errorf("session hit moved the balance: %v -> %v", remAfterFirst, rem)
+	}
+}

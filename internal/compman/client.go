@@ -2,7 +2,6 @@ package compman
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -10,29 +9,27 @@ import (
 )
 
 // Client is the analyst-side computation-manager component: a thin,
-// synchronized wrapper over the wire protocol (binary frames when the
-// server speaks them, newline-delimited JSON otherwise — see wire.go). It
-// is safe for concurrent use; requests are serialized on the single
+// synchronized wrapper over the binary framed wire (see wire.go). It is
+// safe for concurrent use; requests are serialized on the single
 // connection.
 type Client struct {
 	mu      sync.Mutex
 	conn    net.Conn
 	r       *bufio.Reader
-	enc     *json.Encoder
 	version uint8
 	wbuf    []byte // reused binary encode buffer
 	rbuf    []byte // reused binary frame read buffer
 }
 
 // Dial connects to a computation-manager server, negotiating the newest
-// wire version both ends speak (older servers fall back to JSON).
+// wire version both ends speak. A server that only speaks the retired
+// version-0 JSON wire is refused with ErrPeerTooOld.
 func Dial(addr string) (*Client, error) {
 	return DialVersion(addr, LatestWireVersion)
 }
 
 // DialVersion connects offering at most the given wire version.
-// WireVersionJSON skips negotiation entirely and speaks the legacy JSON
-// wire, which any server release understands.
+// WireVersionJSON (0) is retired and fails closed with a clear error.
 func DialVersion(addr string, version uint8) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -46,23 +43,19 @@ func DialVersion(addr string, version uint8) (*Client, error) {
 	return c, nil
 }
 
-// NewClient wraps an established connection on the legacy JSON wire. Use
-// NewClientVersion to negotiate the binary wire on a raw connection.
-func NewClient(conn net.Conn) *Client {
-	return &Client{
-		conn:    conn,
-		r:       bufio.NewReaderSize(conn, 1<<20),
-		enc:     json.NewEncoder(conn),
-		version: WireVersionJSON,
-	}
+// NewClient wraps an established connection, negotiating the newest wire
+// version. It is NewClientVersion at LatestWireVersion; the error contract
+// is the same.
+func NewClient(conn net.Conn) (*Client, error) {
+	return NewClientVersion(conn, LatestWireVersion)
 }
 
 // NewClientVersion wraps an established connection, performing the
 // connect-time version handshake up to the given version. A garbled
-// handshake fails closed with ErrWireNegotiation; the caller still owns
-// the connection.
+// handshake fails closed with ErrWireNegotiation, a pre-binary peer with
+// ErrPeerTooOld; the caller still owns the connection.
 func NewClientVersion(conn net.Conn, version uint8) (*Client, error) {
-	c := NewClient(conn)
+	c := &Client{conn: conn, r: bufio.NewReaderSize(conn, 1<<20)}
 	v, err := negotiateWire(conn, c.r, version)
 	if err != nil {
 		return nil, err
@@ -88,49 +81,11 @@ type QueryError struct {
 
 func (e *QueryError) Error() string { return e.Msg }
 
-// roundTrip sends one request and decodes one response on whichever wire
-// the connection negotiated.
+// roundTrip sends one request and decodes one response. Both buffers
+// persist across calls, so steady-state framing allocates nothing.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var resp *Response
-	var err error
-	if c.version >= WireVersionBinary {
-		resp, err = c.roundTripBinary(req)
-	} else {
-		resp, err = c.roundTripJSON(req)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		if resp.Error == "" {
-			resp.Error = "unspecified server error"
-		}
-		return nil, &QueryError{Msg: resp.Error, EpsilonCharged: resp.EpsilonCharged}
-	}
-	return resp, nil
-}
-
-// roundTripJSON runs one exchange on the legacy JSON wire; c.mu held.
-func (c *Client) roundTripJSON(req *Request) (*Response, error) {
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("compman: send: %w", err)
-	}
-	line, err := c.r.ReadBytes('\n')
-	if err != nil {
-		return nil, fmt.Errorf("compman: receive: %w", err)
-	}
-	resp, err := DecodeResponse(line)
-	if err != nil {
-		return nil, fmt.Errorf("compman: %w", err)
-	}
-	return resp, nil
-}
-
-// roundTripBinary runs one exchange on the binary wire; c.mu held. Both
-// buffers persist across calls, so steady-state framing allocates nothing.
-func (c *Client) roundTripBinary(req *Request) (*Response, error) {
 	frame, err := AppendRequestFrame(c.wbuf[:0], req)
 	if err != nil {
 		return nil, fmt.Errorf("compman: encode: %w", err)
@@ -146,6 +101,12 @@ func (c *Client) roundTripBinary(req *Request) (*Response, error) {
 	resp, err := decodePayload(payload, wireMsgResponse, "response", decodeResponseBody)
 	if err != nil {
 		return nil, fmt.Errorf("compman: %w", err)
+	}
+	if !resp.OK {
+		if resp.Error == "" {
+			resp.Error = "unspecified server error"
+		}
+		return nil, &QueryError{Msg: resp.Error, EpsilonCharged: resp.EpsilonCharged}
 	}
 	return resp, nil
 }

@@ -1,6 +1,8 @@
 package compman
 
 import (
+	"bufio"
+	"io"
 	"math"
 	"net"
 	"strings"
@@ -249,29 +251,30 @@ func TestQueryValidationErrors(t *testing.T) {
 
 func TestMalformedWireRequest(t *testing.T) {
 	_, srv := startServer(t, 100)
-	// Garbage on the JSON wire gets an error response and a live
-	// connection. (On the binary wire garbage is indistinguishable from a
-	// desynchronized frame stream and fails closed — see wire tests.)
-	client, err := DialVersion(srv.Addr().String(), WireVersionJSON)
+	// A connection that opens with anything but a binary hello is treated
+	// as a pre-binary peer: one JSON farewell naming the retired wire, then
+	// close. (On a negotiated binary connection garbage is
+	// indistinguishable from a desynchronized frame stream and fails closed
+	// — see wire tests.)
+	conn, err := net.Dial("tcp", srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer client.Close()
-	// Write garbage directly on the wire; the server should answer with an
-	// error response, not drop the connection.
-	if _, err := client.conn.Write([]byte("this is not json\n")); err != nil {
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not a hello\n")); err != nil {
 		t.Fatal(err)
 	}
-	line, err := client.r.ReadBytes('\n')
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(conn)
+	line, err := r.ReadBytes('\n')
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(line), "malformed") {
+	if !strings.Contains(string(line), "retired") {
 		t.Errorf("response to garbage = %s", line)
 	}
-	// The connection is still usable.
-	if err := client.Ping(); err != nil {
-		t.Errorf("connection unusable after garbage: %v", err)
+	if _, err := r.ReadByte(); err != io.EOF {
+		t.Errorf("server kept the connection after a garbled open (err=%v)", err)
 	}
 }
 

@@ -1,0 +1,121 @@
+package compman
+
+// Query fingerprinting for the noisy-answer cache (internal/qcache). The
+// fingerprint is the canonical identity of a released answer: every request
+// field that can change the released distribution is hashed in a fixed
+// order through qcache.Hasher, together with the dataset's content version.
+// Two requests that differ only in representation — JSON field ordering,
+// float formatting, the presence of zero-valued optional fields — must
+// fingerprint identically, because the binary codec and this hasher both
+// see the decoded struct, not the bytes. Two requests that differ in any
+// distribution-relevant field (ε, clamp ranges, program parameters, block
+// geometry, seed, privacy unit, mode) must fingerprint apart, as must the
+// same request over mutated data (the content version).
+//
+// Serving a cached release on a fingerprint match is safe by
+// post-processing regardless of the cache policy; distinctness is what
+// keeps the cache *useful* rather than what keeps it private. See
+// SECURITY.md ("The noisy-answer cache as a side channel").
+
+import "gupt/internal/qcache"
+
+// fingerprintScheme versions the hash layout. Bump it whenever a field is
+// added or reordered below so entries written by an older layout (none can
+// exist in-process, but belt and braces for future persistence) can never
+// alias.
+const fingerprintScheme = 1
+
+// hashProgramSpec writes every ProgramSpec field, fixed order.
+func hashProgramSpec(h *qcache.Hasher, ps *ProgramSpec) {
+	h.Str(ps.Type)
+	h.Int(ps.Col)
+	h.Int(ps.ColB)
+	h.F64(ps.P)
+	h.F64(ps.Lo)
+	h.F64(ps.Hi)
+	h.Int(ps.Bins)
+	h.Int(ps.K)
+	h.Int(ps.FeatureDims)
+	h.Int(ps.LabelCol)
+	h.Int(ps.Iters)
+	h.F64(ps.LearnRate)
+	h.I64(ps.Seed)
+	h.Str(ps.Path)
+	h.Strs(ps.Args)
+	h.Int(ps.OutputDims)
+}
+
+// hashRanges writes a count-prefixed range list.
+func hashRanges(h *qcache.Hasher, rs []RangeSpec) {
+	h.Int(len(rs))
+	for _, r := range rs {
+		h.F64(r.Lo)
+		h.F64(r.Hi)
+	}
+}
+
+// queryFingerprint computes the cache key for an OpQuery request against
+// the given dataset content version. contentVersion pins the key to the
+// exact data the original answer was computed over: a mutated or
+// re-registered dataset gets a new version, so a stale entry is
+// unreachable by construction — no invalidation ordering to get right.
+func queryFingerprint(req *Request, contentVersion uint64) qcache.Fingerprint {
+	h := qcache.NewHasher()
+	h.Int(fingerprintScheme)
+	h.Str(string(OpQuery))
+	h.Str(req.Dataset)
+	h.U64(contentVersion)
+	hashProgramSpec(h, req.Program)
+	h.Str(req.Mode)
+	hashRanges(h, req.OutputRanges)
+	hashRanges(h, req.InputRanges)
+	if req.Translate != nil {
+		h.Bool(true)
+		h.Ints(req.Translate.InputDim)
+		h.F64s(req.Translate.Scale)
+		h.F64s(req.Translate.Offset)
+	} else {
+		h.Bool(false)
+	}
+	h.F64(req.Epsilon)
+	if req.Accuracy != nil {
+		h.Bool(true)
+		h.F64(req.Accuracy.Rho)
+		h.F64(req.Accuracy.Confidence)
+	} else {
+		h.Bool(false)
+	}
+	h.Int(req.BlockSize)
+	h.Int(req.Gamma)
+	h.Bool(req.AutoBlockSize)
+	h.I64(req.Seed)
+	h.I64(req.QuantumMillis)
+	h.Bool(req.UserLevel)
+	h.Int(req.UserColumn)
+	h.F64(req.PercentileLow)
+	h.F64(req.PercentileHigh)
+	return h.Sum()
+}
+
+// sessionFingerprint computes the cache key for an OpSession request: the
+// whole batch is one cache unit, because its ε is distributed and charged
+// atomically across the members.
+func sessionFingerprint(req *Request, contentVersion uint64) qcache.Fingerprint {
+	h := qcache.NewHasher()
+	h.Int(fingerprintScheme)
+	h.Str(string(OpSession))
+	h.Str(req.Dataset)
+	h.U64(contentVersion)
+	spec := req.Session
+	h.F64(spec.TotalEpsilon)
+	h.Int(len(spec.Queries))
+	for i := range spec.Queries {
+		q := &spec.Queries[i]
+		hashProgramSpec(h, &q.Program)
+		hashRanges(h, q.OutputRanges)
+		h.Int(q.BlockSize)
+		h.Int(q.Gamma)
+		h.I64(q.Seed)
+	}
+	return h.Sum()
+}

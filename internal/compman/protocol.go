@@ -1,10 +1,12 @@
 // Package compman implements GUPT's computation manager (paper Fig. 2): a
 // server component that fronts the dataset manager and privacy budget for
 // analysts, and a client library. Analysts never touch datasets or
-// accountants directly — they submit a query over a newline-delimited JSON
-// protocol; the trusted server resolves the dataset, charges the budget,
-// runs the sample-and-aggregate engine across isolated chambers, and
-// returns only the differentially private answer.
+// accountants directly — they submit a query over a length-prefixed binary
+// framed protocol (wire.go); the trusted server resolves the dataset,
+// charges the budget, runs the sample-and-aggregate engine across isolated
+// chambers, and returns only the differentially private answer. The JSON
+// codecs below remain for the admin HTTP surface and the one terminal
+// error line sent to retired JSON-wire peers.
 package compman
 
 import (
@@ -295,6 +297,13 @@ type Response struct {
 	// reports Error plus a non-zero EpsilonCharged — the §6.2 defense:
 	// forcing failures never refunds budget.
 	EpsilonCharged float64 `json:"epsilonCharged,omitempty"`
+
+	// CacheHit marks an answer served from the noisy-answer cache: the
+	// identical already-published release, re-sent at zero additional ε
+	// (post-processing). EpsilonSpent then reports the ε the original
+	// release consumed, while EpsilonCharged is zero — nothing was debited
+	// for this repeat.
+	CacheHit bool `json:"cacheHit,omitempty"`
 
 	// Budget / list / stats / session results.
 	Remaining float64         `json:"remaining,omitempty"`

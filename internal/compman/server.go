@@ -20,6 +20,7 @@ import (
 	"gupt/internal/dataset"
 	"gupt/internal/dp"
 	"gupt/internal/mathutil"
+	"gupt/internal/qcache"
 	"gupt/internal/sandbox"
 	"gupt/internal/telemetry"
 	"gupt/internal/telemetry/audit"
@@ -94,12 +95,16 @@ type ServerConfig struct {
 	// TraceBufferSize caps the /traces ring buffer of completed query
 	// traces; zero means telemetry.DefaultTraceBufferSize.
 	TraceBufferSize int
-	// JSONWire pins the listener to the legacy newline-delimited JSON wire,
-	// reproducing a pre-binary release: binary hellos are read as malformed
-	// JSON lines and answered with an error response, which binary-capable
-	// clients take as the signal to fall back to JSON. Kept for one release
-	// as the rollback lever while the binary wire beds in; see wire.go.
-	JSONWire bool
+	// CacheEntries bounds the noisy-answer cache (internal/qcache): repeat
+	// queries whose fingerprint matches a previously released answer are
+	// served that same answer at zero additional ε. Zero or negative
+	// disables caching entirely.
+	CacheEntries int
+	// CacheTTL expires cached answers this long after release; zero keeps
+	// them until evicted. Expiry is memory reclamation, not correctness —
+	// the dataset content version inside every fingerprint already makes
+	// stale answers unreachable.
+	CacheTTL time.Duration
 }
 
 // Server is the trusted computation-manager server. It owns the dataset
@@ -115,6 +120,7 @@ type Server struct {
 	stats    *statsCollector
 	traces   *telemetry.TraceBuffer // completed query traces, for /traces
 	inflight *telemetry.Inflight    // live query table, for /queries
+	cache    *qcache.Cache          // noisy-answer cache; nil when disabled
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -138,6 +144,7 @@ func NewServer(reg *dataset.Registry, cfg ServerConfig) *Server {
 		stats:    newStatsCollector(tel),
 		traces:   telemetry.NewTraceBuffer(cfg.TraceBufferSize),
 		inflight: telemetry.NewInflight(tel.Counter("compman.queries_slow")),
+		cache:    qcache.New(qcache.Config{MaxEntries: cfg.CacheEntries, TTL: cfg.CacheTTL, Telemetry: tel}),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.mgr.Instrument(tel)
@@ -178,6 +185,15 @@ func (s *Server) Traces() []telemetry.TraceSnapshot { return s.traces.Snapshots(
 // LiveQueries returns the in-flight query table (stage + elapsed bucket),
 // the /queries admin endpoint's data source.
 func (s *Server) LiveQueries() []telemetry.InflightSnapshot { return s.inflight.Snapshots() }
+
+// CacheStats snapshots the noisy-answer cache's counters — the /cache
+// admin endpoint's data source. All zeros when caching is disabled.
+func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
+
+// InvalidateCache drops every cached answer for the named dataset,
+// returning the count. Mutation paths call it after bumping the dataset's
+// content version; the version bump alone already guarantees correctness.
+func (s *Server) InvalidateCache(dataset string) int { return s.cache.Invalidate(dataset) }
 
 // Addr returns the address Serve is listening on, or nil before Serve.
 func (s *Server) Addr() net.Addr {
@@ -267,55 +283,24 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	br := bufio.NewReaderSize(conn, 64*1024)
-	if !s.cfg.JSONWire {
-		// Connect-time wire sniff: a binary hello selects the framed wire, a
-		// JSON first byte leaves the buffered stream untouched for the
-		// scanner below. A garbled hello fails closed (§ wire.go).
-		if s.cfg.IdleTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		}
-		version, err := sniffWire(conn, br, LatestWireVersion)
-		if err != nil {
-			if err != io.EOF {
-				s.logf("compman: wire sniff: %v", err)
-			}
-			return
-		}
-		if version >= WireVersionBinary {
-			s.serveBinary(conn, br)
-			return
-		}
+	// Connect-time handshake: a binary hello selects the framed wire;
+	// anything else means a pre-binary JSON client (refused by name with
+	// one terminal error line the legacy release can parse) or a garbled
+	// hello (dropped silently — fail closed, § wire.go).
+	if s.cfg.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 	}
-	scanner := bufio.NewScanner(br)
-	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	enc := json.NewEncoder(conn)
-	for {
-		// Re-arm the idle deadline immediately before each read so time
-		// spent executing a query never counts against the client.
-		if s.cfg.IdleTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	_, err := sniffWire(conn, br, LatestWireVersion)
+	if err != nil {
+		if errors.Is(err, ErrPeerTooOld) {
+			_ = json.NewEncoder(conn).Encode(Response{Error: ErrPeerTooOld.Error()})
 		}
-		if !scanner.Scan() {
-			break
+		if err != io.EOF {
+			s.logf("compman: wire sniff: %v", err)
 		}
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var resp Response
-		if req, err := DecodeRequest(line); err != nil {
-			resp = Response{Error: err.Error()}
-		} else {
-			resp = s.dispatch(req)
-		}
-		if err := enc.Encode(resp); err != nil {
-			s.logf("compman: write response: %v", err)
-			return
-		}
+		return
 	}
-	if err := scanner.Err(); err != nil {
-		s.logf("compman: read: %v", err)
-	}
+	s.serveBinary(conn, br)
 }
 
 // serveBinary is the framed-wire request loop. Both scratch buffers are
@@ -418,11 +403,14 @@ func (s *Server) dispatch(req *Request) Response {
 func errResponse(err error) Response { return Response{Error: err.Error()} }
 
 // queryOutcome classifies a query response into the audit/trace outcome
-// vocabulary: ok, degraded (answered with substituted blocks),
-// budget_refused (refused before any charge), aborted (failed with its
-// charge consumed — the §6.2 posture), or error.
+// vocabulary: ok, cache_hit (a previously released answer re-served at
+// zero ε), degraded (answered with substituted blocks), budget_refused
+// (refused before any charge), aborted (failed with its charge consumed —
+// the §6.2 posture), or error.
 func queryOutcome(resp *Response) string {
 	switch {
+	case resp.OK && resp.CacheHit:
+		return "cache_hit"
 	case resp.OK && resp.FailedBlocks > 0:
 		return "degraded"
 	case resp.OK:
@@ -445,6 +433,9 @@ func sessionOutcome(resp *Response) string {
 			return "budget_refused"
 		}
 		return "error"
+	}
+	if resp.CacheHit {
+		return "cache_hit"
 	}
 	for _, r := range resp.Session {
 		if r.Error != "" || r.FailedBlocks > 0 {
@@ -527,6 +518,25 @@ func (s *Server) handleQuery(req *Request, tr *telemetry.Trace) Response {
 	if req.Program == nil {
 		return Response{Error: "query missing program"}
 	}
+
+	// Noisy-answer cache: a repeat of a previously released query — same
+	// distribution-relevant fields, same dataset content version — is
+	// answered with the *same* already-published release at zero additional
+	// ε (DP is closed under post-processing). The hit is journaled as a
+	// cache_hit ledger record so the books show the re-release, but the
+	// accountant is never debited. Blocks are never scheduled on this path.
+	fp := queryFingerprint(req, reg.ContentVersion())
+	if cached, ok := s.cache.Get(fp); ok {
+		resp := cached.(Response)
+		resp.CacheHit = true
+		resp.EpsilonCharged = 0
+		if err := s.mgr.CacheHit(req.Dataset, fmt.Sprintf("%s:%s", req.Dataset, req.Program.Type)); err != nil {
+			s.logf("compman: recording cache hit: %v", err)
+		}
+		admission.End(telemetry.StatusOK)
+		return resp
+	}
+
 	program, isBinary, err := req.Program.resolve()
 	if err != nil {
 		return errResponse(err)
@@ -672,8 +682,28 @@ func (s *Server) handleQuery(req *Request, tr *telemetry.Trace) Response {
 		BlockSize:       res.BlockSize,
 		FailedBlocks:    res.FailedBlocks,
 	}
+	// Fill the cache with clean releases only: a degraded answer (blocks
+	// substituted) is safe to re-serve but pins the degradation — a repeat
+	// after the fault cleared should get a fresh, full-quality run. The
+	// stored value has CacheHit unset and TraceID empty; each hit gets its
+	// own trace id and the flag set on its own copy.
+	if resp.FailedBlocks == 0 {
+		s.cache.Put(fp, req.Dataset, resp, respCacheSize(&resp))
+	}
 	release.End(telemetry.StatusOK)
 	return resp
+}
+
+// respCacheSize approximates one cached response's in-memory footprint for
+// the qcache.bytes gauge: the float payloads plus a fixed struct overhead.
+func respCacheSize(resp *Response) int64 {
+	n := int64(160) // struct + map/list bookkeeping, approximate
+	n += int64(8 * len(resp.Output))
+	n += int64(16 * len(resp.EffectiveRanges))
+	for i := range resp.Session {
+		n += 64 + int64(8*len(resp.Session[i].Output)) + int64(len(resp.Session[i].Error))
+	}
+	return n
 }
 
 // runCharged executes the engine for a query whose privacy charge has
@@ -744,6 +774,22 @@ func (s *Server) handleSession(req *Request) Response {
 	if err != nil {
 		return errResponse(err)
 	}
+
+	// Sessions cache as one unit — their ε is distributed and charged
+	// atomically, so the repeat of an identical batch re-releases the whole
+	// already-published result set at zero additional ε.
+	fp := sessionFingerprint(req, reg.ContentVersion())
+	if cached, ok := s.cache.Get(fp); ok {
+		resp := cached.(Response)
+		resp.CacheHit = true
+		resp.EpsilonCharged = 0
+		label := fmt.Sprintf("session:%s:%d-queries", req.Dataset, len(spec.Queries))
+		if err := s.mgr.CacheHit(req.Dataset, label); err != nil {
+			s.logf("compman: recording cache hit: %v", err)
+		}
+		return resp
+	}
+
 	n := reg.Private.NumRows()
 
 	type member struct {
@@ -821,7 +867,21 @@ func (s *Server) handleSession(req *Request) Response {
 			FailedBlocks: res.FailedBlocks,
 		}
 	}
-	return Response{OK: true, Session: results, EpsilonCharged: spec.TotalEpsilon}
+	resp := Response{OK: true, Session: results, EpsilonCharged: spec.TotalEpsilon}
+	// Cache only sessions where every member released cleanly, same stance
+	// as single queries: re-serving a partially failed batch would pin the
+	// failures.
+	clean := true
+	for i := range results {
+		if results[i].Error != "" || results[i].FailedBlocks > 0 {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		s.cache.Put(fp, req.Dataset, resp, respCacheSize(&resp))
+	}
+	return resp
 }
 
 // handleRegister is the data-owner path: build a table from the inline
@@ -850,6 +910,10 @@ func (s *Server) handleRegister(req *Request) Response {
 	if err != nil {
 		return errResponse(err)
 	}
+	// A (re-)registered dataset starts at a fresh content version, so old
+	// cache entries are already unreachable; dropping them eagerly just
+	// reclaims the memory.
+	s.cache.Invalidate(spec.Name)
 	s.journalBudgets()
 	return Response{OK: true}
 }

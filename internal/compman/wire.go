@@ -1,28 +1,26 @@
 package compman
 
-// Binary wire protocol. The original compman wire is newline-delimited
+// Binary wire protocol. The original compman wire was newline-delimited
 // JSON; encode/decode dominated small queries and capped block fan-out
 // (every one of a query's ℓ blocks crosses the manager↔worker path). This
 // file replaces it with a length-prefixed binary framing reusing the
-// ledger's CRC32C frame idiom — and its fuzz-everything discipline — while
-// keeping the JSON wire as a one-release fallback behind a version byte
-// negotiated at connect time.
+// ledger's CRC32C frame idiom — and its fuzz-everything discipline. The
+// JSON wire shipped for one release as a negotiated fallback and has now
+// been retired: version 0 is rejected at the handshake with ErrPeerTooOld,
+// and there is no negotiate-down path. (The JSON *line* codecs in
+// protocol.go remain — they serve the admin HTTP surface, not the wire.)
 //
-// Negotiation. A binary-capable client opens with a 5-byte hello line
+// Negotiation. A client opens with a 5-byte hello line
 //
 //	| 0xB1 | 'G' | 'W' | version | '\n' |
 //
-// The magic byte 0xB1 can never begin a JSON value, so a binary-capable
-// server distinguishes hellos from JSON requests by peeking one byte; a
-// JSON-only client that never sends a hello gets the JSON wire unchanged.
-// The trailing newline makes the hello a well-formed (if malformed-JSON)
-// line to a pre-binary server, which answers it with a JSON error response
-// and keeps the connection open — the client discards that response and
-// falls back to JSON. A binary-capable server answers the hello with its
-// own hello carrying min(client version, server version); both sides then
+// The magic byte 0xB1 can never begin a JSON value, so a peer that opens
+// with anything else is identified as a pre-binary (JSON-only) release and
+// refused with ErrPeerTooOld. The server answers the hello with its own
+// hello carrying min(client version, server version); both sides then
 // speak frames. Anything else — a truncated hello, a garbled echo, an
-// upward version — fails closed: the connection is dropped rather than
-// risking frame misparses.
+// upward version, a version-0 hello — fails closed: the connection is
+// dropped rather than risking frame misparses.
 //
 // Framing (after negotiation), little-endian, as in internal/ledger:
 //
@@ -55,11 +53,16 @@ import (
 	"gupt/internal/telemetry"
 )
 
-// Wire versions. Version 0 is the newline-delimited JSON wire (the
-// fallback, kept for one release); version 1 is the CRC32C binary framing.
+// Wire versions. Version 0 was the newline-delimited JSON wire, retired
+// after its one-release fallback window. Version 1 was the first CRC32C
+// binary framing; it was retired in the same release that retired version
+// 0, when the Response body grew the cache-hit flag (a version-1 decoder
+// would misparse the new frames). Peers offering either retired version
+// are refused with ErrPeerTooOld. Version 2 is the current framing.
 const (
-	WireVersionJSON   uint8 = 0
-	WireVersionBinary uint8 = 1
+	WireVersionJSON    uint8 = 0 // retired; named only to reject it by name
+	WireVersionBinary1 uint8 = 1 // retired: pre-cache-hit binary framing
+	WireVersionBinary  uint8 = 2
 	// LatestWireVersion is what Dial and NewWorkerPool negotiate for.
 	LatestWireVersion = WireVersionBinary
 )
@@ -113,6 +116,14 @@ var ErrWireNegotiation = errors.New("compman: wire negotiation failed")
 // longer be trusted to be in sync.
 var ErrWireFrame = errors.New("compman: invalid wire frame")
 
+// ErrPeerTooOld reports a handshake with a peer that only speaks a retired
+// wire — the version-0 JSON wire or the version-1 pre-cache-hit binary
+// framing. It is deliberately a distinct error from ErrWireNegotiation (a
+// garbled or tampered handshake): the operator's fix for a too-old peer is
+// an upgrade, not a network investigation, and pool construction surfaces
+// it by name so a stale worker build is diagnosed from the error alone.
+var ErrPeerTooOld = errors.New("compman: peer speaks only a retired wire version; upgrade the peer to this release")
+
 // wireBufPool recycles encode/decode scratch across connections. Each
 // connection checks a buffer out once and reuses it for every message, so
 // the steady-state hot path allocates nothing for framing.
@@ -131,12 +142,17 @@ func wireHello(version uint8) []byte {
 	return []byte{WireMagic, wireMark0, wireMark1, version, '\n'}
 }
 
-// parseWireHello validates a hello (or hello echo) line.
+// parseWireHello validates a hello (or hello echo) line. A structurally
+// valid hello offering a retired version (0 or 1) is distinguished from
+// garbage: it is a well-built peer that is merely too old, not a corrupted
+// stream.
 func parseWireHello(line []byte) (uint8, error) {
 	if len(line) != WireHelloLen || line[0] != WireMagic ||
-		line[1] != wireMark0 || line[2] != wireMark1 || line[4] != '\n' ||
-		line[3] == WireVersionJSON {
+		line[1] != wireMark0 || line[2] != wireMark1 || line[4] != '\n' {
 		return 0, fmt.Errorf("%w: garbled hello %q", ErrWireNegotiation, clipForError(line))
+	}
+	if line[3] < WireVersionBinary {
+		return 0, ErrPeerTooOld
 	}
 	return line[3], nil
 }
@@ -171,12 +187,13 @@ func readLineBounded(r *bufio.Reader, max int) ([]byte, error) {
 
 // negotiateWire performs the client side of the handshake on a fresh
 // connection. want is the highest version the caller speaks; the result is
-// the negotiated version, which is WireVersionJSON when the peer predates
-// the binary wire. Any reply that is neither a valid hello echo nor a
-// well-formed JSON response fails closed with ErrWireNegotiation.
+// the negotiated version. A reply that is not a valid hello echo fails
+// closed: ErrPeerTooOld when the peer is recognizably a pre-binary JSON
+// release (it echoed our hello as a malformed-JSON error line, or offered
+// version 0), ErrWireNegotiation for anything garbled.
 func negotiateWire(conn net.Conn, r *bufio.Reader, want uint8) (uint8, error) {
-	if want == WireVersionJSON {
-		return WireVersionJSON, nil
+	if want < WireVersionBinary {
+		return 0, fmt.Errorf("%w: wire version %d is retired", ErrWireNegotiation, want)
 	}
 	if want > LatestWireVersion {
 		want = LatestWireVersion
@@ -202,20 +219,19 @@ func negotiateWire(conn net.Conn, r *bufio.Reader, want uint8) (uint8, error) {
 		return v, nil
 	case '{':
 		// A pre-binary JSON server read the hello as a malformed JSON line
-		// and answered with an error response, keeping the connection open.
-		// Verify it really is that response, discard it, and fall back.
-		if _, err := DecodeResponse(line); err != nil {
-			return 0, fmt.Errorf("%w: unparseable JSON fallback reply: %v", ErrWireNegotiation, err)
-		}
-		return WireVersionJSON, nil
+		// and answered with an error response. The fallback window is over:
+		// identify the peer by name and refuse the connection.
+		return 0, ErrPeerTooOld
 	default:
 		return 0, fmt.Errorf("%w: unrecognized hello reply %q", ErrWireNegotiation, clipForError(line))
 	}
 }
 
 // sniffWire performs the server side of the handshake on a just-accepted
-// connection: peek one byte; a JSON client is passed through untouched
-// (nothing consumed), a hello is answered with the negotiated-down echo.
+// connection: read the hello, echo the negotiated-down version. A first
+// byte that is not the wire magic means a pre-binary JSON client —
+// ErrPeerTooOld, which the server answers with one terminal JSON error
+// line so the legacy client sees the reason instead of a silent hangup.
 // A magic byte followed by a garbled hello is a terminal error.
 func sniffWire(conn net.Conn, r *bufio.Reader, maxVersion uint8) (uint8, error) {
 	first, err := r.Peek(1)
@@ -223,7 +239,7 @@ func sniffWire(conn net.Conn, r *bufio.Reader, maxVersion uint8) (uint8, error) 
 		return 0, err
 	}
 	if first[0] != WireMagic {
-		return WireVersionJSON, nil
+		return 0, ErrPeerTooOld
 	}
 	hello := make([]byte, WireHelloLen)
 	if _, err := io.ReadFull(r, hello); err != nil {
@@ -783,6 +799,7 @@ func encodeResponseBody(e *wireEncoder, resp *Response) {
 	e.i64(int64(resp.BlockSize))
 	e.i64(int64(resp.FailedBlocks))
 	e.f64(resp.EpsilonCharged)
+	e.boolb(resp.CacheHit)
 	e.f64(resp.Remaining)
 	e.strs(resp.Datasets)
 	e.boolb(resp.Stats != nil)
@@ -819,6 +836,7 @@ func decodeResponseBody(d *wireDecoder) *Response {
 		BlockSize:       d.intf(),
 		FailedBlocks:    d.intf(),
 		EpsilonCharged:  d.f64(),
+		CacheHit:        d.boolb(),
 		Remaining:       d.f64(),
 		Datasets:        d.strs(),
 	}

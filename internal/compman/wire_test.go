@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"math"
 	"net"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -275,119 +277,199 @@ func TestWireEmptyNormalization(t *testing.T) {
 	}
 }
 
-// TestWireCompatMatrix runs a real query over every client/server wire
-// pairing: the binary client downgrades against a JSON-pinned server, the
-// JSON client passes a binary-capable server untouched, and two
-// binary-capable ends negotiate the framed wire.
-func TestWireCompatMatrix(t *testing.T) {
-	cases := []struct {
-		name          string
-		serverJSON    bool
-		clientVersion uint8
-		wantVersion   uint8
-	}{
-		{"binary-client/binary-server", false, LatestWireVersion, WireVersionBinary},
-		{"binary-client/json-server", true, LatestWireVersion, WireVersionJSON},
-		{"json-client/binary-server", false, WireVersionJSON, WireVersionJSON},
-		{"json-client/json-server", true, WireVersionJSON, WireVersionJSON},
+// TestWireBinaryQuery runs a real query over the binary wire — the only
+// wire left after the JSON fallback's one-release window closed.
+func TestWireBinaryQuery(t *testing.T) {
+	_, srv := startServer(t, 100)
+	client, err := DialVersion(srv.Addr().String(), LatestWireVersion)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			_, srv := startServerCfg(t, 100, ServerConfig{JSONWire: c.serverJSON})
-			client, err := DialVersion(srv.Addr().String(), c.clientVersion)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer client.Close()
-			if v := client.WireVersion(); v != c.wantVersion {
-				t.Fatalf("negotiated version %d, want %d", v, c.wantVersion)
-			}
-			resp, err := client.Query(meanQuery(0.5, 250))
-			if err != nil {
-				t.Fatalf("query: %v", err)
-			}
-			if len(resp.Output) != 1 || math.IsNaN(resp.Output[0]) {
-				t.Errorf("output = %v", resp.Output)
-			}
-			if err := client.Ping(); err != nil {
-				t.Errorf("ping after query: %v", err)
-			}
-			rem, err := client.RemainingBudget("census")
-			if err != nil {
-				t.Fatal(err)
-			}
-			if math.Abs(rem-99.5) > 1e-9 {
-				t.Errorf("remaining budget %v, want 99.5", rem)
-			}
-		})
+	defer client.Close()
+	if v := client.WireVersion(); v != WireVersionBinary {
+		t.Fatalf("negotiated version %d, want %d", v, WireVersionBinary)
+	}
+	resp, err := client.Query(meanQuery(0.5, 250))
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(resp.Output) != 1 || math.IsNaN(resp.Output[0]) {
+		t.Errorf("output = %v", resp.Output)
+	}
+	if err := client.Ping(); err != nil {
+		t.Errorf("ping after query: %v", err)
+	}
+	rem, err := client.RemainingBudget("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rem-99.5) > 1e-9 {
+		t.Errorf("remaining budget %v, want 99.5", rem)
 	}
 }
 
-// TestWorkerPoolCompatMatrix runs every pool/worker wire pairing through
-// the faultinject wire-chaos proxy: the proxy must relay both wires
-// unit-by-unit, the pool must negotiate down against a JSON-pinned
-// worker, and light injected chaos must surface as redials/substitutions,
-// never as corrupted outputs or broken ledger accounting.
-func TestWorkerPoolCompatMatrix(t *testing.T) {
-	cases := []struct {
-		name        string
-		workerJSON  bool
-		poolVersion uint8
-	}{
-		{"binary-pool/binary-worker", false, LatestWireVersion},
-		{"binary-pool/json-worker", true, LatestWireVersion},
-		{"json-pool/binary-worker", false, WireVersionJSON},
+// TestWireJSONRetired covers every party to the retired version-0 wire:
+// a caller pinning version 0 is refused locally, a server facing a legacy
+// JSON client answers with one terminal JSON error line naming the reason,
+// and a pool facing a legacy JSON worker fails construction with
+// ErrPeerTooOld and the worker's address.
+func TestWireJSONRetired(t *testing.T) {
+	t.Run("client-pin-refused", func(t *testing.T) {
+		_, srv := startServer(t, 100)
+		_, err := DialVersion(srv.Addr().String(), WireVersionJSON)
+		if !errors.Is(err, ErrWireNegotiation) {
+			t.Errorf("DialVersion(0) error = %v, want ErrWireNegotiation", err)
+		}
+	})
+	t.Run("pool-pin-refused", func(t *testing.T) {
+		_, srv := startServer(t, 100)
+		_, err := NewWorkerPoolVersion([]string{srv.Addr().String()}, WireVersionJSON)
+		if !errors.Is(err, ErrWireNegotiation) {
+			t.Errorf("NewWorkerPoolVersion(0) error = %v, want ErrWireNegotiation", err)
+		}
+	})
+	t.Run("legacy-json-client", func(t *testing.T) {
+		// A pre-binary client opens with a bare JSON request line. The server
+		// must answer with exactly one JSON error line — the only bytes the
+		// old release can parse — and then close.
+		_, srv := startServer(t, 100)
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte(`{"op":"ping"}` + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		r := bufio.NewReader(conn)
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("reading farewell line: %v", err)
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatalf("farewell is not JSON: %v (%q)", err, line)
+		}
+		if resp.OK || !strings.Contains(resp.Error, "retired") {
+			t.Errorf("farewell = %+v, want an error naming the retired wire", resp)
+		}
+		if _, err := r.ReadByte(); err != io.EOF {
+			t.Errorf("server kept talking after the farewell (err=%v); must close", err)
+		}
+	})
+	t.Run("version-zero-hello", func(t *testing.T) {
+		// A structurally valid hello offering version 0 is a well-built peer
+		// that is merely too old; it gets the same JSON farewell.
+		_, srv := startServer(t, 100)
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(wireHello(WireVersionJSON)); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		r := bufio.NewReader(conn)
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("reading farewell line: %v", err)
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatalf("farewell is not JSON: %v (%q)", err, line)
+		}
+		if !strings.Contains(resp.Error, "retired") {
+			t.Errorf("farewell = %+v, want an error naming the retired wire", resp)
+		}
+		if _, err := r.ReadByte(); err != io.EOF {
+			t.Errorf("server kept talking after the farewell (err=%v); must close", err)
+		}
+	})
+	t.Run("legacy-json-worker", func(t *testing.T) {
+		// A fake pre-binary worker reads the pool's hello as a garbled JSON
+		// line and answers with a JSON error. Pool construction must fail
+		// with ErrPeerTooOld naming the worker.
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func() {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			hello := make([]byte, WireHelloLen)
+			if _, err := io.ReadFull(conn, hello); err != nil {
+				return
+			}
+			_, _ = conn.Write([]byte(`{"error":"parsing request: invalid character '\\xb1'"}` + "\n"))
+		}()
+		_, err = NewWorkerPool([]string{l.Addr().String()})
+		if !errors.Is(err, ErrPeerTooOld) {
+			t.Fatalf("pool error = %v, want ErrPeerTooOld", err)
+		}
+		if !strings.Contains(err.Error(), l.Addr().String()) {
+			t.Errorf("pool error %q does not name the stale worker %s", err, l.Addr())
+		}
+	})
+}
+
+// TestWorkerPoolChaos runs the binary pool↔worker wire through the
+// faultinject wire-chaos proxy: the proxy must relay frames unit-by-unit,
+// and light injected chaos must surface as redials/substitutions, never as
+// corrupted outputs or broken ledger accounting.
+func TestWorkerPoolChaos(t *testing.T) {
+	worker := NewWorker(WorkerConfig{})
+	wl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			worker := NewWorker(WorkerConfig{JSONWire: c.workerJSON})
-			wl, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				t.Fatal(err)
-			}
-			go worker.Serve(wl)
-			t.Cleanup(func() { worker.Close() })
+	go worker.Serve(wl)
+	t.Cleanup(func() { worker.Close() })
 
-			proxy := &faultinject.Proxy{
-				Upstream: wl.Addr().String(),
-				Schedule: &faultinject.ProtoSchedule{
-					Seed: 11,
-					Rates: map[faultinject.ProtoFault]float64{
-						faultinject.ProtoCorrupt: 0.05,
-						faultinject.ProtoStall:   0.05,
-					},
-					StallFor: time.Millisecond,
-				},
-			}
-			if err := proxy.Start("127.0.0.1:0"); err != nil {
-				t.Fatal(err)
-			}
-			t.Cleanup(func() { proxy.Close() })
+	proxy := &faultinject.Proxy{
+		Upstream: wl.Addr().String(),
+		Schedule: &faultinject.ProtoSchedule{
+			Seed: 11,
+			Rates: map[faultinject.ProtoFault]float64{
+				faultinject.ProtoCorrupt: 0.05,
+				faultinject.ProtoStall:   0.05,
+			},
+			StallFor: time.Millisecond,
+		},
+	}
+	if err := proxy.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
 
-			pool, err := NewWorkerPoolVersion([]string{proxy.Addr().String()}, c.poolVersion)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer pool.Close()
+	pool, err := NewWorkerPool([]string{proxy.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
 
-			for i := 0; i < 8; i++ {
-				chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}}, nil)
-				out, err := chamber.Execute(contextWithTimeout(t, 5*time.Second), workerBlock(5))
-				if err != nil {
-					t.Fatalf("block %d: %v", i, err)
-				}
-				if len(out) != 1 || out[0] != 2 {
-					t.Errorf("block %d: remote mean = %v, want [2]", i, out)
-				}
-			}
-		})
+	for i := 0; i < 8; i++ {
+		chamber := pool.Chamber(WorkSpec{Program: ProgramSpec{Type: "mean", Col: 0}}, nil)
+		out, err := chamber.Execute(contextWithTimeout(t, 5*time.Second), workerBlock(5))
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if len(out) != 1 || out[0] != 2 {
+			t.Errorf("block %d: remote mean = %v, want [2]", i, out)
+		}
 	}
 }
 
 // TestWireNegotiationFailClosed covers the garbled-handshake paths: every
-// reply a client cannot prove is either a valid downgrade echo or a JSON
-// fallback terminates the connection, and a server that sees a mangled
-// hello drops the client instead of guessing a wire.
+// reply a client cannot prove is a valid downgrade echo terminates the
+// connection (a recognizably JSON reply is the distinct ErrPeerTooOld),
+// and a server that sees a mangled hello drops the client instead of
+// guessing a wire.
 func TestWireNegotiationFailClosed(t *testing.T) {
 	t.Run("client-garbage-reply", func(t *testing.T) {
 		checkClientRejects(t, []byte("XYZ garbage\n"))
@@ -403,13 +485,34 @@ func TestWireNegotiationFailClosed(t *testing.T) {
 		// fall back to JSON on a half-read echo.
 		checkClientRejects(t, []byte{WireMagic, 'G'})
 	})
-	t.Run("client-invalid-json-fallback", func(t *testing.T) {
-		checkClientRejects(t, []byte("{not json}\n"))
+	t.Run("client-json-reply", func(t *testing.T) {
+		// Any JSON reply to our hello identifies a pre-binary server: that is
+		// ErrPeerTooOld (upgrade the peer), not a garbled handshake.
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func() {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			hello := make([]byte, WireHelloLen)
+			if _, err := io.ReadFull(conn, hello); err != nil {
+				return
+			}
+			_, _ = conn.Write([]byte("{not json}\n"))
+		}()
+		_, err = DialVersion(l.Addr().String(), LatestWireVersion)
+		if !errors.Is(err, ErrPeerTooOld) {
+			t.Errorf("negotiation error = %v, want ErrPeerTooOld", err)
+		}
 	})
 
 	serverCases := map[string][]byte{
 		"server-mangled-hello":   {WireMagic, 'G', 'X', 1, '\n'},
-		"server-version-zero":    {WireMagic, 'G', 'W', 0, '\n'},
 		"server-unterminated":    {WireMagic, 'G', 'W', 1, 'x'},
 		"server-truncated-hello": {WireMagic, 'G'},
 	}

@@ -73,11 +73,6 @@ type WorkerConfig struct {
 	// bucketed latency histograms and execution counters, served by the
 	// worker's admin endpoint (cmd/gupt-worker -admin-addr). Nil disables.
 	Telemetry *telemetry.Registry
-	// JSONWire pins the worker to the legacy newline-delimited JSON wire,
-	// reproducing a pre-binary release (the pool's negotiation falls back
-	// automatically). Kept for one release as the rollback lever; see
-	// wire.go.
-	JSONWire bool
 }
 
 // Worker is the per-node client component of the computation manager: it
@@ -163,38 +158,21 @@ func (w *Worker) handleConn(conn net.Conn) {
 		w.mu.Unlock()
 	}()
 	br := bufio.NewReaderSize(conn, 64*1024)
-	if !w.cfg.JSONWire {
-		version, err := sniffWire(conn, br, LatestWireVersion)
-		if err != nil {
-			if err != io.EOF {
-				w.logf("compman: worker wire sniff: %v", err)
-			}
-			return
+	version, err := sniffWire(conn, br, LatestWireVersion)
+	if err != nil {
+		if errors.Is(err, ErrPeerTooOld) {
+			// A pre-binary server dialed in speaking raw JSON lines. Answer
+			// with one terminal JSON error line — the only thing that peer
+			// can parse — so its operator sees the reason, then hang up.
+			_ = json.NewEncoder(conn).Encode(WorkResponse{Error: ErrPeerTooOld.Error()})
 		}
-		if version >= WireVersionBinary {
-			w.serveBinary(conn, br)
-			return
+		if err != io.EOF {
+			w.logf("compman: worker wire sniff: %v", err)
 		}
+		return
 	}
-	scanner := bufio.NewScanner(br)
-	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var resp WorkResponse
-		if req, err := DecodeWorkRequest(line); err != nil {
-			resp.Error = err.Error()
-		} else {
-			resp = w.execute(req)
-		}
-		if err := enc.Encode(resp); err != nil {
-			w.logf("compman: worker write: %v", err)
-			return
-		}
-	}
+	_ = version // sniffWire only succeeds at WireVersionBinary or newer
+	w.serveBinary(conn, br)
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -329,7 +307,6 @@ type workerConn struct {
 	version uint8 // wire version this connection negotiated
 	conn    net.Conn
 	r       *bufio.Reader
-	enc     *json.Encoder
 	wbuf    []byte // reused binary encode buffer
 	rbuf    []byte // reused binary frame read buffer
 	broken  bool   // transport failed; redial before reuse
@@ -337,14 +314,15 @@ type workerConn struct {
 }
 
 // NewWorkerPool dials every worker address, negotiating the newest wire
-// version each worker speaks (older workers fall back to JSON per
-// connection). All must be reachable.
+// version each worker speaks. All must be reachable; a worker still on the
+// retired JSON wire fails pool construction with an error naming the
+// worker and wrapping ErrPeerTooOld.
 func NewWorkerPool(addrs []string) (*WorkerPool, error) {
 	return NewWorkerPoolVersion(addrs, LatestWireVersion)
 }
 
 // NewWorkerPoolVersion dials every worker address offering at most the
-// given wire version; WireVersionJSON pins the pool to the legacy wire.
+// given wire version. WireVersionJSON (0) is retired and fails closed.
 func NewWorkerPoolVersion(addrs []string, version uint8) (*WorkerPool, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("compman: worker pool needs at least one address")
@@ -371,13 +349,17 @@ func dialWorker(addr string, version uint8) (*workerConn, error) {
 		want: version,
 		conn: conn,
 		r:    bufio.NewReaderSize(conn, 1<<20),
-		enc:  json.NewEncoder(conn),
 	}
 	// Negotiation re-runs on every redial: a worker restarted on a
 	// different release renegotiates instead of desynchronizing.
 	v, err := negotiateWire(conn, wc.r, version)
 	if err != nil {
 		conn.Close()
+		if errors.Is(err, ErrPeerTooOld) {
+			// Name the stale worker explicitly: "dial failed" would send the
+			// operator hunting the network when the fix is a worker upgrade.
+			return nil, fmt.Errorf("compman: worker %s is too old for this server: %w", addr, err)
+		}
 		return nil, fmt.Errorf("compman: worker %s: %w", addr, err)
 	}
 	wc.version = v
@@ -499,7 +481,7 @@ func (wc *workerConn) redialLocked() error {
 		return err
 	}
 	wc.conn.Close()
-	wc.conn, wc.r, wc.enc, wc.broken = fresh.conn, fresh.r, fresh.enc, false
+	wc.conn, wc.r, wc.broken = fresh.conn, fresh.r, false
 	wc.version = fresh.version
 	return nil
 }
@@ -513,13 +495,7 @@ func (wc *workerConn) roundTrip(ctx context.Context, req *WorkRequest) (*WorkRes
 	} else {
 		_ = wc.conn.SetDeadline(time.Time{})
 	}
-	var resp *WorkResponse
-	var err error
-	if wc.version >= WireVersionBinary {
-		resp, err = wc.exchangeBinary(req)
-	} else {
-		resp, err = wc.exchangeJSON(req)
-	}
+	resp, err := wc.exchangeBinary(req)
 	if err != nil {
 		// Send/receive failures and corrupted replies all leave the stream
 		// unsynchronized; drop the connection rather than risk pairing
@@ -532,22 +508,6 @@ func (wc *workerConn) roundTrip(ctx context.Context, req *WorkRequest) (*WorkRes
 		// slipped — same treatment as a corrupted stream.
 		wc.broken = true
 		return nil, fmt.Errorf("compman: worker %s: trace echo %q for request %q (stream desynchronized)", wc.addr, resp.TraceID, req.Spec.TraceID)
-	}
-	return resp, nil
-}
-
-// exchangeJSON runs one exchange on the legacy JSON wire; wc.mu held.
-func (wc *workerConn) exchangeJSON(req *WorkRequest) (*WorkResponse, error) {
-	if err := wc.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("compman: worker %s send: %w", wc.addr, err)
-	}
-	line, err := wc.r.ReadBytes('\n')
-	if err != nil {
-		return nil, fmt.Errorf("compman: worker %s receive: %w", wc.addr, err)
-	}
-	resp, err := DecodeWorkResponse(line)
-	if err != nil {
-		return nil, fmt.Errorf("compman: worker %s: %w", wc.addr, err)
 	}
 	return resp, nil
 }

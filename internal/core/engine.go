@@ -109,6 +109,13 @@ type Result struct {
 	// returned a malformed output and were replaced by the
 	// data-independent substitute.
 	FailedBlocks int
+	// CacheHit marks a result re-served from the noisy-answer cache: the
+	// identical already-released output at zero additional ε
+	// (post-processing). EpsilonSpent then reports what the original
+	// release cost; nothing was charged for this repeat. The engine never
+	// sets this — the caching layers above (gupt.Platform, compman.Server)
+	// do.
+	CacheHit bool
 }
 
 // SubstitutionRate reports the fraction of blocks that contributed the

@@ -5,10 +5,20 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gupt/internal/dp"
 	"gupt/internal/mathutil"
 )
+
+// contentClock issues content versions. It is process-global and strictly
+// monotonic, so a dataset re-registered under a previously used name can
+// never repeat a version: any cache keyed on (name, version) structurally
+// cannot confuse the two incarnations.
+var contentClock atomic.Uint64
+
+// nextContentVersion draws a fresh, never-before-issued content version.
+func nextContentVersion() uint64 { return contentClock.Add(1) }
 
 // Registry errors.
 var (
@@ -45,6 +55,44 @@ type Registered struct {
 	// path. Written only before the dataset is reachable (at registration,
 	// via the registry hook, or at boot before serving) — see BindCharger.
 	charger Spender
+
+	// version is the dataset's content version: assigned from the global
+	// clock at registration and bumped on every mutation of the dataset's
+	// tables. Released-answer caches fold it into their keys, so an answer
+	// computed before a mutation can never be served to a query admitted
+	// after it.
+	version atomic.Uint64
+}
+
+// ContentVersion reads the dataset's current content version. Safe for
+// concurrent use with BumpContentVersion.
+func (r *Registered) ContentVersion() uint64 { return r.version.Load() }
+
+// BumpContentVersion advances the dataset's content version to a fresh
+// value from the global clock and returns it. Every code path that mutates
+// the dataset's tables (replacing the aged sample, re-loading rows) must
+// call this before the mutated state can influence a released answer.
+func (r *Registered) BumpContentVersion() uint64 {
+	v := nextContentVersion()
+	r.version.Store(v)
+	return v
+}
+
+// CacheHitRecorder is the optional interface a charger implements to
+// journal ε=0 cache re-releases. The durable ledger's Backed accountant
+// implements it so the WAL distinguishes a cache hit from a fresh spend.
+type CacheHitRecorder interface {
+	RecordCacheHit(label string) error
+}
+
+// RecordCacheHit journals an ε=0 cache re-release against the dataset's
+// charger, when one is bound and supports it. It never touches the
+// accountant: a cache hit moves no budget by construction.
+func (r *Registered) RecordCacheHit(label string) error {
+	if rec, ok := r.charger.(CacheHitRecorder); ok {
+		return rec.RecordCacheHit(label)
+	}
+	return nil
 }
 
 // BindCharger routes the dataset's future charges through s (typically a
@@ -158,6 +206,7 @@ func (reg *Registry) Register(name string, t *Table, opts RegisterOptions) (*Reg
 		Aged:       aged,
 		Accountant: dp.NewAccountant(opts.TotalBudget),
 	}
+	r.version.Store(nextContentVersion())
 
 	reg.mu.Lock()
 	defer reg.mu.Unlock()

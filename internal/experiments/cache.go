@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"gupt/internal/compman"
+	"gupt/internal/dataset"
+	"gupt/internal/dp"
+	"gupt/internal/workload"
+)
+
+// CacheEffectResult measures the noisy-answer cache on the hosted compman
+// path, two ways:
+//
+//   - Latency: per-query wall time for the cold path (full block execution,
+//     noise, ledger charge) versus the hit path (fingerprint lookup and
+//     re-release of the already-published answer). Both are the same query
+//     over the same wire; only the cache state differs.
+//   - Budget: cumulative ε over a repeat-heavy Zipf schedule
+//     (workload.RepeatMix) with the cache on versus off. With the cache on,
+//     each distinct query charges once and every repeat is free
+//     post-processing; with it off, every arrival charges.
+type CacheEffectResult struct {
+	// Rows is the census table size; Epsilon the per-query charge.
+	Rows    int
+	Epsilon float64
+	// Queries is the schedule length, Distinct the number of distinct
+	// queries inside it.
+	Queries  int
+	Distinct int
+	// TimedQueries is the per-pass count behind each latency figure.
+	TimedQueries int
+
+	// NsPerColdQuery and NsPerCacheHit are best-of-3 per-query latencies.
+	NsPerColdQuery float64
+	NsPerCacheHit  float64
+
+	// HitRate is the fraction of the cached schedule served at zero ε.
+	HitRate float64
+	// SpentCached and SpentUncached are cumulative ε after each scheduled
+	// query (index i = after query i+1), cache on and off.
+	SpentCached   []float64
+	SpentUncached []float64
+}
+
+// Speedup is the cold-path latency over the hit-path latency.
+func (r *CacheEffectResult) Speedup() float64 {
+	if r.NsPerCacheHit <= 0 {
+		return 0
+	}
+	return r.NsPerColdQuery / r.NsPerCacheHit
+}
+
+// EpsilonSaved is the fraction of the uncached spend the cache avoided.
+func (r *CacheEffectResult) EpsilonSaved() float64 {
+	if len(r.SpentCached) == 0 {
+		return 0
+	}
+	off := r.SpentUncached[len(r.SpentUncached)-1]
+	if off <= 0 {
+		return 0
+	}
+	return 1 - r.SpentCached[len(r.SpentCached)-1]/off
+}
+
+// CacheEffect runs the measurement.
+func CacheEffect(cfg Config) (*CacheEffectResult, error) {
+	res := &CacheEffectResult{
+		Rows:         cfg.scale(5000, 1000),
+		Epsilon:      0.05,
+		Queries:      cfg.scale(400, 60),
+		Distinct:     cfg.scale(40, 12),
+		TimedQueries: cfg.scale(30, 10),
+	}
+	const passes = 3
+
+	// Latency: cold on a cache-off server, hits on a cache-on server.
+	// Using the same query for both keeps everything but the cache state
+	// identical — on the cold server a repeat is a fresh engine run.
+	cold, err := cacheTimedPath(cfg, res, passes, false)
+	if err != nil {
+		return nil, fmt.Errorf("cache effect cold path: %w", err)
+	}
+	hit, err := cacheTimedPath(cfg, res, passes, true)
+	if err != nil {
+		return nil, fmt.Errorf("cache effect hit path: %w", err)
+	}
+	res.NsPerColdQuery, res.NsPerCacheHit = cold, hit
+
+	// Budget: the same Zipf schedule against both server configurations.
+	mix := workload.RepeatMix(cfg.Seed, res.Queries, res.Distinct)
+	hits := 0
+	for _, cached := range []bool{true, false} {
+		client, srv, err := cacheBenchServer(cfg, res, cached)
+		if err != nil {
+			return nil, err
+		}
+		spent := make([]float64, 0, len(mix))
+		total := 0.0
+		for _, idx := range mix {
+			resp, err := client.Query(cacheBenchQuery(cfg, res, idx))
+			if err != nil {
+				client.Close()
+				srv.Close()
+				return nil, fmt.Errorf("cache effect schedule (cached=%v): %w", cached, err)
+			}
+			total += resp.EpsilonCharged
+			spent = append(spent, total)
+			if cached && resp.CacheHit {
+				hits++
+			}
+		}
+		if cached {
+			res.SpentCached = spent
+		} else {
+			res.SpentUncached = spent
+		}
+		client.Close()
+		srv.Close()
+	}
+	res.HitRate = float64(hits) / float64(len(mix))
+	return res, nil
+}
+
+// cacheBenchServer starts a compman server over a fresh census registry,
+// with or without the noisy-answer cache.
+func cacheBenchServer(cfg Config, res *CacheEffectResult, cached bool) (*compman.Client, *compman.Server, error) {
+	reg := dataset.NewRegistry()
+	// Budget covers every pass with a wide margin so the ledger never
+	// becomes the variable under test.
+	if _, err := reg.Register("census", workload.CensusIncome(cfg.Seed, res.Rows), dataset.RegisterOptions{
+		TotalBudget: 1e6,
+		Ranges:      []dp.Range{workload.CensusLooseRange()},
+		Seed:        cfg.Seed,
+	}); err != nil {
+		return nil, nil, err
+	}
+	sc := compman.ServerConfig{}
+	if cached {
+		sc.CacheEntries = 4 * res.Distinct
+	}
+	srv := compman.NewServer(reg, sc)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	go srv.Serve(l)
+	client, err := compman.Dial(l.Addr().String())
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	return client, srv, nil
+}
+
+// cacheBenchQuery is the idx-th distinct query of the schedule: same mean
+// program, distinct noise seed — a distinct released answer, so a distinct
+// cache key.
+func cacheBenchQuery(cfg Config, res *CacheEffectResult, idx int) *compman.Request {
+	return &compman.Request{
+		Dataset:      "census",
+		Program:      &compman.ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges: []compman.RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      res.Epsilon,
+		BlockSize:    res.Rows / 20,
+		Seed:         cfg.Seed + int64(idx),
+	}
+}
+
+// cacheTimedPath times TimedQueries repeats of one query, best of passes.
+// With the cache on, the warmup fills and every timed repeat is a hit;
+// with it off, every repeat is a full cold run.
+func cacheTimedPath(cfg Config, res *CacheEffectResult, passes int, cached bool) (float64, error) {
+	client, srv, err := cacheBenchServer(cfg, res, cached)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	defer client.Close()
+
+	run := func() error {
+		_, err := client.Query(cacheBenchQuery(cfg, res, 0))
+		return err
+	}
+	// Warmup: fills the cache (cached path) and pays connection and
+	// allocator startup on both.
+	for i := 0; i < res.TimedQueries/4+1; i++ {
+		if err := run(); err != nil {
+			return 0, err
+		}
+	}
+	// Sanity-check the path under measurement before timing it.
+	probe, err := client.Query(cacheBenchQuery(cfg, res, 0))
+	if err != nil {
+		return 0, err
+	}
+	if probe.CacheHit != cached {
+		return 0, fmt.Errorf("probe CacheHit=%v on a cached=%v server", probe.CacheHit, cached)
+	}
+	best := time.Duration(1<<63 - 1)
+	for p := 0; p < passes; p++ {
+		start := time.Now()
+		for i := 0; i < res.TimedQueries; i++ {
+			if err := run(); err != nil {
+				return 0, err
+			}
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(res.TimedQueries), nil
+}
+
+// Table renders the measurement.
+func (r *CacheEffectResult) Table() string {
+	t := newTable("path", "per query")
+	t.addRow("cold", time.Duration(r.NsPerColdQuery).Round(time.Microsecond).String())
+	t.addRow("cache hit", time.Duration(r.NsPerCacheHit).Round(time.Microsecond).String())
+	t.addRow("speedup", fmt.Sprintf("%.1fx", r.Speedup()))
+	final := 0.0
+	if n := len(r.SpentCached); n > 0 {
+		final = r.SpentCached[n-1]
+	}
+	finalOff := 0.0
+	if n := len(r.SpentUncached); n > 0 {
+		finalOff = r.SpentUncached[n-1]
+	}
+	return fmt.Sprintf("Noisy-answer cache (%d-row table, %d-query Zipf schedule over %d distinct, best of 3)\n",
+		r.Rows, r.Queries, r.Distinct) + t.String() +
+		fmt.Sprintf("schedule: %.0f%% hit rate, ε spent %.2f cached vs %.2f uncached (%.0f%% saved)\n",
+			100*r.HitRate, final, finalOff, 100*r.EpsilonSaved())
+}
+
+// CSV renders the series in long form — headline latencies and hit rate as
+// step-0 rows, then the two cumulative spend curves — so one rectangular
+// table carries both the comparison and the plottable curves.
+func (r *CacheEffectResult) CSV() string {
+	var c csvBuilder
+	c.row("series", "step", "value")
+	c.row("ns_per_cold_query", "0", fmt.Sprintf("%g", r.NsPerColdQuery))
+	c.row("ns_per_cache_hit", "0", fmt.Sprintf("%g", r.NsPerCacheHit))
+	c.row("speedup", "0", fmt.Sprintf("%g", r.Speedup()))
+	c.row("hit_rate", "0", fmt.Sprintf("%g", r.HitRate))
+	c.row("eps_saved_fraction", "0", fmt.Sprintf("%g", r.EpsilonSaved()))
+	for i, v := range r.SpentCached {
+		c.row("cum_eps_cached", fmt.Sprint(i+1), fmt.Sprintf("%g", v))
+	}
+	for i, v := range r.SpentUncached {
+		c.row("cum_eps_uncached", fmt.Sprint(i+1), fmt.Sprintf("%g", v))
+	}
+	return c.String()
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheEffectShape(t *testing.T) {
+	r, err := CacheEffect(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NsPerColdQuery <= 0 || r.NsPerCacheHit <= 0 {
+		t.Fatalf("non-positive timing: cold %v hit %v", r.NsPerColdQuery, r.NsPerCacheHit)
+	}
+	if r.NsPerCacheHit >= r.NsPerColdQuery {
+		t.Errorf("hit path (%v ns) not faster than cold path (%v ns)", r.NsPerCacheHit, r.NsPerColdQuery)
+	}
+	if len(r.SpentCached) != r.Queries || len(r.SpentUncached) != r.Queries {
+		t.Fatalf("spend curves %d/%d points, want %d", len(r.SpentCached), len(r.SpentUncached), r.Queries)
+	}
+	// Cache off: every arrival charges. Cache on: only the distinct set.
+	wantOff := float64(r.Queries) * r.Epsilon
+	if got := r.SpentUncached[r.Queries-1]; !near(got, wantOff) {
+		t.Errorf("uncached spend = %v, want %v", got, wantOff)
+	}
+	wantOn := float64(r.Distinct) * r.Epsilon
+	if got := r.SpentCached[r.Queries-1]; !near(got, wantOn) {
+		t.Errorf("cached spend = %v, want %v (one charge per distinct query)", got, wantOn)
+	}
+	wantHits := float64(r.Queries-r.Distinct) / float64(r.Queries)
+	if !near(r.HitRate, wantHits) {
+		t.Errorf("hit rate = %v, want %v", r.HitRate, wantHits)
+	}
+	// Curves are monotone and cached never exceeds uncached.
+	for i := range r.SpentCached {
+		if i > 0 && (r.SpentCached[i] < r.SpentCached[i-1] || r.SpentUncached[i] < r.SpentUncached[i-1]) {
+			t.Fatalf("spend curve decreased at step %d", i)
+		}
+		if r.SpentCached[i] > r.SpentUncached[i]+1e-9 {
+			t.Fatalf("cached spend exceeds uncached at step %d: %v > %v", i, r.SpentCached[i], r.SpentUncached[i])
+		}
+	}
+	if !strings.Contains(r.Table(), "Noisy-answer cache") {
+		t.Error("Table() missing caption")
+	}
+	if !strings.HasPrefix(r.CSV(), "series,step,value") {
+		t.Errorf("CSV header wrong: %q", r.CSV())
+	}
+}
+
+func near(got, want float64) bool {
+	d := got - want
+	return d < 1e-9 && d > -1e-9
+}

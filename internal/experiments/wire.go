@@ -12,14 +12,14 @@ import (
 	"gupt/internal/mathutil"
 )
 
-// WireOverheadResult compares the legacy newline-delimited JSON wire with
-// the length-prefixed binary framing on both compman paths: the client
-// control plane (protocol round trips and full DP queries against guptd)
-// and the worker data plane (blocks shipped to gupt-worker chambers). The
-// data plane is where the bytes are — every block crosses the wire as a
-// float matrix — so blocks/sec is the headline figure BENCH_PR6.json pins;
-// the control-plane columns prove the framed wire also wins (round trips)
-// or at least never regresses (full queries, which are engine-dominated).
+// WireOverheadResult measures the length-prefixed binary framing on both
+// compman paths: the client control plane (protocol round trips and full DP
+// queries against guptd) and the worker data plane (blocks shipped to
+// gupt-worker chambers). The data plane is where the bytes are — every
+// block crosses the wire as a float matrix — so blocks/sec is the headline
+// figure. The legacy JSON wire this framing replaced has been retired
+// (wire.go); the JSON-vs-binary comparison that justified the migration is
+// pinned historically in BENCH_PR6.json.
 type WireOverheadResult struct {
 	// Rows/Queries/RoundTrips pin the control-plane workload: Queries
 	// timed ε-spending mean queries plus RoundTrips timed budget-op
@@ -33,7 +33,8 @@ type WireOverheadResult struct {
 	Blocks    int
 	BlockRows int
 	BlockDims int
-	// Modes lists the measured wires in run order: json, binary.
+	// Modes lists the measured wires in run order; binary only since the
+	// JSON wire's retirement.
 	Modes []string
 	// NsPerRoundTrip is the budget-op protocol round trip — the purest
 	// wire measurement, no engine work on either end.
@@ -43,30 +44,11 @@ type WireOverheadResult struct {
 	// NsPerBlock and BlocksPerSec measure the worker data plane.
 	NsPerBlock   []float64
 	BlocksPerSec []float64
-	// RoundTripSpeedup/QuerySpeedup/BlockSpeedup are the ×-over-JSON
-	// ratios, indexed like Modes (1 for the JSON baseline itself).
-	RoundTripSpeedup []float64
-	QuerySpeedup     []float64
-	BlockSpeedup     []float64
 }
 
-// wireModes enumerates the two measured configurations. The JSON mode pins
-// both ends to the legacy wire exactly as a pre-binary release would run
-// it (server skips the sniff, client skips the hello).
-var wireModes = []struct {
-	name    string
-	json    bool
-	version uint8
-}{
-	{"json", true, compman.WireVersionJSON},
-	{"binary", false, compman.LatestWireVersion},
-}
-
-// WireOverhead runs the measurement. Each wire gets a fresh server,
-// registry and worker so ledger state and allocator history are identical;
-// within a wire, every figure is the best of three passes over the same
-// deterministic sequence, which filters scheduler noise better than an
-// average on a loaded machine.
+// WireOverhead runs the measurement. Every figure is the best of three
+// passes over the same deterministic sequence, which filters scheduler
+// noise better than an average on a loaded machine.
 func WireOverhead(cfg Config) (*WireOverheadResult, error) {
 	res := &WireOverheadResult{
 		Rows:       cfg.scale(5000, 1000),
@@ -78,33 +60,26 @@ func WireOverhead(cfg Config) (*WireOverheadResult, error) {
 	}
 	const passes = 3
 
-	for _, mode := range wireModes {
-		nsTrip, nsQuery, err := wireClientPath(cfg, res, mode.json, mode.version, passes)
-		if err != nil {
-			return nil, fmt.Errorf("wire overhead %s client path: %w", mode.name, err)
-		}
-		nsBlock, err := wireWorkerPath(cfg, res, mode.json, mode.version, passes)
-		if err != nil {
-			return nil, fmt.Errorf("wire overhead %s worker path: %w", mode.name, err)
-		}
-		res.Modes = append(res.Modes, mode.name)
-		res.NsPerRoundTrip = append(res.NsPerRoundTrip, nsTrip)
-		res.NsPerQuery = append(res.NsPerQuery, nsQuery)
-		res.NsPerBlock = append(res.NsPerBlock, nsBlock)
-		res.BlocksPerSec = append(res.BlocksPerSec, 1e9/nsBlock)
+	nsTrip, nsQuery, err := wireClientPath(cfg, res, passes)
+	if err != nil {
+		return nil, fmt.Errorf("wire overhead client path: %w", err)
 	}
-	for i := range res.Modes {
-		res.RoundTripSpeedup = append(res.RoundTripSpeedup, res.NsPerRoundTrip[0]/res.NsPerRoundTrip[i])
-		res.QuerySpeedup = append(res.QuerySpeedup, res.NsPerQuery[0]/res.NsPerQuery[i])
-		res.BlockSpeedup = append(res.BlockSpeedup, res.NsPerBlock[0]/res.NsPerBlock[i])
+	nsBlock, err := wireWorkerPath(cfg, res, passes)
+	if err != nil {
+		return nil, fmt.Errorf("wire overhead worker path: %w", err)
 	}
+	res.Modes = append(res.Modes, "binary")
+	res.NsPerRoundTrip = append(res.NsPerRoundTrip, nsTrip)
+	res.NsPerQuery = append(res.NsPerQuery, nsQuery)
+	res.NsPerBlock = append(res.NsPerBlock, nsBlock)
+	res.BlocksPerSec = append(res.BlocksPerSec, 1e9/nsBlock)
 	return res, nil
 }
 
 // wireClientPath measures the guptd-facing wire: budget-op round trips
 // (pure protocol) and full mean queries (protocol + engine) over one
 // persistent connection, as gupt-cli holds one.
-func wireClientPath(cfg Config, res *WireOverheadResult, jsonWire bool, version uint8, passes int) (nsTrip, nsQuery float64, err error) {
+func wireClientPath(cfg Config, res *WireOverheadResult, passes int) (nsTrip, nsQuery float64, err error) {
 	reg := dataset.NewRegistry()
 	rng := mathutil.NewRNG(cfg.Seed)
 	tbl := dataset.New([]string{"age"})
@@ -122,7 +97,7 @@ func wireClientPath(cfg Config, res *WireOverheadResult, jsonWire bool, version 
 	}); err != nil {
 		return 0, 0, err
 	}
-	srv := compman.NewServer(reg, compman.ServerConfig{JSONWire: jsonWire})
+	srv := compman.NewServer(reg, compman.ServerConfig{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return 0, 0, err
@@ -130,7 +105,7 @@ func wireClientPath(cfg Config, res *WireOverheadResult, jsonWire bool, version 
 	go srv.Serve(l)
 	defer srv.Close()
 
-	client, err := compman.DialVersion(l.Addr().String(), version)
+	client, err := compman.Dial(l.Addr().String())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -148,8 +123,8 @@ func wireClientPath(cfg Config, res *WireOverheadResult, jsonWire bool, version 
 		return err
 	}
 
-	// One untimed pass of each shape first: the first configuration would
-	// otherwise pay all the connection/allocator warmup.
+	// One untimed pass of each shape first, so no timed pass pays the
+	// connection/allocator warmup.
 	for i := 0; i < res.RoundTrips; i++ {
 		if _, err := client.RemainingBudget("census"); err != nil {
 			return 0, 0, err
@@ -191,8 +166,8 @@ func wireClientPath(cfg Config, res *WireOverheadResult, jsonWire bool, version 
 // gupt-worker chamber and the aggregate shipped back, over the pool's
 // persistent connection. This is the exchange the binary wire's contiguous
 // float encoding targets.
-func wireWorkerPath(cfg Config, res *WireOverheadResult, jsonWire bool, version uint8, passes int) (float64, error) {
-	worker := compman.NewWorker(compman.WorkerConfig{JSONWire: jsonWire})
+func wireWorkerPath(cfg Config, res *WireOverheadResult, passes int) (float64, error) {
+	worker := compman.NewWorker(compman.WorkerConfig{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return 0, err
@@ -200,7 +175,7 @@ func wireWorkerPath(cfg Config, res *WireOverheadResult, jsonWire bool, version 
 	go worker.Serve(l)
 	defer worker.Close()
 
-	pool, err := compman.NewWorkerPoolVersion([]string{l.Addr().String()}, version)
+	pool, err := compman.NewWorkerPool([]string{l.Addr().String()})
 	if err != nil {
 		return 0, err
 	}
@@ -242,35 +217,30 @@ func wireWorkerPath(cfg Config, res *WireOverheadResult, jsonWire bool, version 
 	return float64(best.Nanoseconds()) / float64(res.Blocks), nil
 }
 
-// Table renders the comparison.
+// Table renders the measurement.
 func (r *WireOverheadResult) Table() string {
-	t := newTable("wire", "round-trip", "dp query", "per-block", "blocks/sec", "block speedup")
+	t := newTable("wire", "round-trip", "dp query", "per-block", "blocks/sec")
 	for i, mode := range r.Modes {
 		t.addRow(mode,
 			time.Duration(r.NsPerRoundTrip[i]).Round(100*time.Nanosecond).String(),
 			time.Duration(r.NsPerQuery[i]).Round(time.Microsecond).String(),
 			time.Duration(r.NsPerBlock[i]).Round(time.Microsecond).String(),
-			fmt.Sprintf("%.0f", r.BlocksPerSec[i]),
-			fmt.Sprintf("%.2fx", r.BlockSpeedup[i]))
+			fmt.Sprintf("%.0f", r.BlocksPerSec[i]))
 	}
-	return fmt.Sprintf("Wire overhead: JSON vs binary framing (%d-row table, %d×%d blocks, best of 3)\n",
+	return fmt.Sprintf("Wire overhead: binary framing (%d-row table, %d×%d blocks, best of 3)\n",
 		r.Rows, r.BlockRows, r.BlockDims) + t.String()
 }
 
-// CSV renders the series; cmd/gupt-bench embeds it in BENCH_PR6.json.
+// CSV renders the series; cmd/gupt-bench embeds it in the bench report.
 func (r *WireOverheadResult) CSV() string {
 	var c csvBuilder
-	c.row("mode", "ns_per_round_trip", "ns_per_query", "ns_per_block", "blocks_per_sec",
-		"round_trip_speedup_x", "query_speedup_x", "block_speedup_x")
+	c.row("mode", "ns_per_round_trip", "ns_per_query", "ns_per_block", "blocks_per_sec")
 	for i, mode := range r.Modes {
 		c.row(mode,
 			fmt.Sprintf("%g", r.NsPerRoundTrip[i]),
 			fmt.Sprintf("%g", r.NsPerQuery[i]),
 			fmt.Sprintf("%g", r.NsPerBlock[i]),
-			fmt.Sprintf("%g", r.BlocksPerSec[i]),
-			fmt.Sprintf("%g", r.RoundTripSpeedup[i]),
-			fmt.Sprintf("%g", r.QuerySpeedup[i]),
-			fmt.Sprintf("%g", r.BlockSpeedup[i]))
+			fmt.Sprintf("%g", r.BlocksPerSec[i]))
 	}
 	return c.String()
 }

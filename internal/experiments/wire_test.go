@@ -10,7 +10,7 @@ func TestWireOverheadShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"json", "binary"}
+	want := []string{"binary"}
 	if len(r.Modes) != len(want) {
 		t.Fatalf("Modes = %v, want %v", r.Modes, want)
 	}
@@ -23,15 +23,10 @@ func TestWireOverheadShape(t *testing.T) {
 				name, r.NsPerRoundTrip[i], r.NsPerQuery[i], r.NsPerBlock[i])
 		}
 	}
-	// The baseline's speedup over itself is 1 by construction.
-	if r.RoundTripSpeedup[0] != 1 || r.QuerySpeedup[0] != 1 || r.BlockSpeedup[0] != 1 {
-		t.Errorf("JSON baseline speedups = %v/%v/%v, want 1/1/1",
-			r.RoundTripSpeedup[0], r.QuerySpeedup[0], r.BlockSpeedup[0])
-	}
 	if !strings.Contains(r.Table(), "Wire overhead") {
 		t.Error("Table() missing caption")
 	}
-	if !strings.HasPrefix(r.CSV(), "mode,ns_per_round_trip,ns_per_query,ns_per_block,blocks_per_sec,") {
+	if !strings.HasPrefix(r.CSV(), "mode,ns_per_round_trip,ns_per_query,ns_per_block,blocks_per_sec") {
 		t.Errorf("CSV header wrong: %q", r.CSV())
 	}
 }

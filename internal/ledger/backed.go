@@ -69,6 +69,15 @@ func (b *Backed) Spend(label string, eps float64) error {
 	return b.led.charge(b.name, label, eps, b.acct)
 }
 
+// RecordCacheHit journals an ε=0 re-release of a previously published
+// answer (a noisy-answer cache hit) without touching the accountant. It
+// implements dataset.CacheHitRecorder so the platform's cache path reaches
+// the WAL through the same charger binding as fresh spends; the record is
+// replay-neutral — recovery counts it but moves no budget.
+func (b *Backed) RecordCacheHit(label string) error {
+	return b.led.cacheHit(b.name, label)
+}
+
 // Accountant exposes the wrapped in-memory accountant (read paths:
 // Remaining, Spent, History).
 func (b *Backed) Accountant() *dp.Accountant { return b.acct }

@@ -111,6 +111,7 @@ type Ledger struct {
 	refunds       *telemetry.Counter
 	snapshots     *telemetry.Counter
 	replayed      *telemetry.Counter
+	cacheHitsRec  *telemetry.Counter
 }
 
 // Open recovers the ledger directory (creating it if absent) and returns a
@@ -148,6 +149,7 @@ func Open(dir string, opts Options) (*Ledger, error) {
 		l.refunds = tel.Counter("ledger.refunds")
 		l.snapshots = tel.Counter("ledger.snapshots")
 		l.replayed = tel.Counter("ledger.recovery.replayed_records")
+		l.cacheHitsRec = tel.Counter("ledger.cache_hits")
 		l.replayed.Add(int64(rec.WALRecords))
 	}
 	return l, nil
@@ -320,6 +322,53 @@ func (l *Ledger) charge(name, label string, eps float64, acct *dp.Accountant) er
 	if benign && l.opts.Logger != nil {
 		// Pre-rename compaction failures leave the old WAL intact; the
 		// poisoned case already logged itself in compactLocked.
+		l.opts.Logger.Printf("ledger: compaction failed (log keeps growing): %v", compactErr)
+	}
+	return nil
+}
+
+// cacheHit journals an ε=0 re-release of a previously published answer.
+// It never touches the accountant or the dataset's spent total — a cache
+// hit moves no budget by construction, and replay treats the record the
+// same way — but it follows the same append/durability discipline as a
+// charge so the WAL stays a complete, tamper-surviving account of every
+// release. Losing one in a crash is benign (no budget direction exists to
+// err in), so durability here buys auditability, not safety.
+func (l *Ledger) cacheHit(name, label string) error {
+	if err := validateString("dataset name", name); err != nil {
+		return err
+	}
+	if err := validateString("charge label", label); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.poisoned != nil {
+		err := l.poisoned
+		l.mu.Unlock()
+		return err
+	}
+	if _, ok := l.state[name]; !ok {
+		l.mu.Unlock()
+		return fmt.Errorf("ledger: dataset %q not bound", name)
+	}
+	seq, err := l.appendLocked(Record{Type: RecordCacheHit, Dataset: name, Label: label})
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.cacheHitsRec.Inc()
+	compactErr := l.maybeCompactLocked()
+	benign := compactErr != nil && l.poisoned == nil
+	l.mu.Unlock()
+
+	if err := l.waitDurable(seq); err != nil {
+		return err
+	}
+	if benign && l.opts.Logger != nil {
 		l.opts.Logger.Printf("ledger: compaction failed (log keeps growing): %v", compactErr)
 	}
 	return nil

@@ -61,6 +61,12 @@ const (
 	// RecordSnapshotMarker is the first record of a freshly compacted WAL;
 	// SnapshotSeq names the sequence number the snapshot file absorbed.
 	RecordSnapshotMarker RecordType = 4
+	// RecordCacheHit journals an ε=0 re-release of a previously published
+	// answer (the noisy-answer cache, DESIGN.md §11). It moves no budget —
+	// replay leaves Spent untouched — but keeps the WAL a complete account
+	// of every release, so a cache hit is distinguishable from a fresh
+	// spend when auditing the books.
+	RecordCacheHit RecordType = 5
 )
 
 func (t RecordType) String() string {
@@ -73,6 +79,8 @@ func (t RecordType) String() string {
 		return "register"
 	case RecordSnapshotMarker:
 		return "snapshot-marker"
+	case RecordCacheHit:
+		return "cache-hit"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -85,8 +93,8 @@ type Record struct {
 	Seq  uint64
 	At   int64 // unixNano of the append
 
-	Dataset string  // charge, refund, register
-	Label   string  // charge: audit label
+	Dataset string  // charge, refund, register, cache-hit
+	Label   string  // charge, cache-hit: audit label
 	Epsilon float64 // charge, refund
 	Total   float64 // register
 
@@ -157,6 +165,9 @@ func encodePayload(dst []byte, r Record) []byte {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Total))
 	case RecordSnapshotMarker:
 		dst = binary.LittleEndian.AppendUint64(dst, r.SnapshotSeq)
+	case RecordCacheHit:
+		dst = appendString(dst, r.Dataset)
+		dst = appendString(dst, r.Label)
 	}
 	return dst
 }
@@ -219,6 +230,9 @@ func decodePayload(p []byte) (Record, error) {
 		r.Total = math.Float64frombits(d.u64())
 	case RecordSnapshotMarker:
 		r.SnapshotSeq = d.u64()
+	case RecordCacheHit:
+		r.Dataset = d.str()
+		r.Label = d.str()
 	default:
 		return Record{}, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, r.Type)
 	}

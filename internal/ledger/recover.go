@@ -22,6 +22,9 @@ type RecoveredDataset struct {
 	Spent float64
 	// Charges counts settled (non-refunded) charge records.
 	Charges int
+	// CacheHits counts ε=0 cache re-release records. They move no budget;
+	// the count is kept so recovery can report a complete account.
+	CacheHits int
 }
 
 // Recovered is the result of replaying a ledger directory.
@@ -155,6 +158,13 @@ func Recover(dir string, logger *log.Logger) (*Recovered, error) {
 			d := rec.Datasets[r.Dataset]
 			d.Spent -= p.eps
 			d.Charges--
+			rec.Datasets[r.Dataset] = d
+		case RecordCacheHit:
+			// An ε=0 re-release of an already-published answer: by
+			// construction it moves no budget, so replay leaves Spent and
+			// Charges exactly as they were.
+			d := rec.Datasets[r.Dataset]
+			d.CacheHits++
 			rec.Datasets[r.Dataset] = d
 		case RecordSnapshotMarker:
 			if r.Seq <= rec.SnapshotSeq {

@@ -1,0 +1,223 @@
+package qcache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"gupt/internal/telemetry"
+)
+
+// Config sizes a Cache.
+type Config struct {
+	// MaxEntries bounds the number of cached releases; the least recently
+	// used entry is evicted first. Must be positive (a cache that cannot
+	// hold anything is represented by a nil *Cache, which all methods
+	// accept).
+	MaxEntries int
+	// TTL, when positive, expires entries this long after they were
+	// stored. Expiry is a memory/freshness policy only — correctness never
+	// depends on it, because the dataset content version inside every
+	// fingerprint already makes stale entries unreachable.
+	TTL time.Duration
+	// Telemetry receives qcache.hits / qcache.misses / qcache.evictions /
+	// qcache.invalidations counters and the qcache.entries /
+	// qcache.bytes gauges. Nil disables instrumentation.
+	Telemetry *telemetry.Registry
+	// Now overrides the clock (tests); nil selects time.Now.
+	Now func() time.Time
+}
+
+// Stats is a point-in-time snapshot of the cache, for the /cache admin
+// view. All values are event counts or sizes — never query content.
+type Stats struct {
+	Entries       int   `json:"entries"`
+	MaxEntries    int   `json:"maxEntries"`
+	Bytes         int64 `json:"bytes"`
+	TTLSeconds    int64 `json:"ttlSeconds"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Expirations   int64 `json:"expirations"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+// entry is one cached release.
+type entry struct {
+	key     Fingerprint
+	dataset string
+	val     any
+	size    int64
+	stored  time.Time
+}
+
+// Cache is a size-bounded LRU with optional TTL over released answers,
+// keyed by canonical fingerprint. It is safe for concurrent use. A nil
+// *Cache is a valid, permanently empty cache: Get always misses, Put and
+// Invalidate are no-ops — callers never branch on "caching enabled".
+//
+// The cache stores only values that have already been released to the
+// analyst (post-processing), so its contents are no more sensitive than
+// the query log; still, entries live only in memory and die with the
+// process.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Fingerprint]*list.Element
+	ll      *list.List // front = most recently used
+	max     int
+	ttl     time.Duration
+	now     func() time.Time
+	bytes   int64
+
+	hits          *telemetry.Counter
+	misses        *telemetry.Counter
+	evictions     *telemetry.Counter
+	expirations   *telemetry.Counter
+	invalidations *telemetry.Counter
+	entriesGauge  *telemetry.Gauge
+	bytesGauge    *telemetry.Gauge
+
+	// local counters mirror the telemetry (which may be absent) so Stats
+	// works without a registry.
+	nHits, nMisses, nEvictions, nExpirations, nInvalidations int64
+}
+
+// New builds a cache; a non-positive MaxEntries returns nil (disabled).
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		return nil
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	tel := cfg.Telemetry
+	return &Cache{
+		entries:       make(map[Fingerprint]*list.Element, cfg.MaxEntries),
+		ll:            list.New(),
+		max:           cfg.MaxEntries,
+		ttl:           cfg.TTL,
+		now:           now,
+		hits:          tel.Counter("qcache.hits"),
+		misses:        tel.Counter("qcache.misses"),
+		evictions:     tel.Counter("qcache.evictions"),
+		expirations:   tel.Counter("qcache.expirations"),
+		invalidations: tel.Counter("qcache.invalidations"),
+		entriesGauge:  tel.Gauge("qcache.entries"),
+		bytesGauge:    tel.Gauge("qcache.bytes"),
+	}
+}
+
+// Get returns the cached release under k, if present and unexpired,
+// updating recency. The caller must treat the returned value as immutable
+// — it is the very release every future hit will also receive.
+func (c *Cache) Get(k Fingerprint) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if ok {
+		e := el.Value.(*entry)
+		if c.ttl > 0 && c.now().Sub(e.stored) > c.ttl {
+			c.removeLocked(el)
+			c.expirations.Inc()
+			c.nExpirations++
+			ok = false
+		} else {
+			c.ll.MoveToFront(el)
+			c.hits.Inc()
+			c.nHits++
+			return e.val, true
+		}
+	}
+	_ = ok
+	c.misses.Inc()
+	c.nMisses++
+	return nil, false
+}
+
+// Put stores a released answer under k, attributed to dataset (for
+// Invalidate) with an approximate in-memory size for the bytes gauge.
+// Storing over an existing key replaces it.
+func (c *Cache) Put(k Fingerprint, dataset string, val any, size int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.removeLocked(el)
+	}
+	el := c.ll.PushFront(&entry{key: k, dataset: dataset, val: val, size: size, stored: c.now()})
+	c.entries[k] = el
+	c.bytes += size
+	c.entriesGauge.Set(int64(c.ll.Len()))
+	c.bytesGauge.Set(c.bytes)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest)
+		c.evictions.Inc()
+		c.nEvictions++
+	}
+}
+
+// Invalidate drops every entry attributed to dataset and returns the
+// count. Correctness never depends on this — a mutated dataset's bumped
+// content version already changes every future fingerprint — but eager
+// invalidation reclaims memory that can no longer be hit.
+func (c *Cache) Invalidate(dataset string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).dataset == dataset {
+			c.removeLocked(el)
+			dropped++
+		}
+		el = next
+	}
+	if dropped > 0 {
+		c.invalidations.Add(int64(dropped))
+		c.nInvalidations += int64(dropped)
+	}
+	return dropped
+}
+
+// removeLocked unlinks one element; c.mu held.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+	c.entriesGauge.Set(int64(c.ll.Len()))
+	c.bytesGauge.Set(c.bytes)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:       c.ll.Len(),
+		MaxEntries:    c.max,
+		Bytes:         c.bytes,
+		TTLSeconds:    int64(c.ttl / time.Second),
+		Hits:          c.nHits,
+		Misses:        c.nMisses,
+		Evictions:     c.nEvictions,
+		Expirations:   c.nExpirations,
+		Invalidations: c.nInvalidations,
+	}
+}

@@ -1,0 +1,141 @@
+package qcache
+
+import (
+	"testing"
+	"time"
+
+	"gupt/internal/telemetry"
+)
+
+func fp(b byte) Fingerprint {
+	var f Fingerprint
+	f[0] = b
+	return f
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c != New(Config{}) || New(Config{MaxEntries: -1}) != nil {
+		t.Fatal("non-positive MaxEntries must build a nil (disabled) cache")
+	}
+	if _, ok := c.Get(fp(1)); ok {
+		t.Error("nil cache hit")
+	}
+	c.Put(fp(1), "ds", 42, 8)
+	if n := c.Invalidate("ds"); n != 0 {
+		t.Errorf("nil cache invalidated %d", n)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", st)
+	}
+}
+
+func TestCacheHitMissAndStats(t *testing.T) {
+	c := New(Config{MaxEntries: 4})
+	if _, ok := c.Get(fp(1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(fp(1), "ds", "answer", 100)
+	v, ok := c.Get(fp(1))
+	if !ok || v.(string) != "answer" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Replacing a key swaps the value and keeps one entry.
+	c.Put(fp(1), "ds", "answer2", 60)
+	if v, _ := c.Get(fp(1)); v.(string) != "answer2" {
+		t.Errorf("replacement not visible: %v", v)
+	}
+	st = c.Stats()
+	if st.Entries != 1 || st.Bytes != 60 {
+		t.Errorf("after replace: %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(Config{MaxEntries: 2})
+	c.Put(fp(1), "ds", 1, 1)
+	c.Put(fp(2), "ds", 2, 1)
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, ok := c.Get(fp(1)); !ok {
+		t.Fatal("lost entry 1")
+	}
+	c.Put(fp(3), "ds", 3, 1)
+	if _, ok := c.Get(fp(2)); ok {
+		t.Error("LRU victim survived")
+	}
+	if _, ok := c.Get(fp(1)); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.Get(fp(3)); !ok {
+		t.Error("new entry missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := New(Config{MaxEntries: 4, TTL: time.Minute, Now: func() time.Time { return now }})
+	c.Put(fp(1), "ds", 1, 1)
+	now = now.Add(59 * time.Second)
+	if _, ok := c.Get(fp(1)); !ok {
+		t.Fatal("expired before TTL")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := c.Get(fp(1)); ok {
+		t.Fatal("served after TTL")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheInvalidateByDataset(t *testing.T) {
+	c := New(Config{MaxEntries: 8})
+	c.Put(fp(1), "a", 1, 10)
+	c.Put(fp(2), "a", 2, 10)
+	c.Put(fp(3), "b", 3, 10)
+	if n := c.Invalidate("a"); n != 2 {
+		t.Fatalf("Invalidate(a) = %d, want 2", n)
+	}
+	if _, ok := c.Get(fp(3)); !ok {
+		t.Error("unrelated dataset invalidated")
+	}
+	st := c.Stats()
+	if st.Invalidations != 2 || st.Entries != 1 || st.Bytes != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if n := c.Invalidate("a"); n != 0 {
+		t.Errorf("second Invalidate(a) = %d", n)
+	}
+}
+
+func TestCacheTelemetryCounters(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	c := New(Config{MaxEntries: 1, Telemetry: tel})
+	c.Put(fp(1), "ds", 1, 7)
+	c.Get(fp(1))
+	c.Get(fp(2))
+	c.Put(fp(2), "ds", 2, 3) // evicts 1
+	if got := tel.Counter("qcache.hits").Value(); got != 1 {
+		t.Errorf("qcache.hits = %d", got)
+	}
+	if got := tel.Counter("qcache.misses").Value(); got != 1 {
+		t.Errorf("qcache.misses = %d", got)
+	}
+	if got := tel.Counter("qcache.evictions").Value(); got != 1 {
+		t.Errorf("qcache.evictions = %d", got)
+	}
+	if got := tel.Gauge("qcache.entries").Value(); got != 1 {
+		t.Errorf("qcache.entries = %d", got)
+	}
+	if got := tel.Gauge("qcache.bytes").Value(); got != 3 {
+		t.Errorf("qcache.bytes = %d", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package qcache is GUPT's noisy-answer cache: released query answers are
+// stored under a canonical fingerprint of everything that determines their
+// distribution, and a byte-identical repeat query is served the *same*
+// already-published release at zero additional ε. Differential privacy is
+// closed under post-processing, so re-releasing a value that has already
+// crossed the privacy barrier reveals nothing new — but only if "identical"
+// is pinned down exactly: the fingerprint must be stable under
+// representation differences (JSON field ordering, float formatting) and
+// distinct for anything that changes the released distribution (program,
+// parameters, clamp ranges, ε, block geometry, seed, dataset content
+// version). See SECURITY.md ("The noisy-answer cache as a side channel")
+// for the analysis of why the cache is not a budget side channel.
+package qcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint is the canonical identity of one released answer: a SHA-256
+// over the fixed-order field encoding built by Hasher.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex (admin views, logs).
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Hasher accumulates fields into a canonical byte stream and hashes it.
+// The encoding discipline mirrors the wire and WAL codecs: every field is
+// written in a fixed order chosen by the caller, scalars are fixed-width
+// little-endian, floats are IEEE-754 bit patterns (so -0.0 ≠ +0.0 and any
+// textual formatting difference is irrelevant), and variable-length data is
+// length-prefixed so concatenations can never alias ("ab"+"c" ≠ "a"+"bc").
+// Nothing here iterates a map, so Go's randomized map order cannot leak in.
+//
+// The zero value is not usable; call NewHasher.
+type Hasher struct {
+	buf []byte
+}
+
+// NewHasher returns an empty canonical hasher.
+func NewHasher() *Hasher {
+	return &Hasher{buf: make([]byte, 0, 256)}
+}
+
+// Str appends a length-prefixed string field.
+func (h *Hasher) Str(s string) {
+	h.buf = binary.LittleEndian.AppendUint32(h.buf, uint32(len(s)))
+	h.buf = append(h.buf, s...)
+}
+
+// I64 appends a fixed-width signed integer field.
+func (h *Hasher) I64(v int64) {
+	h.buf = binary.LittleEndian.AppendUint64(h.buf, uint64(v))
+}
+
+// Int appends an int field (as int64).
+func (h *Hasher) Int(v int) { h.I64(int64(v)) }
+
+// U64 appends a fixed-width unsigned integer field.
+func (h *Hasher) U64(v uint64) {
+	h.buf = binary.LittleEndian.AppendUint64(h.buf, v)
+}
+
+// F64 appends a float64 field as its IEEE-754 bit pattern. Two floats
+// fingerprint equal iff their bits are equal, independent of how any
+// serialization layer formatted them.
+func (h *Hasher) F64(v float64) { h.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean field.
+func (h *Hasher) Bool(v bool) {
+	if v {
+		h.buf = append(h.buf, 1)
+	} else {
+		h.buf = append(h.buf, 0)
+	}
+}
+
+// F64s appends a count-prefixed float64 slice field.
+func (h *Hasher) F64s(xs []float64) {
+	h.buf = binary.LittleEndian.AppendUint32(h.buf, uint32(len(xs)))
+	for _, x := range xs {
+		h.F64(x)
+	}
+}
+
+// Ints appends a count-prefixed int slice field.
+func (h *Hasher) Ints(xs []int) {
+	h.buf = binary.LittleEndian.AppendUint32(h.buf, uint32(len(xs)))
+	for _, x := range xs {
+		h.Int(x)
+	}
+}
+
+// Strs appends a count-prefixed string slice field.
+func (h *Hasher) Strs(ss []string) {
+	h.buf = binary.LittleEndian.AppendUint32(h.buf, uint32(len(ss)))
+	for _, s := range ss {
+		h.Str(s)
+	}
+}
+
+// Sum finalizes the fingerprint. The hasher may keep accumulating after
+// Sum; each call hashes everything written so far.
+func (h *Hasher) Sum() Fingerprint {
+	return sha256.Sum256(h.buf)
+}

@@ -1,0 +1,57 @@
+package qcache
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHasherCanonical pins the aliasing-resistance properties the
+// fingerprint relies on: length prefixes keep concatenations apart, floats
+// hash by bit pattern, and identical field sequences hash identically.
+func TestHasherCanonical(t *testing.T) {
+	sum := func(write func(h *Hasher)) Fingerprint {
+		h := NewHasher()
+		write(h)
+		return h.Sum()
+	}
+
+	a := sum(func(h *Hasher) { h.Str("ab"); h.Str("c") })
+	b := sum(func(h *Hasher) { h.Str("a"); h.Str("bc") })
+	if a == b {
+		t.Error("string concatenations alias: ab|c == a|bc")
+	}
+
+	if sum(func(h *Hasher) { h.Str("x") }) != sum(func(h *Hasher) { h.Str("x") }) {
+		t.Error("identical writes hash differently")
+	}
+
+	if sum(func(h *Hasher) { h.F64(0.0) }) == sum(func(h *Hasher) { h.F64(math.Copysign(0, -1)) }) {
+		t.Error("+0.0 and -0.0 alias; floats must hash by bit pattern")
+	}
+	if sum(func(h *Hasher) { h.F64(1.0) }) == sum(func(h *Hasher) { h.F64(2.0) }) {
+		t.Error("distinct floats alias")
+	}
+
+	// A count-prefixed empty slice is distinct from writing nothing, so a
+	// message with an absent list can't alias one with a shifted tail.
+	if sum(func(h *Hasher) { h.F64s(nil); h.I64(7) }) == sum(func(h *Hasher) { h.I64(7) }) {
+		t.Error("empty slice writes nothing")
+	}
+
+	if sum(func(h *Hasher) { h.Ints([]int{1, 2}) }) == sum(func(h *Hasher) { h.Ints([]int{2, 1}) }) {
+		t.Error("slice order ignored")
+	}
+
+	if sum(func(h *Hasher) { h.Bool(true) }) == sum(func(h *Hasher) { h.Bool(false) }) {
+		t.Error("booleans alias")
+	}
+
+	// Sum is a prefix hash: more fields, different fingerprint.
+	h := NewHasher()
+	h.Str("q")
+	first := h.Sum()
+	h.U64(1)
+	if first == h.Sum() {
+		t.Error("appending a field did not change the fingerprint")
+	}
+}

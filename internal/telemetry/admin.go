@@ -67,6 +67,25 @@ type LedgerStatus struct {
 	Poisoned string `json:"poisoned,omitempty"`
 }
 
+// CacheStatus is the noisy-answer-cache operator view served at /cache.
+// It mirrors qcache.Stats (telemetry must not import qcache, which depends
+// on this package for its counters): event counts and sizes only, never
+// fingerprints or cached answers.
+type CacheStatus struct {
+	// Enabled is false when the server runs with the cache off
+	// (-cache-entries 0); all other fields are then zero.
+	Enabled       bool  `json:"enabled"`
+	Entries       int   `json:"entries"`
+	MaxEntries    int   `json:"maxEntries"`
+	Bytes         int64 `json:"bytes"`
+	TTLSeconds    int64 `json:"ttlSeconds"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Expirations   int64 `json:"expirations"`
+	Invalidations int64 `json:"invalidations"`
+}
+
 // AdminConfig wires the admin HTTP handler to a live server.
 type AdminConfig struct {
 	// Registry is the metrics registry served at /metrics.
@@ -77,6 +96,9 @@ type AdminConfig struct {
 	// Ledger supplies the durable-ledger status for /ledger; nil serves
 	// {"enabled": false}.
 	Ledger func() LedgerStatus
+	// Cache supplies the noisy-answer-cache status for /cache; nil serves
+	// {"enabled": false}.
+	Cache func() CacheStatus
 	// Health reports serving health for /healthz; nil means always healthy.
 	Health func() error
 	// Traces supplies recently completed trace snapshots for /traces
@@ -100,6 +122,7 @@ type AdminConfig struct {
 //	/healthz       200 "ok" or 503 with the health error
 //	/datasets      JSON []DatasetStats, sorted by name
 //	/ledger        JSON LedgerStatus for the durable budget ledger
+//	/cache         JSON CacheStatus for the noisy-answer cache
 //	/traces        JSON []TraceSnapshot, newest first (ring buffer of
 //	               completed cross-process traces, durations bucketed)
 //	/queries       JSON []InflightSnapshot (live queries: stage + elapsed
@@ -165,6 +188,14 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 		var st LedgerStatus
 		if cfg.Ledger != nil {
 			st = cfg.Ledger()
+		}
+		writeJSON(w, st)
+	})
+
+	mux.HandleFunc("/cache", func(w http.ResponseWriter, req *http.Request) {
+		var st CacheStatus
+		if cfg.Cache != nil {
+			st = cfg.Cache()
 		}
 		writeJSON(w, st)
 	})

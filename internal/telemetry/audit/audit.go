@@ -61,8 +61,9 @@ type Record struct {
 
 	TraceID string `json:"traceId,omitempty"`
 	Dataset string `json:"dataset,omitempty"`
-	// Outcome is the query's terminal state: ok, degraded, error, aborted
-	// or budget_refused.
+	// Outcome is the query's terminal state: ok, degraded, error, aborted,
+	// budget_refused, or cache_hit (an already-released answer re-served at
+	// zero ε).
 	Outcome string `json:"outcome,omitempty"`
 	// EpsilonCharged / EpsilonRefunded are the privacy-budget movements the
 	// query settled with (§6.2: aborts keep their charge).

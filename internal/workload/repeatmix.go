@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"math"
+
+	"gupt/internal/mathutil"
+)
+
+// RepeatMix generates a repeat-heavy query schedule: a deterministic
+// sequence of n indices over distinct distinct queries, with popularity
+// following a Zipf law (exponent ~1.1) so a handful of queries account for
+// most of the traffic. This is the dashboard/monitoring access pattern the
+// noisy-answer cache targets — the same released statistic polled over and
+// over, with a long tail of one-off queries.
+//
+// Every index in [0, distinct) appears at least once (so a cache-enabled
+// run pays for each distinct query exactly once), and the schedule is a
+// pure function of seed.
+func RepeatMix(seed int64, n, distinct int) []int {
+	if distinct > n {
+		distinct = n
+	}
+	rng := mathutil.NewRNG(seed)
+	mix := make([]int, 0, n)
+	// Coverage first: one slot per distinct query.
+	for i := 0; i < distinct; i++ {
+		mix = append(mix, i)
+	}
+	// The rest is Zipf-popular traffic over the same query set.
+	weights := make([]float64, distinct)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), 1.1)
+	}
+	for len(mix) < n {
+		mix = append(mix, rng.Categorical(weights))
+	}
+	// Interleave the coverage slots with the repeats so misses and hits
+	// arrive mixed, as they would from real analysts.
+	rng.Shuffle(len(mix), func(i, j int) { mix[i], mix[j] = mix[j], mix[i] })
+	return mix
+}

@@ -7,6 +7,7 @@ import (
 
 	"gupt/internal/budget"
 	"gupt/internal/core"
+	"gupt/internal/qcache"
 )
 
 // Session plans a batch of queries against one dataset under a single
@@ -105,10 +106,35 @@ func (s *Session) Run(ctx context.Context) ([]*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	label := fmt.Sprintf("session:%s:%d-queries", s.dataset, len(s.queries))
+
+	// Noisy-answer cache: the session's ε is charged atomically, so the
+	// batch caches (and re-releases) as one unit. A hit re-serves every
+	// member's published answer and charges nothing.
+	var fp qcache.Fingerprint
+	cachable := false
+	if reg, err := s.platform.reg.Lookup(s.dataset); err == nil {
+		fp, cachable = s.platform.sessionFingerprint(s, reg.ContentVersion())
+	}
+	if cachable {
+		if v, ok := s.platform.cache.Get(fp); ok {
+			cached := v.([]Result)
+			if err := s.platform.mgr.CacheHit(s.dataset, label); err != nil {
+				return nil, fmt.Errorf("gupt: recording cache hit: %w", err)
+			}
+			out := make([]*Result, len(cached))
+			for i := range cached {
+				r := cached[i]
+				r.CacheHit = true
+				out[i] = &r
+			}
+			return out, nil
+		}
+	}
+
 	// One atomic charge for the whole session; per-query epsilons then flow
 	// from the session's own pot, so a mid-session failure cannot leave the
 	// ledger inconsistent with what was released.
-	label := fmt.Sprintf("session:%s:%d-queries", s.dataset, len(s.queries))
 	if err := s.platform.mgr.Charge(s.dataset, label, s.budget); err != nil {
 		return nil, err
 	}
@@ -138,6 +164,27 @@ func (s *Session) Run(ctx context.Context) ([]*Result, error) {
 			continue
 		}
 		results[i] = res
+	}
+	// Fill only when every member released cleanly, same stance as
+	// standalone queries: re-serving a partially failed batch would pin its
+	// failures.
+	if cachable && len(errs) == 0 {
+		clean := true
+		for _, r := range results {
+			if r == nil || r.FailedBlocks > 0 {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			stored := make([]Result, len(results))
+			var size int64
+			for i, r := range results {
+				stored[i] = *r
+				size += resultCacheSize(r)
+			}
+			s.platform.cache.Put(fp, s.dataset, stored, size)
+		}
 	}
 	return results, errors.Join(errs...)
 }
