@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench bench-telemetry bench-wire bench-cache ledger-kill audit-kill
+.PHONY: all build test race vet check fuzz bench bench-telemetry bench-wire bench-cache bench-tenant ledger-kill audit-kill
 
 all: check
 
@@ -69,3 +69,9 @@ bench-wire:
 # cache on vs off, and regenerates the checked-in report.
 bench-cache:
 	$(GO) run ./cmd/gupt-bench -quick -exp cache -json BENCH_PR7.json
+
+# bench-tenant measures the multi-tenant front door: authn + rate-limit +
+# quota hot-path overhead versus tenancy off, and rejection throughput
+# under a 95%-over-quota flood, and regenerates the checked-in report.
+bench-tenant:
+	$(GO) run ./cmd/gupt-bench -quick -exp tenant -json BENCH_PR8.json

@@ -70,6 +70,9 @@ func runners() map[string]runner {
 		"cache": func(cfg experiments.Config) (tabler, error) {
 			return experiments.CacheEffect(cfg)
 		},
+		"tenant": func(cfg experiments.Config) (tabler, error) {
+			return experiments.TenancyOverhead(cfg)
+		},
 		"timing":       func(cfg experiments.Config) (tabler, error) { return experiments.TimingAttack(cfg) },
 		"budgetattack": func(cfg experiments.Config) (tabler, error) { return experiments.BudgetAttack(cfg) },
 		"stateattack":  runStateAttack,

@@ -51,10 +51,16 @@ func main() {
 	log.SetPrefix("gupt-cli: ")
 	log.SetFlags(0)
 
-	// The audit subcommands are operator tooling over local files; they
-	// take no server connection and dispatch before flag parsing.
+	// The audit and tenant subcommands are operator tooling (local files /
+	// the admin HTTP plane); they dispatch before flag parsing.
 	if len(os.Args) > 1 && os.Args[1] == "audit" {
 		if err := runAudit(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "tenant" {
+		if err := runTenant(os.Args[2:]); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -84,6 +90,8 @@ func main() {
 		gamma      = flag.Int("gamma", 0, "resampling factor (0/1 = off)")
 		autoBlock  = flag.Bool("autoblock", false, "tune block size from the aged sample")
 		seed       = flag.Int64("seed", 0, "seed for reproducible runs")
+		apiKey     = flag.String("api-key", os.Getenv("GUPT_API_KEY"), "tenant API key for a tenancy-enabled server (default $GUPT_API_KEY)")
+		adminToken = flag.String("admin-token", os.Getenv("GUPT_ADMIN_TOKEN"), "admin token for -admin HTTP views (default $GUPT_ADMIN_TOKEN)")
 		ranges     rangeFlags
 	)
 	flag.Var(&ranges, "range", "output range lo,hi (repeat per output dimension)")
@@ -92,7 +100,7 @@ func main() {
 	// The admin stats and cache tables talk HTTP to the operator plane; no
 	// protocol connection is needed.
 	if *op == "stats" && *admin != "" {
-		if err := adminStats(*admin); err != nil {
+		if err := adminStats(*admin, *adminToken); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -101,7 +109,7 @@ func main() {
 		if *admin == "" {
 			log.Fatal("-op cache needs -admin (the cache is an operator view)")
 		}
-		if err := adminCache(*admin); err != nil {
+		if err := adminCache(*admin, *adminToken); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -112,6 +120,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	if *apiKey != "" {
+		client.SetAPIKey(*apiKey)
+	}
 
 	switch *op {
 	case "ping":

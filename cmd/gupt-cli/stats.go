@@ -11,13 +11,19 @@ import (
 	"gupt/internal/telemetry"
 )
 
-// adminStats renders the operator's per-dataset budget table from guptd's
-// admin endpoint (-admin-addr). This is the pretty-print mode of -op stats:
-// it talks HTTP to the admin plane instead of the analyst protocol, so it
-// sees per-dataset remaining budget and refusal counts.
-func adminStats(adminAddr string) error {
-	url := "http://" + adminAddr + "/datasets"
-	resp, err := http.Get(url)
+// adminGetJSON fetches one admin-plane view and decodes the JSON reply,
+// presenting the admin token (when set) as X-Admin-Token — the same
+// carrier the token gate documents.
+func adminGetJSON(adminAddr, token, path string, out any) error {
+	url := "http://" + adminAddr + path
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	if token != "" {
+		req.Header.Set("X-Admin-Token", token)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -29,9 +35,20 @@ func adminStats(adminAddr string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("GET %s: %s", url, resp.Status)
 	}
-	var stats []telemetry.DatasetStats
-	if err := json.Unmarshal(body, &stats); err != nil {
+	if err := json.Unmarshal(body, out); err != nil {
 		return fmt.Errorf("parsing %s: %w", url, err)
+	}
+	return nil
+}
+
+// adminStats renders the operator's per-dataset budget table from guptd's
+// admin endpoint (-admin-addr). This is the pretty-print mode of -op stats:
+// it talks HTTP to the admin plane instead of the analyst protocol, so it
+// sees per-dataset remaining budget and refusal counts.
+func adminStats(adminAddr, token string) error {
+	var stats []telemetry.DatasetStats
+	if err := adminGetJSON(adminAddr, token, "/datasets", &stats); err != nil {
+		return err
 	}
 	renderDatasetTable(os.Stdout, stats)
 	return nil
@@ -40,23 +57,10 @@ func adminStats(adminAddr string) error {
 // adminCache renders the noisy-answer cache's counters from guptd's admin
 // endpoint: hit/miss/eviction totals and current occupancy. Like -op stats
 // -admin, this is an operator view over HTTP, not the analyst protocol.
-func adminCache(adminAddr string) error {
-	url := "http://" + adminAddr + "/cache"
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
+func adminCache(adminAddr, token string) error {
 	var st telemetry.CacheStatus
-	if err := json.Unmarshal(body, &st); err != nil {
-		return fmt.Errorf("parsing %s: %w", url, err)
+	if err := adminGetJSON(adminAddr, token, "/cache", &st); err != nil {
+		return err
 	}
 	renderCacheStatus(os.Stdout, st)
 	return nil

@@ -24,9 +24,10 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7201", "address to listen on")
-		scratch   = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
-		adminAddr = flag.String("admin-addr", "", "operator admin HTTP endpoint (/metrics, /healthz, /debug/pprof); empty disables")
+		listen     = flag.String("listen", "127.0.0.1:7201", "address to listen on")
+		scratch    = flag.String("scratch", "", "root for subprocess chamber scratch dirs (default: system temp)")
+		adminAddr  = flag.String("admin-addr", "", "operator admin HTTP endpoint (/metrics, /healthz, /debug/pprof); empty disables")
+		adminToken = flag.String("admin-token", "", "shared secret gating the admin HTTP endpoint (all routes except /healthz); empty leaves it open")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		handler := telemetry.AdminHandler(telemetry.AdminConfig{
 			Registry: tel,
 			Health:   func() error { return nil },
+			Token:    *adminToken,
 		})
 		go func() {
 			if err := http.Serve(al, handler); err != nil {

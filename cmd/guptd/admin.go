@@ -11,26 +11,33 @@ import (
 	"gupt/internal/ledger"
 	"gupt/internal/qcache"
 	"gupt/internal/telemetry"
+	"gupt/internal/tenant"
 )
 
 // newAdminHandler assembles guptd's admin endpoint: the shared telemetry
 // registry at /metrics (JSON or Prometheus text by content negotiation),
 // per-dataset budget state at /datasets, the durable ledger's status at
 // /ledger, completed query traces at /traces, the live query table at
-// /queries, /healthz, and /debug/pprof/. The endpoint is operator-facing —
-// bind it to loopback or an ops network, never the analyst-facing address
-// (see SECURITY.md, "Telemetry and the observability side channel").
-func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry, led *ledger.Ledger, srv *compman.Server) http.Handler {
+// /queries, tenant administration at /tenants (tenancy mode only),
+// /healthz, and /debug/pprof/. A non-empty token gates everything but
+// /healthz. The endpoint is operator-facing — bind it to loopback or an
+// ops network, never the analyst-facing address (see SECURITY.md,
+// "Telemetry and the observability side channel").
+func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry, led *ledger.Ledger, srv *compman.Server, tenants *tenant.Registry, token string) http.Handler {
 	cfg := telemetry.AdminConfig{
 		Registry: tel,
 		Health:   func() error { return nil },
 		Datasets: func() []telemetry.DatasetStats { return datasetStats(tel, reg) },
 		Ledger:   func() telemetry.LedgerStatus { return ledgerStatus(led) },
+		Token:    token,
 	}
 	if srv != nil {
 		cfg.Traces = srv.Traces
 		cfg.Queries = srv.LiveQueries
 		cfg.Cache = func() telemetry.CacheStatus { return cacheStatus(srv.CacheStats()) }
+	}
+	if tenants != nil {
+		cfg.Extra = tenantHandlers(tenants)
 	}
 	return telemetry.AdminHandler(cfg)
 }

@@ -32,7 +32,7 @@ func startGuptd(t *testing.T, reg *dataset.Registry, cfg compman.ServerConfig) (
 	go srv.Serve(sl)
 	t.Cleanup(func() { srv.Close() })
 
-	al, stopAdmin, err := serveAdmin("127.0.0.1:0", newAdminHandler(tel, reg, nil, srv))
+	al, stopAdmin, err := serveAdmin("127.0.0.1:0", newAdminHandler(tel, reg, nil, srv, nil, ""))
 	if err != nil {
 		t.Fatal(err)
 	}

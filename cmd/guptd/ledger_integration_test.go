@@ -36,7 +36,7 @@ func startGuptdWithLedger(t *testing.T, reg *dataset.Registry, dir string) (*com
 	go srv.Serve(sl)
 	t.Cleanup(func() { srv.Close() })
 
-	al, stopAdmin, err := serveAdmin("127.0.0.1:0", newAdminHandler(tel, reg, led, srv))
+	al, stopAdmin, err := serveAdmin("127.0.0.1:0", newAdminHandler(tel, reg, led, srv, nil, ""))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,7 @@ import (
 	"gupt/internal/ledger"
 	"gupt/internal/telemetry"
 	"gupt/internal/telemetry/audit"
+	"gupt/internal/tenant"
 )
 
 type datasetFlags []string
@@ -69,6 +70,9 @@ func main() {
 		maxFailFrac  = flag.Float64("max-fail-frac", 0, "abort queries when more than this fraction of blocks was substituted (0 disables)")
 		cacheEntries = flag.Int("cache-entries", 1024, "noisy-answer cache capacity: repeat queries are re-served their published answer at zero extra ε (0 disables)")
 		cacheTTL     = flag.Duration("cache-ttl", 10*time.Minute, "expire cached answers after this long (0 keeps them until evicted)")
+		tenancy      = flag.Bool("tenancy", false, "require tenant API keys: authenticate, authorize, rate-limit, and quota every request (see -tenants-file)")
+		tenantsFile  = flag.String("tenants-file", "", "tenant registry file (JSON; created on first 'tenant create'); empty with -tenancy keeps tenants in memory only")
+		adminToken   = flag.String("admin-token", "", "shared secret gating the admin HTTP endpoint (all routes except /healthz); empty leaves it open")
 		datasets     datasetFlags
 	)
 	flag.Var(&datasets, "dataset", "dataset spec name=path[:budget=F][:aged=F][:header] (repeatable)")
@@ -99,6 +103,23 @@ func main() {
 	var workerAddrs []string
 	if *workers != "" {
 		workerAddrs = strings.Split(*workers, ",")
+	}
+
+	// Tenant registry: the multi-tenant front door's principal database.
+	// Nil keeps the exact single-tenant behavior of prior releases.
+	var tenants *tenant.Registry
+	if *tenancy {
+		var err error
+		tenants, err = tenant.Load(*tenantsFile)
+		if err != nil {
+			log.Fatalf("loading tenant registry: %v", err)
+		}
+		if *tenantsFile == "" {
+			log.Print("WARNING: -tenancy without -tenants-file keeps tenant definitions in memory only; they will not survive a restart")
+		}
+		log.Printf("tenancy enabled: %d tenant(s) loaded; every request requires an API key", len(tenants.List()))
+	} else if *tenantsFile != "" {
+		log.Print("WARNING: -tenants-file is ignored without -tenancy")
 	}
 
 	tel := telemetry.NewRegistry()
@@ -138,6 +159,21 @@ func main() {
 		if rec.TornTail {
 			log.Printf("privacy ledger: truncated a torn final record (crash mid-append); spent budget is intact")
 		}
+		// Replay per-tenant balances into the quota ledger. Tenant-attributed
+		// WAL records with tenancy off — or records naming a tenant the
+		// registry no longer knows — fail closed: serving anyway would let
+		// spent quota silently reset to zero.
+		for name, ds := range rec.Datasets {
+			if len(ds.TenantSpent) == 0 {
+				continue
+			}
+			if tenants == nil {
+				log.Fatalf("ledger %s: dataset %q has tenant-attributed spend but tenancy is off; restart with -tenancy (and the original -tenants-file)", *ledgerDir, name)
+			}
+			if err := tenants.SeedFromRecovery(name, ds.TenantSpent); err != nil {
+				log.Fatalf("ledger %s: replaying tenant balances for dataset %q: %v", *ledgerDir, name, err)
+			}
+		}
 	}
 	statePath := *state
 	if led != nil {
@@ -174,6 +210,7 @@ func main() {
 		TraceBufferSize: *traceBufSize,
 		CacheEntries:    *cacheEntries,
 		CacheTTL:        *cacheTTL,
+		Tenants:         tenants,
 	}
 	if *traceLog {
 		log.Print("WARNING: -unsafe-trace-log exposes raw per-stage query timings in the log; " +
@@ -185,12 +222,19 @@ func main() {
 
 	var stopAdmin func()
 	if *adminAddr != "" {
-		al, stop, err := serveAdmin(*adminAddr, newAdminHandler(tel, reg, led, srv))
+		al, stop, err := serveAdmin(*adminAddr, newAdminHandler(tel, reg, led, srv, tenants, *adminToken))
 		if err != nil {
 			log.Fatalf("admin endpoint: %v", err)
 		}
 		stopAdmin = stop
-		log.Printf("admin endpoint on http://%s (/metrics /traces /queries /healthz /datasets /ledger /cache /debug/pprof/)", al.Addr())
+		routes := "/metrics /traces /queries /healthz /datasets /ledger /cache /debug/pprof/"
+		if tenants != nil {
+			routes += " /tenants"
+		}
+		if *adminToken != "" {
+			routes += " (token-gated)"
+		}
+		log.Printf("admin endpoint on http://%s (%s)", al.Addr(), routes)
 	}
 
 	l, err := net.Listen("tcp", *listen)

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+
+	"gupt/internal/tenant"
+)
+
+// tenantHandlers builds the /tenants operator routes. They live on the
+// admin plane (behind the -admin-token gate, never the analyst wire):
+//
+//	GET  /tenants        sanitized tenant list (grants, quotas, live spend
+//	                     — key hashes and raw keys never appear)
+//	POST /tenants        {"id": "..."} creates a tenant; the response
+//	                     carries the raw API key, the only time it exists
+//	POST /tenants/grant  {"id": "...", "dataset": "..."} ("*" = all)
+//	POST /tenants/quota  {"id": "...", "dataset": "...", "epsilon": F}
+//	POST /tenants/limits {"id": "...", "qps": F, "burst": N, "maxInflight": N}
+//
+// Every mutation persists the registry to its -tenants-file before
+// answering, so an acknowledged change survives a restart.
+func tenantHandlers(tenants *tenant.Registry) map[string]http.Handler {
+	type grantReq struct {
+		ID      string `json:"id"`
+		Dataset string `json:"dataset"`
+	}
+	type quotaReq struct {
+		ID      string  `json:"id"`
+		Dataset string  `json:"dataset"`
+		Epsilon float64 `json:"epsilon"`
+	}
+	type limitsReq struct {
+		ID          string  `json:"id"`
+		QPS         float64 `json:"qps"`
+		Burst       int     `json:"burst"`
+		MaxInflight int     `json:"maxInflight"`
+	}
+
+	decode := func(w http.ResponseWriter, req *http.Request, v any) bool {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return false
+		}
+		if err := json.NewDecoder(req.Body).Decode(v); err != nil {
+			http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+			return false
+		}
+		return true
+	}
+	// persist saves the registry after a mutation; a failed save fails the
+	// request (the change is live in memory but the operator must know it
+	// will not survive a restart).
+	persist := func(w http.ResponseWriter) bool {
+		if err := tenants.Save(); err != nil {
+			log.Printf("persisting tenants: %v", err)
+			http.Error(w, fmt.Sprintf("applied but not persisted: %v", err), http.StatusInternalServerError)
+			return false
+		}
+		return true
+	}
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+
+	h := make(map[string]http.Handler)
+	h["/tenants"] = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method {
+		case http.MethodGet:
+			writeJSON(w, tenants.List())
+		case http.MethodPost:
+			var body struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+				http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+				return
+			}
+			key, err := tenants.Create(body.ID)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if !persist(w) {
+				return
+			}
+			// The raw key's single appearance; store it client-side.
+			writeJSON(w, map[string]string{"id": body.ID, "apiKey": key})
+		default:
+			http.Error(w, "GET or POST required", http.StatusMethodNotAllowed)
+		}
+	})
+	h["/tenants/grant"] = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var body grantReq
+		if !decode(w, req, &body) {
+			return
+		}
+		if err := tenants.Grant(body.ID, body.Dataset); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !persist(w) {
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	h["/tenants/quota"] = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var body quotaReq
+		if !decode(w, req, &body) {
+			return
+		}
+		if err := tenants.SetQuota(body.ID, body.Dataset, body.Epsilon); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !persist(w) {
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	h["/tenants/limits"] = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var body limitsReq
+		if !decode(w, req, &body) {
+			return
+		}
+		if err := tenants.SetLimits(body.ID, body.QPS, body.Burst, body.MaxInflight); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !persist(w) {
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	return h
+}

@@ -72,11 +72,22 @@ func Zeta(ranges []dp.Range, blockSize, n int) (float64, error) {
 	return z, nil
 }
 
+// QuotaKeeper is the per-tenant ε quota layer (implemented by
+// tenant.Registry). Reserve debits a tenant's quota on a dataset, refusing
+// when the ceiling would be exceeded; Release backs out a reservation whose
+// downstream global charge was refused. The quota sits ON TOP of the
+// dataset-global budget: both must admit a charge.
+type QuotaKeeper interface {
+	Reserve(tenant, dataset string, eps float64) error
+	Release(tenant, dataset string, eps float64)
+}
+
 // Manager charges privacy spends to datasets in a registry. All spends
 // flow through here; analyst-side code never sees an accountant.
 type Manager struct {
-	reg *dataset.Registry
-	tel *telemetry.Registry
+	reg    *dataset.Registry
+	tel    *telemetry.Registry
+	quotas QuotaKeeper
 }
 
 // NewManager returns a manager over the given registry.
@@ -91,14 +102,42 @@ func (m *Manager) Instrument(tel *telemetry.Registry) {
 	m.tel = tel
 }
 
+// SetQuotas layers per-tenant ε quotas onto every tenant-attributed charge
+// (PR 8). Call before serving; nil disables the layer. Charges with an
+// empty tenant id (embedded platform, single-tenant mode) bypass quotas.
+func (m *Manager) SetQuotas(q QuotaKeeper) {
+	m.quotas = q
+}
+
 // Charge debits eps from the named dataset's budget, labeled for audit.
 // It fails atomically: either the full charge is recorded or nothing is.
 func (m *Manager) Charge(datasetName, label string, eps float64) error {
+	return m.ChargeAs("", datasetName, label, eps)
+}
+
+// ChargeAs is Charge attributed to a tenant id. Admission order: the
+// tenant's quota reservation first (a refusal here is free — nothing
+// durable happened), then the dataset-global durable charge; a global
+// refusal releases the reservation. A crash between the two can only lose
+// the release, leaving the tenant's quota over-counted — the safe
+// direction, and the quota balance is rebuilt from the ledger at next boot
+// anyway. The empty tenant is exactly Charge.
+func (m *Manager) ChargeAs(tenant, datasetName, label string, eps float64) error {
 	r, err := m.reg.Lookup(datasetName)
 	if err != nil {
 		return err
 	}
-	return m.record(datasetName, r.Spend(label, eps))
+	if tenant != "" && m.quotas != nil {
+		if err := m.quotas.Reserve(tenant, datasetName, eps); err != nil {
+			m.tel.Counter("budget.tenant_quota_refusals").Inc()
+			return m.record(datasetName, err)
+		}
+	}
+	err = m.record(datasetName, r.SpendAs(tenant, label, eps))
+	if err != nil && tenant != "" && m.quotas != nil {
+		m.quotas.Release(tenant, datasetName, eps)
+	}
+	return err
 }
 
 // record tallies a settled or refused charge. Only budget refusals count as
@@ -121,11 +160,18 @@ func (m *Manager) record(datasetName string, err error) error {
 // the WAL so the books distinguish re-releases from fresh spends. The
 // counters (budget.cache_hits[.<dataset>]) carry event counts only.
 func (m *Manager) CacheHit(datasetName, label string) error {
+	return m.CacheHitAs("", datasetName, label)
+}
+
+// CacheHitAs is CacheHit attributed to a tenant id, so the WAL shows whose
+// cached answer was re-released. Still budget- and quota-neutral: a cache
+// hit is post-processing of an answer already paid for.
+func (m *Manager) CacheHitAs(tenant, datasetName, label string) error {
 	r, err := m.reg.Lookup(datasetName)
 	if err != nil {
 		return err
 	}
-	if err := r.RecordCacheHit(label); err != nil {
+	if err := r.RecordCacheHitAs(tenant, label); err != nil {
 		return err
 	}
 	m.tel.Counter("budget.cache_hits").Inc()
@@ -147,6 +193,13 @@ func (m *Manager) Remaining(datasetName string) (float64, error) {
 // It returns the estimate so the caller can run the query at the granted
 // budget. The estimate itself touches only aged data and costs nothing.
 func (m *Manager) ChargeForAccuracy(datasetName, label string, program analytics.Program, blockSize int, ranges []dp.Range, goal aging.AccuracyGoal) (aging.EpsilonEstimate, error) {
+	return m.ChargeForAccuracyAs("", datasetName, label, program, blockSize, ranges, goal)
+}
+
+// ChargeForAccuracyAs is ChargeForAccuracy attributed to a tenant id. The
+// estimate runs first (aged data only, costs nothing), so the tenant's
+// quota is reserved for the exact ε the goal translates to.
+func (m *Manager) ChargeForAccuracyAs(tenant, datasetName, label string, program analytics.Program, blockSize int, ranges []dp.Range, goal aging.AccuracyGoal) (aging.EpsilonEstimate, error) {
 	r, err := m.reg.Lookup(datasetName)
 	if err != nil {
 		return aging.EpsilonEstimate{}, err
@@ -162,7 +215,16 @@ func (m *Manager) ChargeForAccuracy(datasetName, label string, program analytics
 	if err != nil {
 		return aging.EpsilonEstimate{}, err
 	}
-	if err := m.record(datasetName, r.Spend(label, est.Epsilon)); err != nil {
+	if tenant != "" && m.quotas != nil {
+		if err := m.quotas.Reserve(tenant, datasetName, est.Epsilon); err != nil {
+			m.tel.Counter("budget.tenant_quota_refusals").Inc()
+			return aging.EpsilonEstimate{}, m.record(datasetName, err)
+		}
+	}
+	if err := m.record(datasetName, r.SpendAs(tenant, label, est.Epsilon)); err != nil {
+		if tenant != "" && m.quotas != nil {
+			m.quotas.Release(tenant, datasetName, est.Epsilon)
+		}
 		return aging.EpsilonEstimate{}, err
 	}
 	return est, nil

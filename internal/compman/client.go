@@ -17,6 +17,7 @@ type Client struct {
 	conn    net.Conn
 	r       *bufio.Reader
 	version uint8
+	apiKey  string // stamped onto every request when the wire speaks v3
 	wbuf    []byte // reused binary encode buffer
 	rbuf    []byte // reused binary frame read buffer
 }
@@ -67,6 +68,16 @@ func NewClientVersion(conn net.Conn, version uint8) (*Client, error) {
 // WireVersion reports the negotiated wire version.
 func (c *Client) WireVersion() uint8 { return c.version }
 
+// SetAPIKey attaches tenant credentials to every subsequent request. The
+// key only travels on wire version 3+; against an older server it is
+// silently dropped by the framing, and a tenancy-enabled server will then
+// refuse admission — fail closed, never fail open.
+func (c *Client) SetAPIKey(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.apiKey = key
+}
+
 // Close releases the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
@@ -77,6 +88,10 @@ func (c *Client) Close() error { return c.conn.Close() }
 type QueryError struct {
 	Msg            string
 	EpsilonCharged float64
+	// RetryAfterMillis, when positive, is the server's rate-limit backoff
+	// hint: the rejection consumed zero ε and the request may be retried
+	// after this many milliseconds.
+	RetryAfterMillis int64
 }
 
 func (e *QueryError) Error() string { return e.Msg }
@@ -86,7 +101,12 @@ func (e *QueryError) Error() string { return e.Msg }
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	frame, err := AppendRequestFrame(c.wbuf[:0], req)
+	if req.APIKey == "" && c.apiKey != "" {
+		q := *req
+		q.APIKey = c.apiKey
+		req = &q
+	}
+	frame, err := AppendRequestFrameV(c.wbuf[:0], req, c.version)
 	if err != nil {
 		return nil, fmt.Errorf("compman: encode: %w", err)
 	}
@@ -106,7 +126,7 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		if resp.Error == "" {
 			resp.Error = "unspecified server error"
 		}
-		return nil, &QueryError{Msg: resp.Error, EpsilonCharged: resp.EpsilonCharged}
+		return nil, &QueryError{Msg: resp.Error, EpsilonCharged: resp.EpsilonCharged, RetryAfterMillis: resp.RetryAfterMillis}
 	}
 	return resp, nil
 }

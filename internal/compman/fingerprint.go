@@ -22,8 +22,10 @@ import "gupt/internal/qcache"
 // fingerprintScheme versions the hash layout. Bump it whenever a field is
 // added or reordered below so entries written by an older layout (none can
 // exist in-process, but belt and braces for future persistence) can never
-// alias.
-const fingerprintScheme = 1
+// alias. Scheme 2 added the tenant id: the noisy-answer cache is
+// partitioned per tenant, so one tenant's query history is never observable
+// through another tenant's hit/miss timing (see SECURITY.md).
+const fingerprintScheme = 2
 
 // hashProgramSpec writes every ProgramSpec field, fixed order.
 func hashProgramSpec(h *qcache.Hasher, ps *ProgramSpec) {
@@ -59,9 +61,13 @@ func hashRanges(h *qcache.Hasher, rs []RangeSpec) {
 // exact data the original answer was computed over: a mutated or
 // re-registered dataset gets a new version, so a stale entry is
 // unreachable by construction — no invalidation ordering to get right.
-func queryFingerprint(req *Request, contentVersion uint64) qcache.Fingerprint {
+// tenant partitions the cache per principal ("" = the single-tenant
+// partition): cross-tenant reuse would be safe by post-processing, but it
+// would let tenant B probe whether tenant A already asked a question.
+func queryFingerprint(req *Request, tenant string, contentVersion uint64) qcache.Fingerprint {
 	h := qcache.NewHasher()
 	h.Int(fingerprintScheme)
+	h.Str(tenant)
 	h.Str(string(OpQuery))
 	h.Str(req.Dataset)
 	h.U64(contentVersion)
@@ -100,9 +106,10 @@ func queryFingerprint(req *Request, contentVersion uint64) qcache.Fingerprint {
 // sessionFingerprint computes the cache key for an OpSession request: the
 // whole batch is one cache unit, because its ε is distributed and charged
 // atomically across the members.
-func sessionFingerprint(req *Request, contentVersion uint64) qcache.Fingerprint {
+func sessionFingerprint(req *Request, tenant string, contentVersion uint64) qcache.Fingerprint {
 	h := qcache.NewHasher()
 	h.Int(fingerprintScheme)
+	h.Str(tenant)
 	h.Str(string(OpSession))
 	h.Str(req.Dataset)
 	h.U64(contentVersion)

@@ -56,7 +56,7 @@ func TestFingerprintRepresentationStable(t *testing.T) {
 		if err != nil {
 			t.Fatalf("variant %d: %v", i, err)
 		}
-		fp := queryFingerprint(req, 7)
+		fp := queryFingerprint(req, "", 7)
 		if i == 0 {
 			want = fp
 			continue
@@ -105,16 +105,25 @@ func TestFingerprintDistinct(t *testing.T) {
 		"quantum":        func(r *Request) { r.QuantumMillis = 100 },
 		"percentile-win": func(r *Request) { r.PercentileLow = 0.1; r.PercentileHigh = 0.9 },
 	}
-	seen := map[qcacheFingerprint]string{queryFingerprint(base(), 7): "base"}
-	if fp := queryFingerprint(base(), 8); seen[fp] != "" {
+	seen := map[qcacheFingerprint]string{queryFingerprint(base(), "", 7): "base"}
+	if fp := queryFingerprint(base(), "", 8); seen[fp] != "" {
 		t.Error("content version bump did not change the fingerprint")
 	} else {
 		seen[fp] = "content-version"
 	}
+	// The cache is partitioned per tenant: the same query under different
+	// principals (and under the default principal) must key apart.
+	for _, tid := range []string{"alice", "bob"} {
+		if fp := queryFingerprint(base(), tid, 7); seen[fp] != "" {
+			t.Errorf("tenant %q shares a fingerprint with %s", tid, seen[fp])
+		} else {
+			seen[fp] = "tenant-" + tid
+		}
+	}
 	for name, mutate := range mutants {
 		req := base()
 		mutate(req)
-		fp := queryFingerprint(req, 7)
+		fp := queryFingerprint(req, "", 7)
 		if prev, dup := seen[fp]; dup {
 			t.Errorf("%s collides with %s", name, prev)
 		}
@@ -138,10 +147,10 @@ func FuzzFingerprint(f *testing.F) {
 		if err != nil || req.Op != OpQuery || req.Program == nil {
 			return
 		}
-		fp := queryFingerprint(req, 1)
+		fp := queryFingerprint(req, "", 1)
 
 		// Determinism: hashing the same decoded request twice is identical.
-		if again := queryFingerprint(req, 1); again != fp {
+		if again := queryFingerprint(req, "", 1); again != fp {
 			t.Fatalf("fingerprint not deterministic: %s then %s", fp, again)
 		}
 
@@ -154,14 +163,17 @@ func FuzzFingerprint(f *testing.F) {
 			if err != nil {
 				t.Fatalf("reordered request rejected: %v\n%s", err, reordered)
 			}
-			if fp2 := queryFingerprint(req2, 1); fp2 != fp {
+			if fp2 := queryFingerprint(req2, "", 1); fp2 != fp {
 				t.Fatalf("field ordering changed the fingerprint:\n%s\n%s", canon, reordered)
 			}
 		}
 
 		// Distinctness: each mutation must move the key.
-		if queryFingerprint(req, 2) == fp {
+		if queryFingerprint(req, "", 2) == fp {
 			t.Fatal("content version bump did not change the fingerprint")
+		}
+		if queryFingerprint(req, "alice", 1) == fp {
+			t.Fatal("tenant id did not partition the fingerprint")
 		}
 		mutants := []func(*Request){
 			func(r *Request) { r.Epsilon++ },
@@ -176,7 +188,7 @@ func FuzzFingerprint(f *testing.F) {
 				return // request not JSON-representable (non-finite floats)
 			}
 			mutate(clone)
-			if queryFingerprint(clone, 1) == fp {
+			if queryFingerprint(clone, "", 1) == fp {
 				t.Fatalf("mutation %d did not change the fingerprint", i)
 			}
 		}

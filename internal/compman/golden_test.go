@@ -39,6 +39,12 @@ func goldenMessages() []struct {
 			name  string
 			frame func() ([]byte, error)
 		}{"request-" + name, func() ([]byte, error) { return AppendRequestFrame(nil, req) }})
+		// The v2 framing (no tenant tails) stays negotiable for pre-tenancy
+		// clients, so its bytes stay pinned alongside the current version's.
+		out = append(out, struct {
+			name  string
+			frame func() ([]byte, error)
+		}{"request-" + name + "-v2", func() ([]byte, error) { return AppendRequestFrameV(nil, req, WireVersionBinary) }})
 	}
 	resps := sampleResponses()
 	respNames := make([]string, 0, len(resps))
@@ -52,6 +58,10 @@ func goldenMessages() []struct {
 			name  string
 			frame func() ([]byte, error)
 		}{"response-" + name, func() ([]byte, error) { return AppendResponseFrame(nil, resp) }})
+		out = append(out, struct {
+			name  string
+			frame func() ([]byte, error)
+		}{"response-" + name + "-v2", func() ([]byte, error) { return AppendResponseFrameV(nil, resp, WireVersionBinary) }})
 	}
 	out = append(out, struct {
 		name  string

@@ -270,6 +270,12 @@ type Request struct {
 	// zero selects the paper's default (0.25, 0.75).
 	PercentileLow  float64 `json:"percentileLow,omitempty"`
 	PercentileHigh float64 `json:"percentileHigh,omitempty"`
+
+	// APIKey authenticates the caller when the server runs with tenancy
+	// enabled (PR 8). Wire version 3 carries it as an optional tail; a
+	// version-2 peer simply never sends one. The server resolves it to a
+	// tenant id and NEVER echoes, logs, or audits the key itself.
+	APIKey string `json:"apiKey,omitempty"`
 }
 
 // Response is one protocol message from server to client.
@@ -310,6 +316,15 @@ type Response struct {
 	Datasets  []string        `json:"datasets,omitempty"`
 	Stats     *ServerStats    `json:"stats,omitempty"`
 	Session   []SessionResult `json:"session,omitempty"`
+
+	// Tenant is the principal the server resolved and billed for this
+	// operation (PR 8). Empty on tenancy-off servers. Wire version 3
+	// carries it as an optional response tail.
+	Tenant string `json:"tenant,omitempty"`
+	// RetryAfterMillis is set on rate-limit rejections: the client should
+	// back off at least this long before retrying. The rejection charged
+	// zero ε — it happened before any budget admission.
+	RetryAfterMillis int64 `json:"retryAfterMillis,omitempty"`
 }
 
 // The wire decoders below are the single entry points for every byte

@@ -21,9 +21,11 @@ import (
 	"gupt/internal/dp"
 	"gupt/internal/mathutil"
 	"gupt/internal/qcache"
+	"gupt/internal/ratelimit"
 	"gupt/internal/sandbox"
 	"gupt/internal/telemetry"
 	"gupt/internal/telemetry/audit"
+	"gupt/internal/tenant"
 )
 
 // ServerConfig tunes the trusted server component.
@@ -105,6 +107,13 @@ type ServerConfig struct {
 	// the dataset content version inside every fingerprint already makes
 	// stale answers unreachable.
 	CacheTTL time.Duration
+	// Tenants, when set, turns on the multi-tenant front door: every
+	// request must carry an API key that resolves to an enabled tenant,
+	// dataset access follows the tenant's grants, per-tenant ε quotas layer
+	// on top of the global budget, and per-tenant rate limits gate query
+	// admission. Nil keeps the single-tenant behavior: no authentication,
+	// every request runs as the default principal.
+	Tenants *tenant.Registry
 }
 
 // Server is the trusted computation-manager server. It owns the dataset
@@ -121,6 +130,7 @@ type Server struct {
 	traces   *telemetry.TraceBuffer // completed query traces, for /traces
 	inflight *telemetry.Inflight    // live query table, for /queries
 	cache    *qcache.Cache          // noisy-answer cache; nil when disabled
+	limiter  *ratelimit.Limiter     // per-tenant admission gate; nil when tenancy off
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -148,6 +158,10 @@ func NewServer(reg *dataset.Registry, cfg ServerConfig) *Server {
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.mgr.Instrument(tel)
+	if cfg.Tenants != nil {
+		s.mgr.SetQuotas(cfg.Tenants)
+		s.limiter = ratelimit.New()
+	}
 	// The slow-query watchdog flags queries stuck past the deployment's
 	// query deadline — the operator's early warning for a wedged worker or
 	// chamber before (or without) the timeout abort.
@@ -290,7 +304,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	if s.cfg.IdleTimeout > 0 {
 		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 	}
-	_, err := sniffWire(conn, br, LatestWireVersion)
+	v, err := sniffWire(conn, br, LatestWireVersion)
 	if err != nil {
 		if errors.Is(err, ErrPeerTooOld) {
 			_ = json.NewEncoder(conn).Encode(Response{Error: ErrPeerTooOld.Error()})
@@ -300,15 +314,18 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		return
 	}
-	s.serveBinary(conn, br)
+	s.serveBinary(conn, br, v)
 }
 
-// serveBinary is the framed-wire request loop. Both scratch buffers are
-// checked out of the shared pool once per connection and reused for every
-// message; a body-level decode error answers like a malformed JSON line,
-// while a frame-level error (bad length or CRC) means the stream can no
-// longer be trusted to be in sync and tears the connection down.
-func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
+// serveBinary is the framed-wire request loop at the negotiated version v.
+// Both scratch buffers are checked out of the shared pool once per
+// connection and reused for every message; a body-level decode error
+// answers like a malformed JSON line, while a frame-level error (bad length
+// or CRC) means the stream can no longer be trusted to be in sync and tears
+// the connection down. Responses are framed at v, so a v2 client never sees
+// the v3 tenant tail; a tenancy-enabled server instead refuses its requests
+// at admission (no API key can arrive over v2 — fail closed).
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader, v uint8) {
 	rbuf, wbuf := getWireBuf(), getWireBuf()
 	defer putWireBuf(rbuf)
 	defer putWireBuf(wbuf)
@@ -329,7 +346,7 @@ func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
 		} else {
 			resp = s.dispatch(req)
 		}
-		frame, err := AppendResponseFrame((*wbuf)[:0], &resp)
+		frame, err := AppendResponseFrameV((*wbuf)[:0], &resp, v)
 		if err != nil {
 			s.logf("compman: encode response: %v", err)
 			return
@@ -342,30 +359,154 @@ func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
 	}
 }
 
+// dispatch is the front door: authenticate the principal, then route the
+// request with tenant-scoped authorization and rate limiting. With tenancy
+// off everything runs as the default principal, byte-for-byte the
+// single-tenant behavior.
 func (s *Server) dispatch(req *Request) Response {
+	tenantID, refusal := s.resolveTenant(req)
+	if refusal != nil {
+		return *refusal
+	}
+	resp := s.dispatchAs(tenantID, req)
+	// The tenant echo confirms to the client which principal the server
+	// resolved its key to — an id, never the key.
+	resp.Tenant = tenantID
+	return resp
+}
+
+// resolveTenant authenticates the request's API key. Tenancy off admits
+// everything as the default principal (""). Refusals are uniform — absent,
+// unknown, and disabled keys all produce the same error — so the front door
+// does not confirm which keys exist; a v2 client structurally cannot send a
+// key and lands here too.
+func (s *Server) resolveTenant(req *Request) (string, *Response) {
+	if s.cfg.Tenants == nil {
+		return "", nil
+	}
+	id, err := s.cfg.Tenants.Authenticate(req.APIKey)
+	if err != nil {
+		s.tel.Counter("tenant.auth_failures").Inc()
+		return "", &Response{Error: err.Error()}
+	}
+	return id, nil
+}
+
+// authorizeDataset enforces the tenant's dataset grants. The refusal does
+// not distinguish "no such dataset" from "not granted": an ungranted tenant
+// must not be able to probe the dataset namespace.
+func (s *Server) authorizeDataset(tenantID, datasetName string) *Response {
+	if s.cfg.Tenants == nil {
+		return nil
+	}
+	if s.cfg.Tenants.Authorized(tenantID, datasetName) {
+		return nil
+	}
+	s.tel.Counter("tenant.authz_refusals").Inc()
+	return &Response{Error: fmt.Sprintf("tenant %q is not authorized for dataset %q", tenantID, datasetName)}
+}
+
+// admit passes the request through the tenant's rate-limit policy. The
+// release func must be called when the query finishes (it frees the
+// concurrency slot); a rejection carries the retry hint and has cost
+// nothing — no charge was attempted, no ε moved.
+func (s *Server) admit(tenantID string) (release func(), retryAfter time.Duration, ok bool) {
+	if s.limiter == nil {
+		return func() {}, 0, true
+	}
+	info, found := s.cfg.Tenants.Get(tenantID)
+	if !found {
+		return func() {}, 0, true // authenticated but racing a removal; let authz decide
+	}
+	lim := ratelimit.Limits{QPS: info.RateQPS, Burst: info.RateBurst, MaxInflight: info.MaxInflight}
+	release, retryAfter, ok = s.limiter.Acquire(tenantID, lim)
+	if !ok {
+		s.tel.Counter("tenant.rate_limited").Inc()
+		s.tel.Counter("tenant.rate_limited." + tenantID).Inc()
+	}
+	return release, retryAfter, ok
+}
+
+// rateLimited builds the zero-ε rejection for a rate-limit refusal and
+// audits it: rejections are part of the query record even though no budget
+// moved, so a flood shows up in the books.
+func (s *Server) rateLimited(tenantID, datasetName string, retryAfter time.Duration) Response {
+	resp := Response{
+		Error:            "rate limited: tenant " + tenantID + " over its admission policy",
+		RetryAfterMillis: maxInt64(retryAfter.Milliseconds(), 1),
+		TraceID:          telemetry.NewTraceID(),
+	}
+	s.auditRecordAs(tenantID, datasetName, &resp, "rate_limited", 0)
+	return resp
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (s *Server) dispatchAs(tenantID string, req *Request) Response {
 	switch req.Op {
 	case OpQuantum:
 		return Response{OK: true}
 	case OpList:
-		return Response{OK: true, Datasets: s.reg.Names()}
+		names := s.reg.Names()
+		if s.cfg.Tenants != nil && !s.cfg.Tenants.IsAdmin(tenantID) {
+			granted := names[:0]
+			for _, n := range names {
+				if s.cfg.Tenants.Authorized(tenantID, n) {
+					granted = append(granted, n)
+				}
+			}
+			names = granted
+		}
+		return Response{OK: true, Datasets: names}
 	case OpStats:
 		snap := s.stats.snapshot()
 		return Response{OK: true, Stats: &snap}
 	case OpRegister:
+		// Dataset registration is the data-owner interface: admin-only under
+		// tenancy. Grants do not apply — they authorize querying, not
+		// (re)defining datasets.
+		if s.cfg.Tenants != nil && !s.cfg.Tenants.IsAdmin(tenantID) {
+			s.tel.Counter("tenant.authz_refusals").Inc()
+			return Response{Error: fmt.Sprintf("tenant %q is not authorized to register datasets", tenantID)}
+		}
 		return s.handleRegister(req)
 	case OpSession:
+		if refusal := s.authorizeDataset(tenantID, req.Dataset); refusal != nil {
+			return *refusal
+		}
+		releaseSlot, retryAfter, ok := s.admit(tenantID)
+		if !ok {
+			return s.rateLimited(tenantID, req.Dataset, retryAfter)
+		}
+		defer releaseSlot()
 		start := time.Now()
-		resp := s.handleSession(req)
+		resp := s.handleSession(req, tenantID)
 		resp.TraceID = telemetry.NewTraceID()
-		s.auditRecord(req.Dataset, &resp, sessionOutcome(&resp), time.Since(start))
+		s.auditRecordAs(tenantID, req.Dataset, &resp, sessionOutcome(&resp), time.Since(start))
 		return resp
 	case OpBudget:
+		if refusal := s.authorizeDataset(tenantID, req.Dataset); refusal != nil {
+			return *refusal
+		}
 		rem, err := s.mgr.Remaining(req.Dataset)
 		if err != nil {
 			return errResponse(err)
 		}
 		return Response{OK: true, Remaining: rem}
 	case OpQuery:
+		if refusal := s.authorizeDataset(tenantID, req.Dataset); refusal != nil {
+			return *refusal
+		}
+		releaseSlot, retryAfter, ok := s.admit(tenantID)
+		if !ok {
+			return s.rateLimited(tenantID, req.Dataset, retryAfter)
+		}
+		defer releaseSlot()
 		start := time.Now()
 		inflight := s.tel.Gauge("compman.queries_inflight")
 		inflight.Inc()
@@ -374,9 +515,10 @@ func (s *Server) dispatch(req *Request) Response {
 		// never derived from analyst input. It propagates to the workers
 		// over the WorkSpec and comes back to the analyst on the response.
 		tr := telemetry.NewTrace(s.tel, telemetry.NewTraceID(), req.Dataset)
-		live := s.inflight.Begin(tr.ID, req.Dataset)
+		tr.Tenant = tenantID
+		live := s.inflight.BeginTenant(tr.ID, req.Dataset, tenantID)
 		tr.OnStage = live.SetStage
-		resp := s.handleQuery(req, tr)
+		resp := s.handleQuery(req, tenantID, tr)
 		live.End()
 		inflight.Dec()
 		resp.TraceID = tr.ID
@@ -392,7 +534,7 @@ func (s *Server) dispatch(req *Request) Response {
 				resp.EpsilonCharged > 0)
 		}
 		s.traces.Add(tr, outcome)
-		s.auditRecord(req.Dataset, &resp, outcome, tr.Elapsed())
+		s.auditRecordAs(tenantID, req.Dataset, &resp, outcome, tr.Elapsed())
 		s.logTrace(tr)
 		return resp
 	default:
@@ -445,11 +587,13 @@ func sessionOutcome(resp *Response) string {
 	return "ok"
 }
 
-// auditRecord appends one tamper-evident record for a settled query or
-// session. Append failures are logged, not fatal, same stance as
-// journalBudgets: refusing queries on a disk error would be a
+// auditRecordAs appends one tamper-evident record for a settled query,
+// session, or rate-limit rejection, attributed to the tenant that ran it
+// ("" = single-tenant mode; the field is then omitted, keeping pre-tenancy
+// chains byte-identical). Append failures are logged, not fatal, same
+// stance as journalBudgets: refusing queries on a disk error would be a
 // denial-of-service lever.
-func (s *Server) auditRecord(dataset string, resp *Response, outcome string, elapsed time.Duration) {
+func (s *Server) auditRecordAs(tenantID, dataset string, resp *Response, outcome string, elapsed time.Duration) {
 	if s.cfg.Audit == nil {
 		return
 	}
@@ -457,6 +601,7 @@ func (s *Server) auditRecord(dataset string, resp *Response, outcome string, ela
 		Type:                audit.TypeQuery,
 		TraceID:             resp.TraceID,
 		Dataset:             dataset,
+		Tenant:              tenantID,
 		Outcome:             outcome,
 		EpsilonCharged:      resp.EpsilonCharged,
 		Blocks:              resp.NumBlocks,
@@ -501,9 +646,12 @@ func (s *Server) logTrace(tr *telemetry.Trace) {
 // engine. The budget is charged before execution so an analyst cannot
 // observe partial results of a query that would overdraw.
 //
-// tr records the query's lifecycle spans (admission → budget → engine
-// stages → release); it may be nil in direct tests.
-func (s *Server) handleQuery(req *Request, tr *telemetry.Trace) Response {
+// tenantID is the authenticated principal ("" = single-tenant mode): it
+// partitions the answer cache, attributes the ledger charge, and layers the
+// tenant's quota over the global budget. tr records the query's lifecycle
+// spans (admission → budget → engine stages → release); it may be nil in
+// direct tests.
+func (s *Server) handleQuery(req *Request, tenantID string, tr *telemetry.Trace) Response {
 	// Admission covers everything before the charge: dataset resolution,
 	// program and range validation, chamber selection, block-size planning.
 	// End keeps only its first call, so the deferred error status fires
@@ -525,12 +673,12 @@ func (s *Server) handleQuery(req *Request, tr *telemetry.Trace) Response {
 	// ε (DP is closed under post-processing). The hit is journaled as a
 	// cache_hit ledger record so the books show the re-release, but the
 	// accountant is never debited. Blocks are never scheduled on this path.
-	fp := queryFingerprint(req, reg.ContentVersion())
+	fp := queryFingerprint(req, tenantID, reg.ContentVersion())
 	if cached, ok := s.cache.Get(fp); ok {
 		resp := cached.(Response)
 		resp.CacheHit = true
 		resp.EpsilonCharged = 0
-		if err := s.mgr.CacheHit(req.Dataset, fmt.Sprintf("%s:%s", req.Dataset, req.Program.Type)); err != nil {
+		if err := s.mgr.CacheHitAs(tenantID, req.Dataset, fmt.Sprintf("%s:%s", req.Dataset, req.Program.Type)); err != nil {
 			s.logf("compman: recording cache hit: %v", err)
 		}
 		admission.End(telemetry.StatusOK)
@@ -630,7 +778,7 @@ func (s *Server) handleQuery(req *Request, tr *telemetry.Trace) Response {
 	case req.Epsilon > 0 && req.Accuracy != nil:
 		return Response{Error: "set either epsilon or accuracy, not both"}
 	case req.Epsilon > 0:
-		if err := s.mgr.Charge(req.Dataset, label, req.Epsilon); err != nil {
+		if err := s.mgr.ChargeAs(tenantID, req.Dataset, label, req.Epsilon); err != nil {
 			return errResponse(err)
 		}
 		s.journalBudgets()
@@ -644,7 +792,7 @@ func (s *Server) handleQuery(req *Request, tr *telemetry.Trace) Response {
 		if bs == 0 {
 			bs = core.DefaultBlockSize(len(rows))
 		}
-		est, err := s.mgr.ChargeForAccuracy(req.Dataset, label, program, bs, spec.Output, goal)
+		est, err := s.mgr.ChargeForAccuracyAs(tenantID, req.Dataset, label, program, bs, spec.Output, goal)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -761,8 +909,9 @@ func (s *Server) wrapChamberFactory(base func(analytics.Program, sandbox.Policy)
 
 // handleSession runs a §5.2 budget-distributed batch: ε allocated across
 // the queries in proportion to their noise scales, the total charged
-// atomically before anything runs.
-func (s *Server) handleSession(req *Request) Response {
+// atomically before anything runs. tenantID attributes the charge and
+// partitions the session cache ("" = single-tenant mode).
+func (s *Server) handleSession(req *Request, tenantID string) Response {
 	spec := req.Session
 	if spec == nil {
 		return Response{Error: "session op missing payload"}
@@ -778,13 +927,13 @@ func (s *Server) handleSession(req *Request) Response {
 	// Sessions cache as one unit — their ε is distributed and charged
 	// atomically, so the repeat of an identical batch re-releases the whole
 	// already-published result set at zero additional ε.
-	fp := sessionFingerprint(req, reg.ContentVersion())
+	fp := sessionFingerprint(req, tenantID, reg.ContentVersion())
 	if cached, ok := s.cache.Get(fp); ok {
 		resp := cached.(Response)
 		resp.CacheHit = true
 		resp.EpsilonCharged = 0
 		label := fmt.Sprintf("session:%s:%d-queries", req.Dataset, len(spec.Queries))
-		if err := s.mgr.CacheHit(req.Dataset, label); err != nil {
+		if err := s.mgr.CacheHitAs(tenantID, req.Dataset, label); err != nil {
 			s.logf("compman: recording cache hit: %v", err)
 		}
 		return resp
@@ -832,7 +981,7 @@ func (s *Server) handleSession(req *Request) Response {
 	}
 
 	label := fmt.Sprintf("session:%s:%d-queries", req.Dataset, len(spec.Queries))
-	if err := s.mgr.Charge(req.Dataset, label, spec.TotalEpsilon); err != nil {
+	if err := s.mgr.ChargeAs(tenantID, req.Dataset, label, spec.TotalEpsilon); err != nil {
 		return errResponse(err)
 	}
 	s.journalBudgets()

@@ -58,13 +58,24 @@ import (
 // binary framing; it was retired in the same release that retired version
 // 0, when the Response body grew the cache-hit flag (a version-1 decoder
 // would misparse the new frames). Peers offering either retired version
-// are refused with ErrPeerTooOld. Version 2 is the current framing.
+// are refused with ErrPeerTooOld.
+//
+// Version 3 (PR 8, multi-tenancy) extends version 2 with OPTIONAL TAILS
+// rather than a breaking relayout: a request may end with the API key
+// string, a response with the resolved tenant id + retry-after hint.
+// Decoders read the tail only when payload bytes remain past the version-2
+// grammar, so a version-2 frame decodes unchanged under a version-3
+// decoder and version 2 stays a live negotiation target — old clients keep
+// working against single-tenant (tenancy-off) servers with no flag day. A
+// tenancy-ON server rejects version-2 clients at admission (they cannot
+// present a key), not at the handshake.
 const (
 	WireVersionJSON    uint8 = 0 // retired; named only to reject it by name
 	WireVersionBinary1 uint8 = 1 // retired: pre-cache-hit binary framing
-	WireVersionBinary  uint8 = 2
+	WireVersionBinary  uint8 = 2 // still negotiable: pre-tenancy framing
+	WireVersionBinary3 uint8 = 3 // current: tenant tails on request/response
 	// LatestWireVersion is what Dial and NewWorkerPool negotiate for.
-	LatestWireVersion = WireVersionBinary
+	LatestWireVersion = WireVersionBinary3
 )
 
 // WireMagic is the first byte of a binary-wire hello. It is outside every
@@ -667,7 +678,7 @@ func decodeProgramSpec(d *wireDecoder) ProgramSpec {
 	}
 }
 
-func encodeRequestBody(e *wireEncoder, req *Request) {
+func encodeRequestBody(e *wireEncoder, req *Request, version uint8) {
 	e.str(string(req.Op))
 	e.str(req.Dataset)
 	e.boolb(req.Program != nil)
@@ -721,6 +732,11 @@ func encodeRequestBody(e *wireEncoder, req *Request) {
 	e.i64(int64(req.UserColumn))
 	e.f64(req.PercentileLow)
 	e.f64(req.PercentileHigh)
+	if version >= WireVersionBinary3 {
+		// Version-3 tail. On a version-2 connection the key is simply not
+		// sent — the tenancy-off server never asks for it.
+		e.str(req.APIKey)
+	}
 }
 
 func decodeRequestBody(d *wireDecoder) *Request {
@@ -785,10 +801,16 @@ func decodeRequestBody(d *wireDecoder) *Request {
 	req.UserColumn = d.intf()
 	req.PercentileLow = d.f64()
 	req.PercentileHigh = d.f64()
+	if d.err == nil && len(d.b) > 0 {
+		// Version-3 optional tail; absent on version-2 frames. A PARTIAL
+		// tail still latches a decode error through str(), so truncation
+		// inside the tail is a frame error, not a silent downgrade.
+		req.APIKey = d.str()
+	}
 	return req
 }
 
-func encodeResponseBody(e *wireEncoder, resp *Response) {
+func encodeResponseBody(e *wireEncoder, resp *Response, version uint8) {
 	e.boolb(resp.OK)
 	e.str(resp.Error)
 	e.str(resp.TraceID)
@@ -821,6 +843,13 @@ func encodeResponseBody(e *wireEncoder, resp *Response) {
 		e.f64(r.EpsilonSpent)
 		e.str(r.Error)
 		e.i64(int64(r.FailedBlocks))
+	}
+	if version >= WireVersionBinary3 {
+		// Version-3 tail: the resolved tenant id (echoed so clients can
+		// confirm which principal was billed) and the retry-after hint for
+		// rate-limit rejections. A version-2 client never sees either.
+		e.str(resp.Tenant)
+		e.i64(resp.RetryAfterMillis)
 	}
 }
 
@@ -863,6 +892,11 @@ func decodeResponseBody(d *wireDecoder) *Response {
 				FailedBlocks: d.intf(),
 			}
 		}
+	}
+	if d.err == nil && len(d.b) > 0 {
+		// Version-3 optional tail; absent on version-2 frames.
+		resp.Tenant = d.str()
+		resp.RetryAfterMillis = d.i64()
 	}
 	return resp
 }
@@ -921,20 +955,40 @@ func decodeWorkResponseBody(d *wireDecoder) *WorkResponse {
 // --- framed message entry points ---
 
 // AppendRequestFrame appends the framed binary encoding of req to dst and
-// returns the extended slice. dst[:0] of a pooled buffer makes this
-// allocation-free in steady state.
+// returns the extended slice, at the latest wire version. dst[:0] of a
+// pooled buffer makes this allocation-free in steady state.
 func AppendRequestFrame(dst []byte, req *Request) ([]byte, error) {
+	return AppendRequestFrameV(dst, req, LatestWireVersion)
+}
+
+// AppendRequestFrameV encodes at an explicitly negotiated wire version:
+// version 2 omits the tenant tail (for pre-tenancy servers), version 3
+// carries it. Versions below 2 are retired and refused.
+func AppendRequestFrameV(dst []byte, req *Request, version uint8) ([]byte, error) {
+	if version < WireVersionBinary {
+		return nil, fmt.Errorf("%w: cannot encode retired wire version %d", ErrWireFrame, version)
+	}
 	e := newFrameEncoder(dst)
 	e.u8(wireMsgRequest)
-	encodeRequestBody(e, req)
+	encodeRequestBody(e, req, version)
 	return e.finishFrame()
 }
 
-// AppendResponseFrame appends the framed binary encoding of resp to dst.
+// AppendResponseFrame appends the framed binary encoding of resp to dst,
+// at the latest wire version.
 func AppendResponseFrame(dst []byte, resp *Response) ([]byte, error) {
+	return AppendResponseFrameV(dst, resp, LatestWireVersion)
+}
+
+// AppendResponseFrameV encodes at an explicitly negotiated wire version;
+// see AppendRequestFrameV.
+func AppendResponseFrameV(dst []byte, resp *Response, version uint8) ([]byte, error) {
+	if version < WireVersionBinary {
+		return nil, fmt.Errorf("%w: cannot encode retired wire version %d", ErrWireFrame, version)
+	}
 	e := newFrameEncoder(dst)
 	e.u8(wireMsgResponse)
-	encodeResponseBody(e, resp)
+	encodeResponseBody(e, resp, version)
 	return e.finishFrame()
 }
 

@@ -286,8 +286,8 @@ func TestWireBinaryQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if v := client.WireVersion(); v != WireVersionBinary {
-		t.Fatalf("negotiated version %d, want %d", v, WireVersionBinary)
+	if v := client.WireVersion(); v != LatestWireVersion {
+		t.Fatalf("negotiated version %d, want %d", v, LatestWireVersion)
 	}
 	resp, err := client.Query(meanQuery(0.5, 250))
 	if err != nil {
@@ -580,8 +580,8 @@ func TestWireFrameCorruptionFailsClosed(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if client.WireVersion() != WireVersionBinary {
-		t.Fatalf("negotiated %d, want binary", client.WireVersion())
+	if client.WireVersion() != LatestWireVersion {
+		t.Fatalf("negotiated %d, want latest binary", client.WireVersion())
 	}
 	frame, err := AppendRequestFrame(nil, &Request{Op: OpQuantum})
 	if err != nil {

@@ -85,6 +85,20 @@ type CacheHitRecorder interface {
 	RecordCacheHit(label string) error
 }
 
+// TenantSpender is the optional interface a charger implements to attribute
+// charges to a principal (PR 8). The durable ledger's Backed accountant
+// implements it so the WAL's tenant column survives crash recovery.
+// Chargers without it serve multi-tenant traffic fine — attribution just
+// degrades to the default principal.
+type TenantSpender interface {
+	SpendAs(tenant, label string, eps float64) error
+}
+
+// TenantCacheHitRecorder is CacheHitRecorder with tenant attribution.
+type TenantCacheHitRecorder interface {
+	RecordCacheHitAs(tenant, label string) error
+}
+
 // RecordCacheHit journals an ε=0 cache re-release against the dataset's
 // charger, when one is bound and supports it. It never touches the
 // accountant: a cache hit moves no budget by construction.
@@ -93,6 +107,18 @@ func (r *Registered) RecordCacheHit(label string) error {
 		return rec.RecordCacheHit(label)
 	}
 	return nil
+}
+
+// RecordCacheHitAs is RecordCacheHit attributed to a tenant id. Falls back
+// through the tenant-blind recorder when the charger predates tenancy, and
+// to a no-op when no charger is bound.
+func (r *Registered) RecordCacheHitAs(tenant, label string) error {
+	if tenant != "" {
+		if rec, ok := r.charger.(TenantCacheHitRecorder); ok {
+			return rec.RecordCacheHitAs(tenant, label)
+		}
+	}
+	return r.RecordCacheHit(label)
 }
 
 // BindCharger routes the dataset's future charges through s (typically a
@@ -111,6 +137,19 @@ func (r *Registered) Spend(label string, eps float64) error {
 		return r.charger.Spend(label, eps)
 	}
 	return r.Accountant.Spend(label, eps)
+}
+
+// SpendAs debits eps attributed to a tenant id (PR 8). With a
+// tenant-aware charger bound (the durable ledger) the attribution reaches
+// the WAL; otherwise it degrades to an unattributed Spend so embedded and
+// legacy deployments keep working. The empty tenant is exactly Spend.
+func (r *Registered) SpendAs(tenant, label string, eps float64) error {
+	if tenant != "" {
+		if ts, ok := r.charger.(TenantSpender); ok {
+			return ts.SpendAs(tenant, label, eps)
+		}
+	}
+	return r.Spend(label, eps)
 }
 
 // HasAged reports whether an aged sample is available.

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"gupt/internal/compman"
+	"gupt/internal/dataset"
+	"gupt/internal/dp"
+	"gupt/internal/tenant"
+	"gupt/internal/workload"
+)
+
+// TenancyOverheadResult measures the multi-tenant front door, two ways:
+//
+//   - Hot path: per-query wall time with tenancy off versus on. The
+//     tenancy-on path adds API-key authentication (constant-time scan over
+//     the registry), a dataset-grant check, a token-bucket admission, and
+//     the per-tenant quota reservation layered on the global charge. Both
+//     paths run the same query over the same wire against the same table.
+//   - Flood: a tenant whose quota covers only ~5% of an incoming burst.
+//     Everything past the quota must be refused fast (no engine run, no
+//     ledger write) and free (ε spent stays pinned at the quota), so the
+//     front door's rejection throughput is what an abusive or runaway
+//     tenant actually experiences.
+type TenancyOverheadResult struct {
+	// Rows is the census table size; Epsilon the per-query charge.
+	Rows    int
+	Epsilon float64
+	// TimedQueries is the per-pass count behind each latency figure.
+	TimedQueries int
+
+	// NsPerQueryOff and NsPerQueryOn are best-of-3 per-query latencies
+	// without and with the tenancy front door.
+	NsPerQueryOff float64
+	NsPerQueryOn  float64
+
+	// FloodRequests is the burst size; FloodQuota the tenant's ε ceiling
+	// (~5% of what the burst would cost).
+	FloodRequests int
+	FloodQuota    float64
+	// FloodAdmitted and FloodRejected partition the burst.
+	FloodAdmitted int
+	FloodRejected int
+	// NsPerRejection is the mean wall time of a quota refusal.
+	NsPerRejection float64
+	// FloodSpent is the tenant's ε spend after the burst — the isolation
+	// claim is FloodSpent == FloodQuota, never more.
+	FloodSpent float64
+}
+
+// OverheadFraction is the tenancy-on hot-path cost relative to tenancy off.
+func (r *TenancyOverheadResult) OverheadFraction() float64 {
+	if r.NsPerQueryOff <= 0 {
+		return 0
+	}
+	return r.NsPerQueryOn/r.NsPerQueryOff - 1
+}
+
+// RejectionsPerSecond is the front door's refusal throughput.
+func (r *TenancyOverheadResult) RejectionsPerSecond() float64 {
+	if r.NsPerRejection <= 0 {
+		return 0
+	}
+	return 1e9 / r.NsPerRejection
+}
+
+// TenancyOverhead runs the measurement.
+func TenancyOverhead(cfg Config) (*TenancyOverheadResult, error) {
+	res := &TenancyOverheadResult{
+		Rows:          cfg.scale(5000, 1000),
+		Epsilon:       0.05,
+		TimedQueries:  cfg.scale(30, 10),
+		FloodRequests: cfg.scale(400, 80),
+	}
+	// The quota admits ~5% of the flood; the remaining 95% must bounce.
+	res.FloodQuota = 0.05 * float64(res.FloodRequests) * res.Epsilon
+	const passes = 3
+
+	off, err := tenancyTimedPath(cfg, res, passes, false)
+	if err != nil {
+		return nil, fmt.Errorf("tenancy off path: %w", err)
+	}
+	on, err := tenancyTimedPath(cfg, res, passes, true)
+	if err != nil {
+		return nil, fmt.Errorf("tenancy on path: %w", err)
+	}
+	res.NsPerQueryOff, res.NsPerQueryOn = off, on
+
+	if err := tenancyFlood(cfg, res); err != nil {
+		return nil, fmt.Errorf("tenancy flood: %w", err)
+	}
+	return res, nil
+}
+
+// tenancyBenchServer starts a compman server over a fresh census registry,
+// with or without the tenant front door. With tenancy on, one tenant
+// ("bench") is created and granted the dataset; quota 0 means unlimited.
+func tenancyBenchServer(cfg Config, res *TenancyOverheadResult, tenancy bool, quota float64) (*compman.Client, *compman.Server, *tenant.Registry, error) {
+	reg := dataset.NewRegistry()
+	if _, err := reg.Register("census", workload.CensusIncome(cfg.Seed, res.Rows), dataset.RegisterOptions{
+		TotalBudget: 1e6,
+		Ranges:      []dp.Range{workload.CensusLooseRange()},
+		Seed:        cfg.Seed,
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+	sc := compman.ServerConfig{}
+	var tenants *tenant.Registry
+	var key string
+	if tenancy {
+		tenants = tenant.NewRegistry()
+		var err error
+		key, err = tenants.Create("bench")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := tenants.Grant("bench", "census"); err != nil {
+			return nil, nil, nil, err
+		}
+		if quota > 0 {
+			if err := tenants.SetQuota("bench", "census", quota); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		sc.Tenants = tenants
+	}
+	srv := compman.NewServer(reg, sc)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, nil, nil, err
+	}
+	go srv.Serve(l)
+	client, err := compman.Dial(l.Addr().String())
+	if err != nil {
+		srv.Close()
+		return nil, nil, nil, err
+	}
+	if tenancy {
+		client.SetAPIKey(key)
+	}
+	return client, srv, tenants, nil
+}
+
+// tenancyBenchQuery is the timed query: same mean program each time, a
+// distinct seed per call so the noisy-answer cache never short-circuits
+// the path under measurement.
+func tenancyBenchQuery(cfg Config, res *TenancyOverheadResult, idx int) *compman.Request {
+	return &compman.Request{
+		Dataset:      "census",
+		Program:      &compman.ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges: []compman.RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:      res.Epsilon,
+		BlockSize:    res.Rows / 20,
+		Seed:         cfg.Seed + int64(idx),
+	}
+}
+
+// tenancyTimedPath times TimedQueries full queries, best of passes, with
+// the front door off or on.
+func tenancyTimedPath(cfg Config, res *TenancyOverheadResult, passes int, tenancy bool) (float64, error) {
+	client, srv, _, err := tenancyBenchServer(cfg, res, tenancy, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	defer client.Close()
+
+	seq := 0
+	run := func() error {
+		seq++
+		_, err := client.Query(tenancyBenchQuery(cfg, res, seq))
+		return err
+	}
+	for i := 0; i < res.TimedQueries/4+1; i++ {
+		if err := run(); err != nil {
+			return 0, err
+		}
+	}
+	best := time.Duration(1<<63 - 1)
+	for p := 0; p < passes; p++ {
+		start := time.Now()
+		for i := 0; i < res.TimedQueries; i++ {
+			if err := run(); err != nil {
+				return 0, err
+			}
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(res.TimedQueries), nil
+}
+
+// tenancyFlood drives the over-quota burst and times the refusal path.
+func tenancyFlood(cfg Config, res *TenancyOverheadResult) error {
+	client, srv, tenants, err := tenancyBenchServer(cfg, res, true, res.FloodQuota)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	defer client.Close()
+
+	var rejectedNs int64
+	for i := 0; i < res.FloodRequests; i++ {
+		start := time.Now()
+		_, err := client.Query(tenancyBenchQuery(cfg, res, i))
+		elapsed := time.Since(start)
+		switch {
+		case err == nil:
+			res.FloodAdmitted++
+		case strings.Contains(err.Error(), dp.ErrBudgetExhausted.Error()):
+			res.FloodRejected++
+			rejectedNs += elapsed.Nanoseconds()
+		default:
+			return fmt.Errorf("flood query %d: %w", i, err)
+		}
+	}
+	if res.FloodRejected > 0 {
+		res.NsPerRejection = float64(rejectedNs) / float64(res.FloodRejected)
+	}
+	res.FloodSpent = tenants.Spent("bench", "census")
+	if res.FloodSpent > res.FloodQuota+1e-9 {
+		return fmt.Errorf("flood breached the quota: spent %g > %g", res.FloodSpent, res.FloodQuota)
+	}
+	return nil
+}
+
+// Table renders the measurement.
+func (r *TenancyOverheadResult) Table() string {
+	t := newTable("path", "per query")
+	t.addRow("tenancy off", time.Duration(r.NsPerQueryOff).Round(time.Microsecond).String())
+	t.addRow("tenancy on", time.Duration(r.NsPerQueryOn).Round(time.Microsecond).String())
+	t.addRow("overhead", fmt.Sprintf("%+.1f%%", 100*r.OverheadFraction()))
+	t.addRow("quota rejection", time.Duration(r.NsPerRejection).Round(time.Microsecond).String())
+	return fmt.Sprintf("Tenancy front door (%d-row table, %d timed queries, best of 3)\n", r.Rows, r.TimedQueries) +
+		t.String() +
+		fmt.Sprintf("flood: %d requests vs a %.2f ε quota -> %d admitted, %d rejected (%.0f rejections/s), ε spent %.2f (quota held)\n",
+			r.FloodRequests, r.FloodQuota, r.FloodAdmitted, r.FloodRejected, r.RejectionsPerSecond(), r.FloodSpent)
+}
+
+// CSV renders the headline figures as step-0 rows.
+func (r *TenancyOverheadResult) CSV() string {
+	var c csvBuilder
+	c.row("series", "step", "value")
+	c.row("ns_per_query_tenancy_off", "0", fmt.Sprintf("%g", r.NsPerQueryOff))
+	c.row("ns_per_query_tenancy_on", "0", fmt.Sprintf("%g", r.NsPerQueryOn))
+	c.row("overhead_fraction", "0", fmt.Sprintf("%g", r.OverheadFraction()))
+	c.row("ns_per_rejection", "0", fmt.Sprintf("%g", r.NsPerRejection))
+	c.row("rejections_per_second", "0", fmt.Sprintf("%g", r.RejectionsPerSecond()))
+	c.row("flood_admitted", "0", fmt.Sprint(r.FloodAdmitted))
+	c.row("flood_rejected", "0", fmt.Sprint(r.FloodRejected))
+	c.row("flood_spent_eps", "0", fmt.Sprintf("%g", r.FloodSpent))
+	c.row("flood_quota_eps", "0", fmt.Sprintf("%g", r.FloodQuota))
+	return c.String()
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTenancyOverheadShape(t *testing.T) {
+	r, err := TenancyOverhead(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NsPerQueryOff <= 0 || r.NsPerQueryOn <= 0 {
+		t.Fatalf("non-positive timing: off %v on %v", r.NsPerQueryOff, r.NsPerQueryOn)
+	}
+	if r.FloodAdmitted+r.FloodRejected != r.FloodRequests {
+		t.Fatalf("flood partition %d+%d != %d", r.FloodAdmitted, r.FloodRejected, r.FloodRequests)
+	}
+	// The quota covers ~5% of the flood, so the vast majority must bounce.
+	if r.FloodRejected <= r.FloodAdmitted {
+		t.Errorf("flood rejected %d <= admitted %d; the quota did not bite", r.FloodRejected, r.FloodAdmitted)
+	}
+	if r.NsPerRejection <= 0 {
+		t.Errorf("no rejection timing recorded")
+	}
+	// Rejections are pre-engine refusals; they must be far cheaper than a
+	// full query (block execution, aggregation, noise).
+	if r.NsPerRejection >= r.NsPerQueryOn {
+		t.Errorf("rejection (%v ns) not cheaper than a full query (%v ns)", r.NsPerRejection, r.NsPerQueryOn)
+	}
+	// The isolation claim: the flood spends exactly up to the quota.
+	if r.FloodSpent > r.FloodQuota+1e-9 {
+		t.Errorf("flood spent %v ε, quota was %v", r.FloodSpent, r.FloodQuota)
+	}
+	if !strings.Contains(r.Table(), "Tenancy front door") {
+		t.Error("Table() missing caption")
+	}
+	if !strings.HasPrefix(r.CSV(), "series,step,value") {
+		t.Errorf("CSV header wrong: %q", r.CSV())
+	}
+}

@@ -65,8 +65,17 @@ func (l *Ledger) Bind(name string, acct *dp.Accountant) (*Backed, error) {
 // Spend durably debits eps: the charge record is on stable storage before
 // Spend returns nil. A dp.ErrBudgetExhausted refusal leaves the in-memory
 // ledger unchanged (the provisional record is cancelled by a refund).
+// The charge is attributed to the default principal (empty tenant).
 func (b *Backed) Spend(label string, eps float64) error {
-	return b.led.charge(b.name, label, eps, b.acct)
+	return b.led.charge(b.name, label, "", eps, b.acct)
+}
+
+// SpendAs is Spend with the charge attributed to a tenant id (PR 8): the
+// WAL record carries the tenant, recovery replays it into the per-tenant
+// balance, and a refusal's refund cancels that same attribution. It
+// implements dataset.TenantSpender. An empty tenant is identical to Spend.
+func (b *Backed) SpendAs(tenant, label string, eps float64) error {
+	return b.led.charge(b.name, label, tenant, eps, b.acct)
 }
 
 // RecordCacheHit journals an ε=0 re-release of a previously published
@@ -75,7 +84,13 @@ func (b *Backed) Spend(label string, eps float64) error {
 // the WAL through the same charger binding as fresh spends; the record is
 // replay-neutral — recovery counts it but moves no budget.
 func (b *Backed) RecordCacheHit(label string) error {
-	return b.led.cacheHit(b.name, label)
+	return b.led.cacheHit(b.name, label, "")
+}
+
+// RecordCacheHitAs is RecordCacheHit with tenant attribution, so the audit
+// trail shows WHOSE cached answer was re-released. Still budget-neutral.
+func (b *Backed) RecordCacheHitAs(tenant, label string) error {
+	return b.led.cacheHit(b.name, label, tenant)
 }
 
 // Accountant exposes the wrapped in-memory accountant (read paths:

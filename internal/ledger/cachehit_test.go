@@ -79,7 +79,7 @@ func TestCacheHitRefusedWhenUnbound(t *testing.T) {
 	dir := t.TempDir()
 	l := openTest(t, dir, Options{Sync: SyncEveryRecord})
 	defer l.Close()
-	if err := l.cacheHit("ghost", "label"); err == nil {
+	if err := l.cacheHit("ghost", "label", ""); err == nil {
 		t.Fatal("cache hit against an unbound dataset must fail")
 	}
 }

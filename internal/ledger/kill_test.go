@@ -40,6 +40,7 @@ const (
 	envCharges   = "LEDGER_KILL_N"
 	envEps       = "LEDGER_KILL_EPS"
 	envThreshold = "LEDGER_KILL_SNAPSHOT"
+	envTenants   = "LEDGER_KILL_TENANTS"
 )
 
 func TestMain(m *testing.M) {
@@ -96,20 +97,31 @@ func runKillChild() {
 		fmt.Fprintf(os.Stderr, "child: bind: %v\n", err)
 		os.Exit(3)
 	}
+	// With envTenants set the child round-robins charges across tenant ids
+	// (SpendAs) so the parent can check PER-TENANT balances after the kill.
+	var tenants []string
+	if tl := os.Getenv(envTenants); tl != "" {
+		tenants = strings.Split(tl, ",")
+	}
 	for i := 0; i < n; i++ {
-		if err := b.Spend("kill-q", eps); err == nil {
+		tid := ""
+		if len(tenants) > 0 {
+			tid = tenants[i%len(tenants)]
+		}
+		if err := b.SpendAs(tid, "kill-q", eps); err == nil {
 			// The charge is durable (Spend acks only after fsync); a
 			// SIGKILL between Spend and this print can only lose an ack,
 			// never a durable record — the safe direction for the check.
-			fmt.Printf("ack %d\n", i)
+			fmt.Printf("ack %d %s\n", i, tid)
 		}
 	}
 	l.Close()
 }
 
 // runKill launches the child with the given scenario and returns the
-// number of acknowledged charges and whether it died by signal.
-func runKill(t *testing.T, scenario map[string]string, killAfter time.Duration) (acks int, signaled bool) {
+// number of acknowledged charges (total and per tenant id) and whether it
+// died by signal.
+func runKill(t *testing.T, scenario map[string]string, killAfter time.Duration) (acks int, ackByTenant map[string]int, signaled bool) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -137,14 +149,19 @@ func runKill(t *testing.T, scenario map[string]string, killAfter time.Duration) 
 	if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() == 3 {
 		t.Fatalf("child setup failed: %s", errb.String())
 	}
+	ackByTenant = make(map[string]int)
 	sc := bufio.NewScanner(&out)
 	for sc.Scan() {
-		if strings.HasPrefix(sc.Text(), "ack ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 2 && fields[0] == "ack" {
 			acks++
+			if len(fields) >= 3 {
+				ackByTenant[fields[2]]++
+			}
 		}
 	}
 	signaled = err != nil && cmd.ProcessState.ExitCode() == -1
-	return acks, signaled
+	return acks, ackByTenant, signaled
 }
 
 // recoverAndCheck replays the directory and enforces the invariant, then
@@ -230,7 +247,7 @@ func TestKillMatrix(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/%s@%d", sync, bd.point, bd.after), func(t *testing.T) {
 				t.Parallel()
 				dir := t.TempDir()
-				acks, signaled := runKill(t, map[string]string{
+				acks, _, signaled := runKill(t, map[string]string{
 					envDir:       dir,
 					envSync:      sync,
 					envPoint:     bd.point,
@@ -261,7 +278,7 @@ func TestKillOnRefundPath(t *testing.T) {
 		t.Run(sync, func(t *testing.T) {
 			t.Parallel()
 			dir := t.TempDir()
-			acks, signaled := runKill(t, map[string]string{
+			acks, _, signaled := runKill(t, map[string]string{
 				envDir:     dir,
 				envSync:    sync,
 				envPoint:   CrashAfterRefund,
@@ -275,6 +292,71 @@ func TestKillOnRefundPath(t *testing.T) {
 			}
 			recoverAndCheck(t, dir, acks, eps, total)
 		})
+	}
+}
+
+// TestKillTenantBalances runs the kill matrix with charges round-robined
+// across two tenant ids and checks the PR 8 invariant per tenant: each
+// tenant's recovered balance is at least its acknowledged ε. Tenant
+// attribution must survive SIGKILL at the same durability boundaries the
+// aggregate invariant does, including through a snapshot compaction.
+func TestKillTenantBalances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	const eps = 0.001
+	const total = 1e6
+	boundaries := []struct {
+		point string
+		after int
+	}{
+		{CrashAfterSync, 7},
+		{CrashAfterSpend, 13},
+		{CrashAfterSnapshot, 1},
+		{CrashAfterWALSwap, 1},
+	}
+	for _, sync := range []string{"record", "batched"} {
+		for _, bd := range boundaries {
+			bd := bd
+			t.Run(fmt.Sprintf("%s/%s@%d", sync, bd.point, bd.after), func(t *testing.T) {
+				t.Parallel()
+				dir := t.TempDir()
+				_, ackByTenant, signaled := runKill(t, map[string]string{
+					envDir:       dir,
+					envSync:      sync,
+					envPoint:     bd.point,
+					envAfter:     strconv.Itoa(bd.after),
+					envTotal:     fmt.Sprint(total),
+					envCharges:   "400",
+					envEps:       fmt.Sprint(eps),
+					envThreshold: "1500",
+					envTenants:   "alpha,beta",
+				}, 0)
+				if !signaled {
+					t.Fatal("crash point never fired; the scenario exercised nothing")
+				}
+				rec, err := Recover(dir, testLogger(t))
+				if err != nil {
+					t.Fatalf("recovery failed: %v", err)
+				}
+				ds := rec.Datasets["ds"]
+				for _, tid := range []string{"alpha", "beta"} {
+					ackSum := float64(ackByTenant[tid]) * eps
+					if got := ds.TenantSpent[tid]; got < ackSum-1e-9 {
+						t.Fatalf("tenant %s UNDER-COUNT: recovered %v < acknowledged %v (%d acks)",
+							tid, got, ackSum, ackByTenant[tid])
+					}
+				}
+				// The per-tenant attributions must never exceed the aggregate.
+				var tenantSum float64
+				for _, v := range ds.TenantSpent {
+					tenantSum += v
+				}
+				if tenantSum > ds.Spent+1e-9 {
+					t.Fatalf("tenant balances sum %v exceeds aggregate spent %v", tenantSum, ds.Spent)
+				}
+			})
+		}
 	}
 }
 
@@ -295,7 +377,7 @@ func TestKillRandomTiming(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/delay%d", sync, i), func(t *testing.T) {
 				t.Parallel()
 				dir := t.TempDir()
-				acks, _ := runKill(t, map[string]string{
+				acks, _, _ := runKill(t, map[string]string{
 					envDir:       dir,
 					envSync:      sync,
 					envTotal:     fmt.Sprint(total),

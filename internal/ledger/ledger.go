@@ -72,6 +72,20 @@ type datasetState struct {
 	total   float64
 	spent   float64
 	charges int
+	// tenantSpent mirrors per-tenant settled ε (PR 8) so compaction can
+	// carry the balances into the snapshot. The "" (default) principal is
+	// never in the map.
+	tenantSpent map[string]float64
+}
+
+func (st *datasetState) addTenantSpent(tenant string, eps float64) {
+	if tenant == "" {
+		return
+	}
+	if st.tenantSpent == nil {
+		st.tenantSpent = make(map[string]float64)
+	}
+	st.tenantSpent[tenant] += eps
 }
 
 // Ledger is the durable privacy-budget ledger for one directory. All
@@ -140,7 +154,11 @@ func Open(dir string, opts Options) (*Ledger, error) {
 		recovered:   rec,
 	}
 	for name, d := range rec.Datasets {
-		l.state[name] = &datasetState{total: d.Total, spent: d.Spent, charges: d.Charges}
+		st := &datasetState{total: d.Total, spent: d.Spent, charges: d.Charges}
+		for tid, eps := range d.TenantSpent {
+			st.addTenantSpent(tid, eps)
+		}
+		l.state[name] = st
 	}
 	if tel := opts.Telemetry; tel != nil {
 		l.appends = tel.Counter("ledger.appends")
@@ -253,7 +271,7 @@ func (l *Ledger) register(name string, total float64) (*datasetState, error) {
 // nothing the analyst gained. An ack in (4) is returned only once the
 // record is on stable storage, so acknowledged (answer-releasing) charges
 // can never be under-counted by recovery.
-func (l *Ledger) charge(name, label string, eps float64, acct *dp.Accountant) error {
+func (l *Ledger) charge(name, label, tenant string, eps float64, acct *dp.Accountant) error {
 	if !(eps > 0) || math.IsInf(eps, 0) {
 		// Same grammar as dp.checkEpsilon: reject before the WAL sees a
 		// garbage (NaN/negative) epsilon that would poison replay sums.
@@ -263,6 +281,9 @@ func (l *Ledger) charge(name, label string, eps float64, acct *dp.Accountant) er
 		return err
 	}
 	if err := validateString("charge label", label); err != nil {
+		return err
+	}
+	if err := validateString("tenant id", tenant); err != nil {
 		return err
 	}
 	l.mu.Lock()
@@ -280,7 +301,7 @@ func (l *Ledger) charge(name, label string, eps float64, acct *dp.Accountant) er
 		l.mu.Unlock()
 		return fmt.Errorf("ledger: dataset %q not bound", name)
 	}
-	seq, err := l.appendLocked(Record{Type: RecordCharge, Dataset: name, Label: label, Epsilon: eps})
+	seq, err := l.appendLocked(Record{Type: RecordCharge, Dataset: name, Label: label, Epsilon: eps, Tenant: tenant})
 	if err != nil {
 		// Fail closed: if the charge cannot be made durable the in-memory
 		// accountant is never debited and no answer is released.
@@ -289,6 +310,7 @@ func (l *Ledger) charge(name, label string, eps float64, acct *dp.Accountant) er
 	}
 	st.spent += eps
 	st.charges++
+	st.addTenantSpent(tenant, eps)
 
 	// The accountant's exhaustion check runs here, under the ledger lock,
 	// so concurrent charges against one dataset serialize their
@@ -296,9 +318,10 @@ func (l *Ledger) charge(name, label string, eps float64, acct *dp.Accountant) er
 	spendErr := acct.Spend(label, eps)
 	if spendErr != nil {
 		l.crash(CrashAfterSpend) // point still exercised on the refusal path
-		if _, rerr := l.appendLocked(Record{Type: RecordRefund, Dataset: name, ChargeSeq: seq, Epsilon: eps}); rerr == nil {
+		if _, rerr := l.appendLocked(Record{Type: RecordRefund, Dataset: name, ChargeSeq: seq, Epsilon: eps, Tenant: tenant}); rerr == nil {
 			st.spent -= eps
 			st.charges--
+			st.addTenantSpent(tenant, -eps)
 			l.refunds.Inc()
 			l.crash(CrashAfterRefund)
 		} else if l.opts.Logger != nil {
@@ -334,11 +357,14 @@ func (l *Ledger) charge(name, label string, eps float64, acct *dp.Accountant) er
 // charge so the WAL stays a complete, tamper-surviving account of every
 // release. Losing one in a crash is benign (no budget direction exists to
 // err in), so durability here buys auditability, not safety.
-func (l *Ledger) cacheHit(name, label string) error {
+func (l *Ledger) cacheHit(name, label, tenant string) error {
 	if err := validateString("dataset name", name); err != nil {
 		return err
 	}
 	if err := validateString("charge label", label); err != nil {
+		return err
+	}
+	if err := validateString("tenant id", tenant); err != nil {
 		return err
 	}
 	l.mu.Lock()
@@ -355,7 +381,7 @@ func (l *Ledger) cacheHit(name, label string) error {
 		l.mu.Unlock()
 		return fmt.Errorf("ledger: dataset %q not bound", name)
 	}
-	seq, err := l.appendLocked(Record{Type: RecordCacheHit, Dataset: name, Label: label})
+	seq, err := l.appendLocked(Record{Type: RecordCacheHit, Dataset: name, Label: label, Tenant: tenant})
 	if err != nil {
 		l.mu.Unlock()
 		return err
@@ -382,6 +408,23 @@ func (l *Ledger) Spent(name string) float64 {
 		return st.spent
 	}
 	return 0
+}
+
+// SpentByTenant returns a copy of the dataset's per-tenant settled ε
+// (tenant id → ε; the default principal "" is never a key). Serves the
+// admin per-tenant ledger view and tests.
+func (l *Ledger) SpentByTenant(name string) map[string]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.state[name]
+	if !ok || len(st.tenantSpent) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(st.tenantSpent))
+	for tid, eps := range st.tenantSpent {
+		out[tid] = eps
+	}
+	return out
 }
 
 // maybeCompactLocked snapshots and truncates the WAL once it outgrows the
@@ -412,9 +455,14 @@ func (l *Ledger) compactLocked() error {
 		TakenAt: time.Now(),
 	}
 	for name, st := range l.state {
-		snap.Datasets = append(snap.Datasets, snapshotDataset{
-			Name: name, Total: st.total, Spent: st.spent, Charges: st.charges,
-		})
+		sd := snapshotDataset{Name: name, Total: st.total, Spent: st.spent, Charges: st.charges}
+		if len(st.tenantSpent) > 0 {
+			sd.Tenants = make(map[string]float64, len(st.tenantSpent))
+			for tid, eps := range st.tenantSpent {
+				sd.Tenants[tid] = eps
+			}
+		}
+		snap.Datasets = append(snap.Datasets, sd)
 	}
 	if err := writeSnapshot(l.dir, snap, func() { l.crash(CrashBeforeSnapshotRename) }); err != nil {
 		return err

@@ -208,7 +208,7 @@ func TestChargeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.charge("ghost", "q", 0.1, acct); err == nil || !strings.Contains(err.Error(), "not bound") {
+	if err := l.charge("ghost", "q", "", 0.1, acct); err == nil || !strings.Contains(err.Error(), "not bound") {
 		t.Fatalf("charging unbound dataset: err = %v", err)
 	}
 	for _, eps := range []float64{0, -1} {

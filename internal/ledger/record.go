@@ -97,6 +97,12 @@ type Record struct {
 	Label   string  // charge, cache-hit: audit label
 	Epsilon float64 // charge, refund
 	Total   float64 // register
+	// Tenant attributes a charge/refund/cache-hit to a principal (PR 8).
+	// Encoded as an optional payload tail: records written before tenancy
+	// carry no tail and decode to "", which replay treats as the
+	// single-tenant/default principal. New writers always append the tail
+	// (possibly an empty string), so round-trips are canonical.
+	Tenant string // charge, refund, cache-hit
 
 	ChargeSeq   uint64 // refund: the charge it cancels
 	SnapshotSeq uint64 // snapshot-marker
@@ -156,10 +162,12 @@ func encodePayload(dst []byte, r Record) []byte {
 		dst = appendString(dst, r.Dataset)
 		dst = appendString(dst, r.Label)
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Epsilon))
+		dst = appendString(dst, r.Tenant)
 	case RecordRefund:
 		dst = appendString(dst, r.Dataset)
 		dst = binary.LittleEndian.AppendUint64(dst, r.ChargeSeq)
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Epsilon))
+		dst = appendString(dst, r.Tenant)
 	case RecordRegister:
 		dst = appendString(dst, r.Dataset)
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Total))
@@ -168,6 +176,7 @@ func encodePayload(dst []byte, r Record) []byte {
 	case RecordCacheHit:
 		dst = appendString(dst, r.Dataset)
 		dst = appendString(dst, r.Label)
+		dst = appendString(dst, r.Tenant)
 	}
 	return dst
 }
@@ -221,10 +230,12 @@ func decodePayload(p []byte) (Record, error) {
 		r.Dataset = d.str()
 		r.Label = d.str()
 		r.Epsilon = math.Float64frombits(d.u64())
+		r.Tenant = d.optionalTailStr()
 	case RecordRefund:
 		r.Dataset = d.str()
 		r.ChargeSeq = d.u64()
 		r.Epsilon = math.Float64frombits(d.u64())
+		r.Tenant = d.optionalTailStr()
 	case RecordRegister:
 		r.Dataset = d.str()
 		r.Total = math.Float64frombits(d.u64())
@@ -233,6 +244,7 @@ func decodePayload(p []byte) (Record, error) {
 	case RecordCacheHit:
 		r.Dataset = d.str()
 		r.Label = d.str()
+		r.Tenant = d.optionalTailStr()
 	default:
 		return Record{}, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, r.Type)
 	}
@@ -287,6 +299,19 @@ func (d *decoder) u64() uint64 {
 		return 0
 	}
 	return binary.LittleEndian.Uint64(b)
+}
+
+// optionalTailStr reads a string only if payload bytes remain — the
+// tenant-column migration seam (PR 8). A pre-tenancy record's payload ends
+// before the tail and decodes to ""; a new record always carries it. A
+// PARTIAL tail (length prefix present, bytes missing) still latches
+// io.ErrUnexpectedEOF through str(), so truncation inside the tail remains
+// ErrCorrupt rather than silently reading as legacy.
+func (d *decoder) optionalTailStr() string {
+	if d.err != nil || len(d.b) == 0 {
+		return ""
+	}
+	return d.str()
 }
 
 func (d *decoder) str() string {

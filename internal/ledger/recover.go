@@ -25,6 +25,24 @@ type RecoveredDataset struct {
 	// CacheHits counts ε=0 cache re-release records. They move no budget;
 	// the count is kept so recovery can report a complete account.
 	CacheHits int
+	// TenantSpent maps tenant id → this tenant's settled ε on the dataset
+	// (PR 8). Records written before tenancy carry no tenant and are NOT in
+	// this map — they belong to the single-tenant/default principal, whose
+	// consumption is Spent minus the sum of this map. guptd seeds the
+	// tenant registry's quota balances from it at boot and fails closed on
+	// ids the registry does not know.
+	TenantSpent map[string]float64
+}
+
+// addTenantSpent accumulates into the lazily allocated per-tenant map.
+func (d *RecoveredDataset) addTenantSpent(tenant string, eps float64) {
+	if tenant == "" {
+		return
+	}
+	if d.TenantSpent == nil {
+		d.TenantSpent = make(map[string]float64)
+	}
+	d.TenantSpent[tenant] += eps
 }
 
 // Recovered is the result of replaying a ledger directory.
@@ -70,7 +88,11 @@ func Recover(dir string, logger *log.Logger) (*Recovered, error) {
 		rec.SnapshotSeq = snap.LastSeq
 		rec.SnapshotAt = snap.TakenAt
 		for _, d := range snap.Datasets {
-			rec.Datasets[d.Name] = RecoveredDataset{Total: d.Total, Spent: d.Spent, Charges: d.Charges}
+			rd := RecoveredDataset{Total: d.Total, Spent: d.Spent, Charges: d.Charges}
+			for tid, eps := range d.Tenants {
+				rd.addTenantSpent(tid, eps)
+			}
+			rec.Datasets[d.Name] = rd
 		}
 	}
 	// Leftover temp files mean a crash mid-compaction; the published
@@ -91,6 +113,7 @@ func Recover(dir string, logger *log.Logger) (*Recovered, error) {
 	// exactly the charge it names.
 	type pendingCharge struct {
 		dataset string
+		tenant  string
 		eps     float64
 	}
 	pending := make(map[uint64]pendingCharge)
@@ -144,11 +167,12 @@ func Recover(dir string, logger *log.Logger) (*Recovered, error) {
 			d := rec.Datasets[r.Dataset]
 			d.Spent += r.Epsilon
 			d.Charges++
+			d.addTenantSpent(r.Tenant, r.Epsilon)
 			rec.Datasets[r.Dataset] = d
-			pending[r.Seq] = pendingCharge{dataset: r.Dataset, eps: r.Epsilon}
+			pending[r.Seq] = pendingCharge{dataset: r.Dataset, tenant: r.Tenant, eps: r.Epsilon}
 		case RecordRefund:
 			p, ok := pending[r.ChargeSeq]
-			if !ok || p.dataset != r.Dataset {
+			if !ok || p.dataset != r.Dataset || (r.Tenant != "" && r.Tenant != p.tenant) {
 				if logger != nil {
 					logger.Printf("ledger: ignoring orphan refund seq %d for charge %d (%s)", r.Seq, r.ChargeSeq, r.Dataset)
 				}
@@ -158,6 +182,10 @@ func Recover(dir string, logger *log.Logger) (*Recovered, error) {
 			d := rec.Datasets[r.Dataset]
 			d.Spent -= p.eps
 			d.Charges--
+			// The charge's own tenant attribution is authoritative for the
+			// cancellation — a legacy ("") refund still backs out a
+			// tenant-attributed charge it names.
+			d.addTenantSpent(p.tenant, -p.eps)
 			rec.Datasets[r.Dataset] = d
 		case RecordCacheHit:
 			// An ε=0 re-release of an already-published answer: by

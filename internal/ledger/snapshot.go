@@ -32,6 +32,10 @@ type snapshotDataset struct {
 	Spent float64 `json:"spent"`
 	// Charges counts settled (non-refunded) charge records.
 	Charges int `json:"charges"`
+	// Tenants maps tenant id → settled ε (PR 8), so per-tenant balances
+	// survive WAL compaction. Absent in pre-tenancy snapshots, which decode
+	// with no per-tenant attribution — exactly the legacy reading.
+	Tenants map[string]float64 `json:"tenants,omitempty"`
 }
 
 type snapshotFile struct {

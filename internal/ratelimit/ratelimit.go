@@ -1,0 +1,144 @@
+// Package ratelimit implements the per-tenant admission throttle for the
+// multi-tenant front door: a token bucket for sustained request rate plus a
+// concurrency ceiling, keyed by an opaque principal id. A rejected
+// acquisition carries a retry-after hint that guptd surfaces to the client
+// (Response.RetryAfterMillis) — the §6.2 posture extended to capacity:
+// rejections happen before any privacy charge, so a rate-limited request
+// costs zero ε.
+//
+// The limiter is deliberately tiny and stdlib-only: one mutex, one bucket
+// per key, lazy refill on access. The key space is the tenant registry, so
+// the map is bounded by the number of registered tenants.
+package ratelimit
+
+import (
+	"sync"
+	"time"
+)
+
+// Limits is one principal's admission policy. The zero value is unlimited.
+type Limits struct {
+	// QPS is the sustained admission rate (token refill per second);
+	// zero or negative disables rate limiting for the key.
+	QPS float64
+	// Burst is the bucket depth — how many requests may land back-to-back
+	// before the sustained rate applies. Values below 1 act as 1 when QPS
+	// is set.
+	Burst int
+	// MaxInflight caps concurrently admitted operations; zero or negative
+	// disables the concurrency ceiling.
+	MaxInflight int
+}
+
+// limited reports whether the policy constrains anything at all.
+func (l Limits) limited() bool { return l.QPS > 0 || l.MaxInflight > 0 }
+
+// bucket is one key's live state: the token balance, its last refill
+// instant, and the number of admitted-but-unreleased operations.
+type bucket struct {
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// Limiter admits operations per key under per-call Limits. Safe for
+// concurrent use. The zero value is not usable; construct with New.
+type Limiter struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+// New returns a limiter on the real clock.
+func New() *Limiter { return NewWithClock(time.Now) }
+
+// NewWithClock returns a limiter reading time from now — the test seam for
+// deterministic refill arithmetic.
+func NewWithClock(now func() time.Time) *Limiter {
+	return &Limiter{now: now, buckets: make(map[string]*bucket)}
+}
+
+// minRetry floors the retry-after hint so a rejection always carries a
+// positive, visible backoff (RetryAfterMillis ≥ 1 on the wire).
+const minRetry = time.Millisecond
+
+// Acquire admits one operation for key under lim. On admission it returns
+// ok=true and a release func that MUST be called when the operation
+// completes (it frees the concurrency slot; calling it more than once is
+// harmless). On rejection it returns ok=false and a retry-after hint: the
+// time until a token accrues for a rate rejection, or a fixed short
+// backoff for a concurrency rejection (slot lifetimes are unknowable).
+//
+// An unlimited policy (zero Limits) admits immediately without touching
+// any bucket state.
+func (l *Limiter) Acquire(key string, lim Limits) (release func(), retryAfter time.Duration, ok bool) {
+	if !lim.limited() {
+		return func() {}, 0, true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	b := l.buckets[key]
+	now := l.now()
+	if b == nil {
+		b = &bucket{last: now}
+		if lim.QPS > 0 {
+			b.tokens = float64(max(lim.Burst, 1)) // a fresh key starts with a full burst
+		}
+		l.buckets[key] = b
+	}
+
+	if lim.QPS > 0 {
+		depth := float64(max(lim.Burst, 1))
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * lim.QPS
+			if b.tokens > depth {
+				b.tokens = depth
+			}
+		}
+		b.last = now
+	}
+
+	if lim.MaxInflight > 0 && b.inflight >= lim.MaxInflight {
+		return nil, 100 * time.Millisecond, false
+	}
+	if lim.QPS > 0 {
+		if b.tokens < 1 {
+			wait := time.Duration((1 - b.tokens) / lim.QPS * float64(time.Second))
+			if wait < minRetry {
+				wait = minRetry
+			}
+			return nil, wait, false
+		}
+		b.tokens--
+	}
+
+	b.inflight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			b.inflight--
+			l.mu.Unlock()
+		})
+	}, 0, true
+}
+
+// Inflight reports the key's currently admitted-but-unreleased count —
+// an observability read, used by tests and the admin tenant view.
+func (l *Limiter) Inflight(key string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b := l.buckets[key]; b != nil {
+		return b.inflight
+	}
+	return 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
@@ -111,6 +112,14 @@ type AdminConfig struct {
 	// (runtime.goroutines, runtime.heap_objects_bytes, runtime.gc_cycles,
 	// runtime.gc_pause_millis) into the registry on each /metrics scrape.
 	SkipRuntimeMetrics bool
+	// Token, when non-empty, gates every route except /healthz behind a
+	// shared admin secret: requests must carry it as `Authorization: Bearer
+	// <token>` or `X-Admin-Token: <token>`. Comparison is constant-time.
+	// /healthz stays open — load balancers probe it and it reveals nothing.
+	Token string
+	// Extra mounts additional operator routes (e.g. guptd's /tenants) on
+	// the same mux, behind the same token gate.
+	Extra map[string]http.Handler
 }
 
 // AdminHandler builds the guptd admin endpoint:
@@ -218,7 +227,36 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	return mux
+	for pattern, h := range cfg.Extra {
+		mux.Handle(pattern, h)
+	}
+
+	if cfg.Token == "" {
+		return mux
+	}
+	return tokenGate(cfg.Token, mux)
+}
+
+// tokenGate requires the admin token on every route except /healthz. Both
+// accepted carriers compare in constant time against the configured secret;
+// the refusal is uniform (401, no detail) whether the token is absent or
+// wrong.
+func tokenGate(token string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/healthz" {
+			next.ServeHTTP(w, req)
+			return
+		}
+		presented := req.Header.Get("X-Admin-Token")
+		if presented == "" {
+			presented = strings.TrimPrefix(req.Header.Get("Authorization"), "Bearer ")
+		}
+		if subtle.ConstantTimeCompare([]byte(presented), []byte(token)) != 1 {
+			http.Error(w, "admin token required", http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, req)
+	})
 }
 
 // wantsPrometheus decides the /metrics representation. The JSON snapshot

@@ -61,6 +61,9 @@ type Record struct {
 
 	TraceID string `json:"traceId,omitempty"`
 	Dataset string `json:"dataset,omitempty"`
+	// Tenant is the authenticated principal the event ran as; empty in
+	// single-tenant deployments. Tenant ids only — never key material.
+	Tenant string `json:"tenant,omitempty"`
 	// Outcome is the query's terminal state: ok, degraded, error, aborted,
 	// budget_refused, or cache_hit (an already-released answer re-served at
 	// zero ε).

@@ -30,6 +30,7 @@ type InflightQuery struct {
 	in      *Inflight
 	id      string
 	dataset string
+	tenant  string
 	start   time.Time
 
 	mu      sync.Mutex
@@ -46,10 +47,17 @@ func NewInflight(slow *Counter) *Inflight {
 // Begin registers a query. Nil-safe: a nil table returns a nil entry whose
 // methods are no-ops.
 func (in *Inflight) Begin(id, dataset string) *InflightQuery {
+	return in.BeginTenant(id, dataset, "")
+}
+
+// BeginTenant is Begin with tenant attribution: the live-query table shows
+// which principal each in-flight query runs as (id only, never key
+// material). Empty tenant is exactly Begin.
+func (in *Inflight) BeginTenant(id, dataset, tenant string) *InflightQuery {
 	if in == nil {
 		return nil
 	}
-	q := &InflightQuery{in: in, id: id, dataset: dataset, start: time.Now(), stage: StageAdmission}
+	q := &InflightQuery{in: in, id: id, dataset: dataset, tenant: tenant, start: time.Now(), stage: StageAdmission}
 	in.mu.Lock()
 	in.m[q] = struct{}{}
 	in.mu.Unlock()
@@ -134,7 +142,9 @@ func (in *Inflight) sweep(deadline time.Duration) {
 type InflightSnapshot struct {
 	ID      string `json:"id"`
 	Dataset string `json:"dataset"`
-	Stage   string `json:"stage"`
+	// Tenant is the authenticated principal; empty in single-tenant mode.
+	Tenant string `json:"tenant,omitempty"`
+	Stage  string `json:"stage"`
 	// ElapsedBucketMillis is the upper bound of the DefaultLatencyBuckets
 	// bucket the query's current age falls in; -1 means beyond the largest
 	// bound.
@@ -165,6 +175,7 @@ func (in *Inflight) Snapshots() []InflightSnapshot {
 		out = append(out, InflightSnapshot{
 			ID:                  q.id,
 			Dataset:             q.dataset,
+			Tenant:              q.tenant,
 			Stage:               stage,
 			ElapsedBucketMillis: BucketUpperMillis(float64(now.Sub(q.start))/float64(time.Millisecond), DefaultLatencyBuckets),
 			Stuck:               stuck,

@@ -100,6 +100,10 @@ type Trace struct {
 	ID string
 	// Dataset names the dataset the query targeted.
 	Dataset string
+	// Tenant is the authenticated principal the query ran as; empty in
+	// single-tenant deployments. Set before the first span starts. It is an
+	// id only — key material never reaches the telemetry layer.
+	Tenant string
 	// OnStage, when set before the first span starts, is invoked with each
 	// stage name as its span opens — the hook the in-flight query table
 	// uses to show where a query currently is. It must be fast and must
@@ -219,6 +223,9 @@ func (t *Trace) String() string {
 	defer t.mu.Unlock()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "trace %s dataset=%s", t.ID, t.Dataset)
+	if t.Tenant != "" {
+		fmt.Fprintf(&sb, " tenant=%s", t.Tenant)
+	}
 	for _, s := range t.spans {
 		status := s.Status
 		if !s.done {
@@ -266,6 +273,8 @@ type SpanSnapshot struct {
 type TraceSnapshot struct {
 	ID      string `json:"id"`
 	Dataset string `json:"dataset"`
+	// Tenant is the authenticated principal; empty in single-tenant mode.
+	Tenant string `json:"tenant,omitempty"`
 	// Outcome is the query's terminal state: ok, degraded, error, aborted
 	// or budget_refused.
 	Outcome string `json:"outcome"`
@@ -291,6 +300,7 @@ func (t *Trace) snapshot(outcome string) TraceSnapshot {
 	snap := TraceSnapshot{
 		ID:                  t.ID,
 		Dataset:             t.Dataset,
+		Tenant:              t.Tenant,
 		Outcome:             outcome,
 		StartUnix:           t.start.Unix(),
 		ElapsedBucketMillis: BucketUpperMillis(float64(elapsed)/float64(time.Millisecond), DefaultLatencyBuckets),
