@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench bench-telemetry bench-wire bench-cache bench-tenant ledger-kill audit-kill
+.PHONY: all build test race vet check fuzz bench bench-telemetry bench-wire bench-cache bench-tenant bench-fanout fanout-race ledger-kill audit-kill
 
 all: check
 
@@ -28,9 +28,16 @@ ledger-kill:
 audit-kill:
 	$(GO) test -race -count=1 -run 'TestKill' ./internal/telemetry/audit
 
+# fanout-race runs the sharded-dispatch and scheduler tests under the race
+# detector: concurrent block fan-out, straggler duplication, failover and
+# EDF admission are the raciest paths in the tree.
+fanout-race:
+	$(GO) test -race -count=1 -run 'TestFanout|TestScheduler|TestServerOverload|TestServerDeadline|TestWorker' ./internal/compman
+
 # check is the pre-merge gate: static analysis plus the full suite under
-# the race detector, plus dedicated passes of both kill matrices.
-check: vet race ledger-kill audit-kill
+# the race detector, plus dedicated passes of both kill matrices and the
+# fan-out concurrency tests.
+check: vet race fanout-race ledger-kill audit-kill
 
 # fuzz runs each fuzz target briefly; lengthen FUZZTIME for soak runs.
 FUZZTIME ?= 10s
@@ -75,3 +82,11 @@ bench-cache:
 # under a 95%-over-quota flood, and regenerates the checked-in report.
 bench-tenant:
 	$(GO) run ./cmd/gupt-bench -quick -exp tenant -json BENCH_PR8.json
+
+# bench-fanout measures the sharded block executor: QPS / p99 (bucketed) /
+# blocks-per-second over a 1->2->4 worker fleet with quantum-padded blocks,
+# plus a deadline-carrying overload burst against a starved scheduler
+# (expected: refusals with retry hints, zero late answers). Regenerates the
+# checked-in report.
+bench-fanout:
+	$(GO) run ./cmd/gupt-bench -quick -exp fanout -json BENCH_PR9.json

@@ -73,6 +73,9 @@ func runners() map[string]runner {
 		"tenant": func(cfg experiments.Config) (tabler, error) {
 			return experiments.TenancyOverhead(cfg)
 		},
+		"fanout": func(cfg experiments.Config) (tabler, error) {
+			return experiments.FanoutScaling(cfg)
+		},
 		"timing":       func(cfg experiments.Config) (tabler, error) { return experiments.TimingAttack(cfg) },
 		"budgetattack": func(cfg experiments.Config) (tabler, error) { return experiments.BudgetAttack(cfg) },
 		"stateattack":  runStateAttack,

@@ -90,6 +90,7 @@ func main() {
 		gamma      = flag.Int("gamma", 0, "resampling factor (0/1 = off)")
 		autoBlock  = flag.Bool("autoblock", false, "tune block size from the aged sample")
 		seed       = flag.Int64("seed", 0, "seed for reproducible runs")
+		deadline   = flag.Duration("deadline", 0, "answer-by budget for this query; the server refuses (with a retry hint, zero epsilon spent) rather than answer late (0 = none)")
 		apiKey     = flag.String("api-key", os.Getenv("GUPT_API_KEY"), "tenant API key for a tenancy-enabled server (default $GUPT_API_KEY)")
 		adminToken = flag.String("admin-token", os.Getenv("GUPT_ADMIN_TOKEN"), "admin token for -admin HTTP views (default $GUPT_ADMIN_TOKEN)")
 		ranges     rangeFlags
@@ -166,13 +167,14 @@ func main() {
 				Lo: *histLo, Hi: *histHi, Bins: *bins,
 				K: *k, FeatureDims: *dims, LabelCol: *labelCol, Iters: *iters, Seed: *seed,
 			},
-			Mode:          *mode,
-			OutputRanges:  ranges,
-			Epsilon:       *epsilon,
-			BlockSize:     *blockSize,
-			Gamma:         *gamma,
-			AutoBlockSize: *autoBlock,
-			Seed:          *seed,
+			Mode:           *mode,
+			OutputRanges:   ranges,
+			Epsilon:        *epsilon,
+			BlockSize:      *blockSize,
+			Gamma:          *gamma,
+			AutoBlockSize:  *autoBlock,
+			Seed:           *seed,
+			DeadlineMillis: deadline.Milliseconds(),
 		}
 		if *accuracy > 0 {
 			req.Epsilon = 0

@@ -35,6 +35,7 @@ func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry, led *ledger
 		cfg.Traces = srv.Traces
 		cfg.Queries = srv.LiveQueries
 		cfg.Cache = func() telemetry.CacheStatus { return cacheStatus(srv.CacheStats()) }
+		cfg.Workers = srv.WorkerStats
 	}
 	if tenants != nil {
 		cfg.Extra = tenantHandlers(tenants)

@@ -63,6 +63,12 @@ func main() {
 		ledgerSync   = flag.String("ledger-sync", "batched", "ledger fsync policy: 'record' (fsync every charge) or 'batched' (group commit)")
 		ledgerFlush  = flag.Duration("ledger-flush", 2*time.Millisecond, "group-commit accumulation window for -ledger-sync=batched")
 		workers      = flag.String("workers", "", "comma-separated gupt-worker addresses for cluster execution")
+		workerConns  = flag.Int("worker-conns", 1, "concurrent block exchanges per worker host; engine parallelism is workers x this")
+		straggler    = flag.Duration("straggler-after", 0, "duplicate a block to the next-ranked worker when its home worker is this late; first result wins (0 disables)")
+		maxConc      = flag.Int("max-concurrent", 0, "deadline-aware scheduler: queries executing at once; overflow queues earliest-deadline-first (0 disables scheduling)")
+		maxQueue     = flag.Int("max-queue", 0, "scheduler wait-queue bound; arrivals past it are refused with a retry hint (0 = 4x max-concurrent)")
+		maxPerDs     = flag.Int("max-per-dataset", 0, "scheduler cap on concurrent queries per dataset (0 = no cap)")
+		maxPerTen    = flag.Int("max-per-tenant", 0, "scheduler cap on concurrent queries per tenant (0 = no cap)")
 		idle         = flag.Duration("idle", 0, "disconnect clients idle for this long (0 disables)")
 		blockTimeout = flag.Duration("block-timeout", 0, "per-block execution deadline; overruns are substituted (0 disables)")
 		queryTimeout = flag.Duration("query-timeout", 0, "whole-query deadline; overruns abort with budget consumed (0 disables)")
@@ -211,6 +217,14 @@ func main() {
 		CacheEntries:    *cacheEntries,
 		CacheTTL:        *cacheTTL,
 		Tenants:         tenants,
+		WorkerConns:     *workerConns,
+		StragglerAfter:  *straggler,
+		Sched: compman.SchedConfig{
+			MaxConcurrent: *maxConc,
+			MaxQueue:      *maxQueue,
+			MaxPerDataset: *maxPerDs,
+			MaxPerTenant:  *maxPerTen,
+		},
 	}
 	if *traceLog {
 		log.Print("WARNING: -unsafe-trace-log exposes raw per-stage query timings in the log; " +
@@ -227,7 +241,7 @@ func main() {
 			log.Fatalf("admin endpoint: %v", err)
 		}
 		stopAdmin = stop
-		routes := "/metrics /traces /queries /healthz /datasets /ledger /cache /debug/pprof/"
+		routes := "/metrics /traces /queries /workers /healthz /datasets /ledger /cache /debug/pprof/"
 		if tenants != nil {
 			routes += " /tenants"
 		}

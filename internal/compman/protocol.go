@@ -276,6 +276,15 @@ type Request struct {
 	// version-2 peer simply never sends one. The server resolves it to a
 	// tenant id and NEVER echoes, logs, or audits the key itself.
 	APIKey string `json:"apiKey,omitempty"`
+
+	// DeadlineMillis is the caller's answer-by budget in milliseconds,
+	// measured from the server's receipt of the request. The deadline-aware
+	// scheduler orders queued queries earliest-deadline-first and refuses —
+	// with a RetryAfterMillis hint, before any ε is charged — queries whose
+	// deadline would expire in the queue. Zero means no client deadline.
+	// Wire version 4 carries it as an optional request tail; older peers
+	// simply never send one.
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
 }
 
 // Response is one protocol message from server to client.

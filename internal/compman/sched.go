@@ -1,0 +1,374 @@
+package compman
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+	"time"
+
+	"gupt/internal/telemetry"
+)
+
+// Deadline-aware query admission (ROADMAP item 1, scheduler half).
+//
+// Without a scheduler the server runs every admitted query immediately:
+// under overload they all contend for the worker fleet, every query slows
+// down, and clients with deadlines see violations instead of backpressure.
+// The scheduler bounds concurrency, queues the overflow in
+// earliest-deadline-first order, and sheds load the moment it can prove a
+// query cannot be served in time — always BEFORE any ε is charged, so a
+// rejection costs the analyst nothing and the refusal carries a
+// RetryAfterMillis hint derived from observed service times.
+//
+// The scheduler sits after tenant authentication/rate limiting (cheap
+// refusals first) and before the cache lookup and budget charge.
+
+// SchedConfig configures the deadline-aware admission scheduler. The zero
+// value disables scheduling entirely: every query runs immediately, the
+// pre-scheduler behavior.
+type SchedConfig struct {
+	// MaxConcurrent bounds queries executing at once across the server.
+	// Zero or negative disables the scheduler.
+	MaxConcurrent int
+	// MaxQueue bounds queries waiting for a slot; an arrival past the
+	// bound is refused with a RetryAfterMillis hint. Zero selects
+	// 4×MaxConcurrent.
+	MaxQueue int
+	// MaxPerDataset bounds concurrent queries per dataset (a hot dataset
+	// cannot starve the rest). Zero means no per-dataset cap.
+	MaxPerDataset int
+	// MaxPerTenant bounds concurrent queries per tenant id. Zero means no
+	// per-tenant cap. With tenancy off every query shares the default
+	// principal, so this cap then equals MaxConcurrent semantics.
+	MaxPerTenant int
+}
+
+func (c SchedConfig) enabled() bool { return c.MaxConcurrent > 0 }
+
+func (c SchedConfig) maxQueue() int {
+	if c.MaxQueue > 0 {
+		return c.MaxQueue
+	}
+	return 4 * c.MaxConcurrent
+}
+
+// schedVerdict is the admission outcome for a query that was not admitted.
+type schedVerdict int
+
+const (
+	schedAdmitted schedVerdict = iota
+	// schedBusy: the wait queue is full — classic backpressure.
+	schedBusy
+	// schedExpired: the query's deadline passed (or provably will pass)
+	// before a slot frees up; running it would only produce a deadline
+	// violation after spending resources.
+	schedExpired
+	// schedCancelled: the caller's context ended while queued.
+	schedCancelled
+)
+
+// waiter is one queued query.
+type waiter struct {
+	dataset  string
+	tenant   string
+	deadline time.Time // zero: no client deadline (sorts after all deadlines)
+	seq      uint64    // FIFO tiebreak
+	ready    chan struct{}
+	index    int // heap position; -1 once popped
+	expired  bool
+	admitted bool
+}
+
+// schedHeap orders waiters earliest-deadline-first; deadline-less waiters
+// come last, FIFO among themselves.
+type schedHeap []*waiter
+
+func (h schedHeap) Len() int { return len(h) }
+func (h schedHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	switch {
+	case a.deadline.IsZero() && b.deadline.IsZero():
+		return a.seq < b.seq
+	case a.deadline.IsZero():
+		return false
+	case b.deadline.IsZero():
+		return true
+	case a.deadline.Equal(b.deadline):
+		return a.seq < b.seq
+	default:
+		return a.deadline.Before(b.deadline)
+	}
+}
+func (h schedHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *schedHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *schedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*h = old[:n-1]
+	return w
+}
+
+type scheduler struct {
+	cfg SchedConfig
+
+	mu         sync.Mutex
+	running    int
+	perDataset map[string]int
+	perTenant  map[string]int
+	queue      schedHeap
+	seq        uint64
+	ewmaMillis float64 // smoothed query service time, for retry hints
+
+	gDepth    *telemetry.Gauge
+	gRunning  *telemetry.Gauge
+	cAdmitted *telemetry.Counter
+	cQueued   *telemetry.Counter
+	cBusy     *telemetry.Counter
+	cExpired  *telemetry.Counter
+}
+
+func newScheduler(cfg SchedConfig, tel *telemetry.Registry) *scheduler {
+	if !cfg.enabled() {
+		return nil
+	}
+	return &scheduler{
+		cfg:        cfg,
+		perDataset: make(map[string]int),
+		perTenant:  make(map[string]int),
+		gDepth:     tel.Gauge("compman.sched.queue_depth"),
+		gRunning:   tel.Gauge("compman.sched.running"),
+		cAdmitted:  tel.Counter("compman.sched.admitted"),
+		cQueued:    tel.Counter("compman.sched.queued"),
+		cBusy:      tel.Counter("compman.sched.rejected_busy"),
+		cExpired:   tel.Counter("compman.sched.rejected_expired"),
+	}
+}
+
+// canRunLocked reports whether a query on (dataset, tenant) fits every
+// concurrency cap right now. s.mu held.
+func (s *scheduler) canRunLocked(dataset, tenant string) bool {
+	if s.running >= s.cfg.MaxConcurrent {
+		return false
+	}
+	if s.cfg.MaxPerDataset > 0 && s.perDataset[dataset] >= s.cfg.MaxPerDataset {
+		return false
+	}
+	if s.cfg.MaxPerTenant > 0 && s.perTenant[tenant] >= s.cfg.MaxPerTenant {
+		return false
+	}
+	return true
+}
+
+func (s *scheduler) startLocked(dataset, tenant string) {
+	s.running++
+	s.perDataset[dataset]++
+	s.perTenant[tenant]++
+	s.gRunning.Set(int64(s.running))
+	s.cAdmitted.Inc()
+}
+
+// retryHintLocked estimates when retrying is worthwhile: the smoothed
+// service time scaled by how many queries are ahead per execution slot.
+// s.mu held.
+func (s *scheduler) retryHintLocked() time.Duration {
+	ewma := s.ewmaMillis
+	if ewma < 1 {
+		ewma = 50 // no history yet: a modest default beats hint 0
+	}
+	waves := float64(s.running+len(s.queue))/float64(s.cfg.MaxConcurrent) + 1
+	d := time.Duration(ewma*waves) * time.Millisecond
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// admit asks for an execution slot. It returns schedAdmitted with a
+// release func (call exactly once, when the query settles), or a rejection
+// verdict with a retry hint. deadline zero means no client deadline; a
+// deadline that expires while queued converts to schedExpired without the
+// query ever charging ε.
+func (s *scheduler) admit(ctx context.Context, dataset, tenant string, deadline time.Time) (release func(), retryAfter time.Duration, verdict schedVerdict) {
+	if s == nil {
+		return func() {}, 0, schedAdmitted
+	}
+	s.mu.Lock()
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		hint := s.retryHintLocked()
+		s.cExpired.Inc()
+		s.mu.Unlock()
+		return nil, hint, schedExpired
+	}
+	if s.canRunLocked(dataset, tenant) {
+		s.startLocked(dataset, tenant)
+		s.mu.Unlock()
+		return s.releaseFunc(dataset, tenant, time.Now()), 0, schedAdmitted
+	}
+	if len(s.queue) >= s.cfg.maxQueue() {
+		hint := s.retryHintLocked()
+		s.cBusy.Inc()
+		s.mu.Unlock()
+		return nil, hint, schedBusy
+	}
+	w := &waiter{
+		dataset:  dataset,
+		tenant:   tenant,
+		deadline: deadline,
+		seq:      s.seq,
+		ready:    make(chan struct{}),
+	}
+	s.seq++
+	heap.Push(&s.queue, w)
+	s.gDepth.Set(int64(len(s.queue)))
+	s.cQueued.Inc()
+	s.mu.Unlock()
+
+	// A queued waiter with a deadline also arms a timer: expiry must not
+	// wait for the next release to be noticed.
+	var expiry <-chan time.Time
+	if !w.deadline.IsZero() {
+		t := time.NewTimer(time.Until(w.deadline))
+		defer t.Stop()
+		expiry = t.C
+	}
+	select {
+	case <-w.ready:
+		s.mu.Lock()
+		admitted := w.admitted
+		hint := s.retryHintLocked()
+		s.mu.Unlock()
+		if admitted {
+			return s.releaseFunc(dataset, tenant, time.Now()), 0, schedAdmitted
+		}
+		return nil, hint, schedExpired
+	case <-expiry:
+		if s.abandon(w) {
+			s.mu.Lock()
+			hint := s.retryHintLocked()
+			s.cExpired.Inc()
+			s.mu.Unlock()
+			return nil, hint, schedExpired
+		}
+		// Lost the race: a release admitted (or expired) us first.
+		<-w.ready
+		s.mu.Lock()
+		admitted := w.admitted
+		hint := s.retryHintLocked()
+		if !admitted {
+			s.cExpired.Inc()
+		}
+		s.mu.Unlock()
+		if admitted {
+			return s.releaseFunc(dataset, tenant, time.Now()), 0, schedAdmitted
+		}
+		return nil, hint, schedExpired
+	case <-ctx.Done():
+		if s.abandon(w) {
+			return nil, 0, schedCancelled
+		}
+		<-w.ready
+		s.mu.Lock()
+		admitted := w.admitted
+		s.mu.Unlock()
+		if admitted {
+			// Admitted in the same instant the caller gave up; hand the
+			// slot straight back so it is not leaked.
+			s.releaseFunc(dataset, tenant, time.Now())()
+			return nil, 0, schedCancelled
+		}
+		return nil, 0, schedCancelled
+	}
+}
+
+// abandon removes a still-queued waiter; false means it already left the
+// queue (admitted or expired by a release) and its ready channel is closed.
+func (s *scheduler) abandon(w *waiter) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, w.index)
+	s.gDepth.Set(int64(len(s.queue)))
+	return true
+}
+
+// releaseFunc frees the slot taken at start and promotes queued waiters.
+func (s *scheduler) releaseFunc(dataset, tenant string, start time.Time) func() {
+	return func() {
+		elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+		s.mu.Lock()
+		// EWMA of service time drives the retry hints. α = 0.2: smooth
+		// enough to ignore one outlier, fresh enough to track load shifts.
+		if s.ewmaMillis == 0 {
+			s.ewmaMillis = elapsed
+		} else {
+			s.ewmaMillis = 0.8*s.ewmaMillis + 0.2*elapsed
+		}
+		s.running--
+		if s.perDataset[dataset]--; s.perDataset[dataset] <= 0 {
+			delete(s.perDataset, dataset)
+		}
+		if s.perTenant[tenant]--; s.perTenant[tenant] <= 0 {
+			delete(s.perTenant, tenant)
+		}
+		s.gRunning.Set(int64(s.running))
+		s.promoteLocked()
+		s.mu.Unlock()
+	}
+}
+
+// promoteLocked pops waiters in EDF order: expired ones are rejected (they
+// can no longer be served in time), and the earliest-deadline waiter whose
+// caps have room is admitted. Waiters blocked only by a per-dataset or
+// per-tenant cap are skipped over — EDF across the eligible set, not
+// head-of-line blocking. s.mu held.
+func (s *scheduler) promoteLocked() {
+	now := time.Now()
+	var skipped []*waiter
+	for len(s.queue) > 0 {
+		w := heap.Pop(&s.queue).(*waiter)
+		if !w.deadline.IsZero() && !now.Before(w.deadline) {
+			w.expired = true
+			close(w.ready)
+			continue
+		}
+		if s.canRunLocked(w.dataset, w.tenant) {
+			w.admitted = true
+			s.startLocked(w.dataset, w.tenant)
+			close(w.ready)
+			break
+		}
+		if s.running >= s.cfg.MaxConcurrent {
+			// No global room: nothing else can be admitted either.
+			skipped = append(skipped, w)
+			break
+		}
+		skipped = append(skipped, w) // blocked by a scoped cap; try the next
+	}
+	for _, w := range skipped {
+		heap.Push(&s.queue, w)
+	}
+	s.gDepth.Set(int64(len(s.queue)))
+}
+
+// queueDepth reports the current wait-queue length (tests, admin).
+func (s *scheduler) queueDepth() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

@@ -114,6 +114,19 @@ type ServerConfig struct {
 	// admission. Nil keeps the single-tenant behavior: no authentication,
 	// every request runs as the default principal.
 	Tenants *tenant.Registry
+	// Sched configures the deadline-aware admission scheduler: bounded
+	// query queue, EDF ordering, global/per-dataset/per-tenant concurrency
+	// caps, RetryAfterMillis backpressure. The zero value disables it (every
+	// query runs immediately, the pre-scheduler behavior).
+	Sched SchedConfig
+	// WorkerConns bounds concurrent block exchanges per worker host; zero
+	// means 1 (one in-flight block per worker). The engine's parallelism is
+	// sized to workers × WorkerConns.
+	WorkerConns int
+	// StragglerAfter, when positive, duplicates a block to the next-ranked
+	// worker if its assigned worker has not answered within this duration
+	// (first result wins). Zero disables straggler re-dispatch.
+	StragglerAfter time.Duration
 }
 
 // Server is the trusted computation-manager server. It owns the dataset
@@ -131,6 +144,7 @@ type Server struct {
 	inflight *telemetry.Inflight    // live query table, for /queries
 	cache    *qcache.Cache          // noisy-answer cache; nil when disabled
 	limiter  *ratelimit.Limiter     // per-tenant admission gate; nil when tenancy off
+	sched    *scheduler             // deadline-aware admission; nil when disabled
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -158,6 +172,7 @@ func NewServer(reg *dataset.Registry, cfg ServerConfig) *Server {
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.mgr.Instrument(tel)
+	s.sched = newScheduler(cfg.Sched, tel)
 	if cfg.Tenants != nil {
 		s.mgr.SetQuotas(cfg.Tenants)
 		s.limiter = ratelimit.New()
@@ -169,7 +184,11 @@ func NewServer(reg *dataset.Registry, cfg ServerConfig) *Server {
 		s.inflight.StartWatchdog(cfg.QueryTimeout, time.Second)
 	}
 	if len(cfg.WorkerAddrs) > 0 {
-		pool, err := NewWorkerPool(cfg.WorkerAddrs)
+		pool, err := NewWorkerPoolConfig(PoolConfig{
+			Addrs:          cfg.WorkerAddrs,
+			ConnsPerWorker: cfg.WorkerConns,
+			StragglerAfter: cfg.StragglerAfter,
+		})
 		if err != nil {
 			// Fail queries, not the constructor: the operator sees the
 			// cause both in the log and on every refused query.
@@ -203,6 +222,16 @@ func (s *Server) LiveQueries() []telemetry.InflightSnapshot { return s.inflight.
 // CacheStats snapshots the noisy-answer cache's counters — the /cache
 // admin endpoint's data source. All zeros when caching is disabled.
 func (s *Server) CacheStats() qcache.Stats { return s.cache.Stats() }
+
+// WorkerStats snapshots the per-worker fleet view (in-flight, answered and
+// failed counts, health) — the /workers admin endpoint's data source. Nil
+// when the server executes locally (no worker pool).
+func (s *Server) WorkerStats() []telemetry.WorkerStatus {
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.WorkerStats()
+}
 
 // InvalidateCache drops every cached answer for the named dataset,
 // returning the count. Mutation paths call it after bumping the dataset's
@@ -440,6 +469,44 @@ func (s *Server) rateLimited(tenantID, datasetName string, retryAfter time.Durat
 	return resp
 }
 
+// schedule passes the request through the deadline-aware scheduler. A nil
+// second return means the query was admitted and holds a slot until
+// release is called; otherwise the refusal response is final — built and
+// audited here, always before any ε moved. The returned deadline is the
+// absolute answer-by time derived from req.DeadlineMillis (zero when the
+// client set none); execution must not outlive it.
+func (s *Server) schedule(ctx context.Context, tenantID string, req *Request) (release func(), deadline time.Time, refusal *Response) {
+	if req.DeadlineMillis > 0 {
+		deadline = time.Now().Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
+	}
+	release, retryAfter, verdict := s.sched.admit(ctx, req.Dataset, tenantID, deadline)
+	switch verdict {
+	case schedAdmitted:
+		return release, deadline, nil
+	case schedBusy:
+		resp := Response{
+			Error:            "server overloaded: query queue is full",
+			RetryAfterMillis: maxInt64(retryAfter.Milliseconds(), 1),
+			TraceID:          telemetry.NewTraceID(),
+		}
+		s.stats.recordOverloaded()
+		s.auditRecordAs(tenantID, req.Dataset, &resp, "overloaded", 0)
+		return nil, deadline, &resp
+	case schedExpired:
+		resp := Response{
+			Error:            "deadline unmeetable: query would expire before a slot frees up",
+			RetryAfterMillis: maxInt64(retryAfter.Milliseconds(), 1),
+			TraceID:          telemetry.NewTraceID(),
+		}
+		s.stats.recordOverloaded()
+		s.auditRecordAs(tenantID, req.Dataset, &resp, "overloaded", 0)
+		return nil, deadline, &resp
+	default: // schedCancelled: the connection went away; any response is unsendable
+		resp := Response{Error: "query cancelled while queued", TraceID: telemetry.NewTraceID()}
+		return nil, deadline, &resp
+	}
+}
+
 func maxInt64(a, b int64) int64 {
 	if a > b {
 		return a
@@ -484,8 +551,13 @@ func (s *Server) dispatchAs(tenantID string, req *Request) Response {
 			return s.rateLimited(tenantID, req.Dataset, retryAfter)
 		}
 		defer releaseSlot()
+		schedRelease, deadline, refusal := s.schedule(context.Background(), tenantID, req)
+		if refusal != nil {
+			return *refusal
+		}
+		defer schedRelease()
 		start := time.Now()
-		resp := s.handleSession(req, tenantID)
+		resp := s.handleSession(req, tenantID, deadline)
 		resp.TraceID = telemetry.NewTraceID()
 		s.auditRecordAs(tenantID, req.Dataset, &resp, sessionOutcome(&resp), time.Since(start))
 		return resp
@@ -507,6 +579,11 @@ func (s *Server) dispatchAs(tenantID string, req *Request) Response {
 			return s.rateLimited(tenantID, req.Dataset, retryAfter)
 		}
 		defer releaseSlot()
+		schedRelease, deadline, refusal := s.schedule(context.Background(), tenantID, req)
+		if refusal != nil {
+			return *refusal
+		}
+		defer schedRelease()
 		start := time.Now()
 		inflight := s.tel.Gauge("compman.queries_inflight")
 		inflight.Inc()
@@ -518,7 +595,7 @@ func (s *Server) dispatchAs(tenantID string, req *Request) Response {
 		tr.Tenant = tenantID
 		live := s.inflight.BeginTenant(tr.ID, req.Dataset, tenantID)
 		tr.OnStage = live.SetStage
-		resp := s.handleQuery(req, tenantID, tr)
+		resp := s.handleQuery(req, tenantID, tr, deadline)
 		live.End()
 		inflight.Dec()
 		resp.TraceID = tr.ID
@@ -650,8 +727,10 @@ func (s *Server) logTrace(tr *telemetry.Trace) {
 // partitions the answer cache, attributes the ledger charge, and layers the
 // tenant's quota over the global budget. tr records the query's lifecycle
 // spans (admission → budget → engine stages → release); it may be nil in
-// direct tests.
-func (s *Server) handleQuery(req *Request, tenantID string, tr *telemetry.Trace) Response {
+// direct tests. deadline is the client's absolute answer-by time (zero:
+// none); the engine run is bounded by it on top of the server's own
+// QueryTimeout.
+func (s *Server) handleQuery(req *Request, tenantID string, tr *telemetry.Trace, deadline time.Time) Response {
 	// Admission covers everything before the charge: dataset resolution,
 	// program and range validation, chamber selection, block-size planning.
 	// End keeps only its first call, so the deferred error status fires
@@ -741,7 +820,7 @@ func (s *Server) handleQuery(req *Request, tenantID string, tr *telemetry.Trace)
 				TraceID:       traceID,
 			}, tr)
 		}
-		opts.Parallelism = s.pool.Size()
+		opts.Parallelism = s.pool.Parallelism()
 	}
 	opts.NewChamber = s.wrapChamberFactory(opts.NewChamber)
 
@@ -809,7 +888,7 @@ func (s *Server) handleQuery(req *Request, tenantID string, tr *telemetry.Trace)
 	opts.Metrics = s.tel
 	opts.Trace = tr
 
-	res, err := s.runCharged(program, rows, spec, opts)
+	res, err := s.runCharged(program, rows, spec, opts, deadline)
 	if err != nil {
 		// The charge is already settled; failed runs still consumed budget
 		// conservatively (§6.2 — aborts never refund). Report the failure
@@ -855,15 +934,21 @@ func respCacheSize(resp *Response) int64 {
 }
 
 // runCharged executes the engine for a query whose privacy charge has
-// already settled, bounded by the configured query deadline and retry
-// budget. Retries are deterministic (the seed is perturbed per attempt so
-// a seed-dependent failure is not replayed verbatim) and never re-charge:
-// at most one output is ever released for the single ε spent.
-func (s *Server) runCharged(program analytics.Program, rows []mathutil.Vec, spec core.RangeSpec, opts core.Options) (*core.Result, error) {
+// already settled, bounded by the configured query deadline, the client's
+// answer-by deadline (when set), and the retry budget. Retries are
+// deterministic (the seed is perturbed per attempt so a seed-dependent
+// failure is not replayed verbatim) and never re-charge: at most one
+// output is ever released for the single ε spent.
+func (s *Server) runCharged(program analytics.Program, rows []mathutil.Vec, spec core.RangeSpec, opts core.Options, deadline time.Time) (*core.Result, error) {
 	ctx := context.Background()
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
 		defer cancel()
 	}
 	retries := s.cfg.MaxQueryRetries
@@ -911,7 +996,7 @@ func (s *Server) wrapChamberFactory(base func(analytics.Program, sandbox.Policy)
 // the queries in proportion to their noise scales, the total charged
 // atomically before anything runs. tenantID attributes the charge and
 // partitions the session cache ("" = single-tenant mode).
-func (s *Server) handleSession(req *Request, tenantID string) Response {
+func (s *Server) handleSession(req *Request, tenantID string, deadline time.Time) Response {
 	spec := req.Session
 	if spec == nil {
 		return Response{Error: "session op missing payload"}
@@ -1005,7 +1090,7 @@ func (s *Server) handleSession(req *Request, tenantID string) Response {
 				MaxFailFrac:  s.cfg.MaxFailFrac,
 				NewChamber:   s.wrapChamberFactory(nil),
 				Metrics:      s.tel,
-			})
+			}, deadline)
 		if err != nil {
 			results[i] = SessionResult{Error: err.Error(), EpsilonSpent: alloc[i]}
 			continue

@@ -58,6 +58,7 @@ type statsCollector struct {
 	queriesDegraded   *telemetry.Counter
 	blocksSubstituted *telemetry.Counter
 	queryRetries      *telemetry.Counter
+	queriesOverloaded *telemetry.Counter
 	latency           *telemetry.Histogram
 	totalQueryMillis  atomic.Int64
 }
@@ -74,6 +75,7 @@ func newStatsCollector(tel *telemetry.Registry) *statsCollector {
 		queriesDegraded:   tel.Counter("compman.queries_degraded"),
 		blocksSubstituted: tel.Counter("compman.blocks_substituted"),
 		queryRetries:      tel.Counter("compman.query_retries"),
+		queriesOverloaded: tel.Counter("compman.queries_overloaded"),
 		latency:           tel.Histogram("compman.query_latency_millis", telemetry.DefaultLatencyBuckets),
 	}
 }
@@ -105,6 +107,14 @@ func (c *statsCollector) recordDegraded(blocks int) {
 
 func (c *statsCollector) recordRetry() {
 	c.queryRetries.Inc()
+}
+
+// recordOverloaded tallies a zero-ε scheduler refusal (queue full or
+// deadline unmeetable). Deliberately not a ServerStats field: the wire
+// stats grammar stays version-stable; operators watch
+// compman.queries_overloaded on /metrics instead.
+func (c *statsCollector) recordOverloaded() {
+	c.queriesOverloaded.Inc()
 }
 
 // snapshot assembles the wire-compatible ServerStats view. Each field is an

@@ -69,13 +69,22 @@ import (
 // working against single-tenant (tenancy-off) servers with no flag day. A
 // tenancy-ON server rejects version-2 clients at admission (they cannot
 // present a key), not at the handshake.
+//
+// Version 4 (PR 9, deadline-aware scheduling) appends the client's query
+// deadline budget (DeadlineMillis) to the request tail, after the API key.
+// It cannot ride the version-3 tail in place — decodePayload rejects
+// trailing bytes, so a version-3 server would refuse extended frames —
+// hence the bump. The response grammar is unchanged; versions 2 and 3
+// remain live negotiation targets and their frames decode unchanged under
+// a version-4 decoder (each tail field is read only when bytes remain).
 const (
 	WireVersionJSON    uint8 = 0 // retired; named only to reject it by name
 	WireVersionBinary1 uint8 = 1 // retired: pre-cache-hit binary framing
 	WireVersionBinary  uint8 = 2 // still negotiable: pre-tenancy framing
-	WireVersionBinary3 uint8 = 3 // current: tenant tails on request/response
+	WireVersionBinary3 uint8 = 3 // still negotiable: tenant tails on request/response
+	WireVersionBinary4 uint8 = 4 // current: request tail gains the deadline budget
 	// LatestWireVersion is what Dial and NewWorkerPool negotiate for.
-	LatestWireVersion = WireVersionBinary3
+	LatestWireVersion = WireVersionBinary4
 )
 
 // WireMagic is the first byte of a binary-wire hello. It is outside every
@@ -737,6 +746,12 @@ func encodeRequestBody(e *wireEncoder, req *Request, version uint8) {
 		// sent — the tenancy-off server never asks for it.
 		e.str(req.APIKey)
 	}
+	if version >= WireVersionBinary4 {
+		// Version-4 tail: the client's deadline budget for the scheduler.
+		// On an older connection it is simply not sent — the query runs
+		// without a client deadline, exactly the pre-scheduler behavior.
+		e.i64(req.DeadlineMillis)
+	}
 }
 
 func decodeRequestBody(d *wireDecoder) *Request {
@@ -806,6 +821,10 @@ func decodeRequestBody(d *wireDecoder) *Request {
 		// tail still latches a decode error through str(), so truncation
 		// inside the tail is a frame error, not a silent downgrade.
 		req.APIKey = d.str()
+	}
+	if d.err == nil && len(d.b) > 0 {
+		// Version-4 optional tail; absent on version-2/3 frames.
+		req.DeadlineMillis = d.i64()
 	}
 	return req
 }

@@ -30,10 +30,11 @@ func sampleRequests() map[string]*Request {
 			OutputRanges: []RangeSpec{
 				{Lo: 0, Hi: 150},
 			},
-			Epsilon:   0.5,
-			BlockSize: 250,
-			Gamma:     3,
-			Seed:      42,
+			Epsilon:        0.5,
+			BlockSize:      250,
+			Gamma:          3,
+			Seed:           42,
+			DeadlineMillis: 1500,
 		},
 		"query-helper": {
 			Op:          OpQuery,

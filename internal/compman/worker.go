@@ -9,7 +9,9 @@ import (
 	"io"
 	"log"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gupt/internal/mathutil"
@@ -278,25 +280,61 @@ func (w *Worker) span(stage, status string, start time.Time) telemetry.RemoteSpa
 
 // WorkerPool fans block executions out over a set of worker daemons. It is
 // created once per server and handed to the engine as a chamber factory.
+//
+// Each worker address becomes a workerHost holding up to ConnsPerWorker
+// connections, so one query's blocks shard across the whole fleet instead
+// of serializing on one connection per worker. Block→worker assignment is
+// rendezvous-hashed on the block index: adding or removing a worker only
+// moves the blocks whose home that worker was, and — because block outputs
+// are keyed by index and all RNG streams are server-side — any assignment
+// produces bit-identical query results.
 type WorkerPool struct {
-	mu    sync.Mutex
-	conns []*workerConn
-	next  int
-	tel   *telemetry.Registry
+	mu       sync.Mutex
+	hosts    []*workerHost
+	tel      *telemetry.Registry
+	closed   bool
+	closedCh chan struct{}
+
+	connsPer       int
+	stragglerAfter time.Duration
+}
+
+// PoolConfig tunes a worker pool beyond the address list.
+type PoolConfig struct {
+	// Addrs lists the worker daemons; all must be reachable at construction.
+	Addrs []string
+	// Version caps the wire version offered on every (re)dial; 0 means
+	// LatestWireVersion.
+	Version uint8
+	// ConnsPerWorker bounds concurrent block exchanges per worker host;
+	// 0 means 1 (one in-flight block per worker, the historical behavior).
+	ConnsPerWorker int
+	// StragglerAfter, when positive, duplicates a block to the next-ranked
+	// worker if its home has not answered within this duration. The first
+	// result wins; the loser's exchange completes in the background so its
+	// connection stays synchronized. 0 disables re-dispatch.
+	StragglerAfter time.Duration
 }
 
 // Instrument routes pool health counters into a telemetry registry:
 // compman.pool.redials (transport-level reconnects), compman.pool.failovers
-// (blocks retried on a different worker) and the compman.pool.inflight
-// depth gauge. Nil-safe throughout; call before serving.
+// (blocks retried on a different worker), compman.pool.straggler_redispatch
+// (duplicate dispatches racing a slow home worker), the compman.pool.inflight
+// depth gauge, and the per-worker compman.pool.worker.inflight.<addr> /
+// compman.pool.worker.unhealthy.<addr> gauges. Nil-safe throughout; call
+// before serving.
 func (p *WorkerPool) Instrument(tel *telemetry.Registry) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.tel = tel
-	for _, wc := range p.conns {
-		wc.mu.Lock()
-		wc.redials = tel.Counter("compman.pool.redials")
-		wc.mu.Unlock()
+	for _, h := range p.hosts {
+		h.mu.Lock()
+		for _, wc := range h.all {
+			wc.mu.Lock()
+			wc.redials = tel.Counter("compman.pool.redials")
+			wc.mu.Unlock()
+		}
+		h.mu.Unlock()
 	}
 }
 
@@ -318,26 +356,195 @@ type workerConn struct {
 // retired JSON wire fails pool construction with an error naming the
 // worker and wrapping ErrPeerTooOld.
 func NewWorkerPool(addrs []string) (*WorkerPool, error) {
-	return NewWorkerPoolVersion(addrs, LatestWireVersion)
+	return NewWorkerPoolConfig(PoolConfig{Addrs: addrs})
 }
 
 // NewWorkerPoolVersion dials every worker address offering at most the
 // given wire version. WireVersionJSON (0) is retired and fails closed.
 func NewWorkerPoolVersion(addrs []string, version uint8) (*WorkerPool, error) {
-	if len(addrs) == 0 {
+	if version == 0 {
+		// PoolConfig treats 0 as "latest", so the retired-JSON refusal the
+		// negotiator would produce is issued here instead.
+		return nil, fmt.Errorf("%w: wire version %d is retired", ErrWireNegotiation, version)
+	}
+	return NewWorkerPoolConfig(PoolConfig{Addrs: addrs, Version: version})
+}
+
+// NewWorkerPoolConfig dials every configured worker address. One connection
+// per worker is established eagerly (so a dead or too-old worker fails pool
+// construction loudly); the rest of each host's connection budget is dialed
+// lazily as block concurrency demands it.
+func NewWorkerPoolConfig(cfg PoolConfig) (*WorkerPool, error) {
+	if len(cfg.Addrs) == 0 {
 		return nil, errors.New("compman: worker pool needs at least one address")
 	}
-	p := &WorkerPool{}
-	for _, addr := range addrs {
+	version := cfg.Version
+	if version == 0 {
+		version = LatestWireVersion
+	}
+	connsPer := cfg.ConnsPerWorker
+	if connsPer < 1 {
+		connsPer = 1
+	}
+	p := &WorkerPool{
+		closedCh:       make(chan struct{}),
+		connsPer:       connsPer,
+		stragglerAfter: cfg.StragglerAfter,
+	}
+	for _, addr := range cfg.Addrs {
 		wc, err := dialWorker(addr, version)
 		if err != nil {
 			p.Close()
 			return nil, err
 		}
-		p.conns = append(p.conns, wc)
+		h := &workerHost{
+			addr:  addr,
+			want:  version,
+			pool:  p,
+			slots: make(chan *workerConn, connsPer),
+		}
+		h.gaugeSuffix = metricLabel(addr)
+		h.all = append(h.all, wc)
+		h.slots <- wc
+		for i := 1; i < connsPer; i++ {
+			h.slots <- nil // dialed on demand
+		}
+		p.hosts = append(p.hosts, h)
 	}
 	return p, nil
 }
+
+// metricLabel turns a worker address into a metric-name-safe suffix.
+func metricLabel(addr string) string {
+	b := []byte(addr)
+	for i, c := range b {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// workerHost is one worker daemon's seat in the pool: a bounded set of
+// connections plus the in-flight and health accounting that drives
+// least-loaded selection and straggler re-dispatch.
+type workerHost struct {
+	addr        string
+	want        uint8
+	pool        *WorkerPool
+	gaugeSuffix string
+
+	// slots is the connection budget: a *workerConn ready for use, or nil
+	// meaning "a connection may be dialed". Taking a slot bounds this
+	// host's concurrent exchanges.
+	slots chan *workerConn
+
+	mu  sync.Mutex
+	all []*workerConn // every dialed conn, for Close
+
+	inflight atomic.Int64 // blocks currently dispatched here
+	done     atomic.Int64 // blocks answered (including app-level errors)
+	failed   atomic.Int64 // transport-level failures
+	streak   atomic.Int64 // consecutive transport failures
+	sick     atomic.Bool  // streak crossed unhealthyAfter; cleared on success
+}
+
+// unhealthyAfter is how many consecutive transport failures mark a worker
+// unhealthy, demoting it to last-resort in candidate ranking until a
+// successful exchange clears it.
+const unhealthyAfter = 2
+
+func (h *workerHost) inflightGauge() *telemetry.Gauge {
+	return h.pool.gauge("compman.pool.worker.inflight." + h.gaugeSuffix)
+}
+
+func (h *workerHost) unhealthyGauge() *telemetry.Gauge {
+	return h.pool.gauge("compman.pool.worker.unhealthy." + h.gaugeSuffix)
+}
+
+// saturated reports whether every connection slot is busy.
+func (h *workerHost) saturated() bool {
+	return h.inflight.Load() >= int64(cap(h.slots))
+}
+
+func (h *workerHost) noteFailure() {
+	h.failed.Add(1)
+	if h.streak.Add(1) >= unhealthyAfter && !h.sick.Swap(true) {
+		h.unhealthyGauge().Set(1)
+	}
+}
+
+func (h *workerHost) noteSuccess() {
+	h.done.Add(1)
+	h.streak.Store(0)
+	if h.sick.Swap(false) {
+		h.unhealthyGauge().Set(0)
+	}
+}
+
+// acquire takes a connection slot, dialing lazily when the slot is still
+// unused. Blocks when every slot is busy — the engine's parallelism is
+// normally sized to the pool so this only gates bursts.
+func (h *workerHost) acquire(ctx context.Context) (*workerConn, error) {
+	select {
+	case wc := <-h.slots:
+		if wc != nil {
+			return wc, nil
+		}
+		fresh, err := dialWorker(h.addr, h.want)
+		if err != nil {
+			h.slots <- nil // hand the slot back undialed
+			return nil, err
+		}
+		fresh.redials = h.pool.counter("compman.pool.redials")
+		h.mu.Lock()
+		h.all = append(h.all, fresh)
+		h.mu.Unlock()
+		return fresh, nil
+	case <-h.pool.closedCh:
+		return nil, errPoolClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (h *workerHost) release(wc *workerConn) {
+	if h.pool.isClosed() {
+		wc.conn.Close()
+		return
+	}
+	h.slots <- wc // never blocks: one slot was taken per acquire
+}
+
+// do runs one block exchange on this host, maintaining its in-flight and
+// health accounting. Errors are transport-level (retryable elsewhere);
+// application failures arrive inside the response.
+func (h *workerHost) do(ctx context.Context, req *WorkRequest) (*WorkResponse, error) {
+	h.inflight.Add(1)
+	g := h.inflightGauge()
+	g.Inc()
+	defer func() {
+		h.inflight.Add(-1)
+		g.Dec()
+	}()
+	wc, err := h.acquire(ctx)
+	if err != nil {
+		if ctx.Err() == nil && !h.pool.isClosed() {
+			h.noteFailure() // dial failure, not caller cancellation
+		}
+		return nil, err
+	}
+	resp, err := wc.execute(ctx, req)
+	h.release(wc)
+	if err != nil {
+		h.noteFailure()
+	} else {
+		h.noteSuccess()
+	}
+	return resp, err
+}
+
+var errPoolClosed = errors.New("compman: worker pool is closed")
 
 func dialWorker(addr string, version uint8) (*workerConn, error) {
 	conn, err := net.Dial("tcp", addr)
@@ -366,28 +573,83 @@ func dialWorker(addr string, version uint8) (*workerConn, error) {
 	return wc, nil
 }
 
-// Close releases all worker connections.
+// Close releases all worker connections. In-flight exchanges fail with
+// transport errors and are not retried anywhere.
 func (p *WorkerPool) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, wc := range p.conns {
-		wc.conn.Close()
+	if p.closed {
+		p.mu.Unlock()
+		return
 	}
-	p.conns = nil
+	p.closed = true
+	close(p.closedCh)
+	hosts := p.hosts
+	p.hosts = nil
+	p.mu.Unlock()
+	for _, h := range hosts {
+		h.mu.Lock()
+		for _, wc := range h.all {
+			wc.conn.Close()
+		}
+		h.mu.Unlock()
+	}
+}
+
+func (p *WorkerPool) isClosed() bool {
+	select {
+	case <-p.closedCh:
+		return true
+	default:
+		return false
+	}
 }
 
 // Size returns the number of pooled workers.
 func (p *WorkerPool) Size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.conns)
+	return len(p.hosts)
+}
+
+// Parallelism returns how many blocks the fleet can hold in flight at
+// once — workers × connections per worker. The engine's parallelism knob
+// should be set to this.
+func (p *WorkerPool) Parallelism() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.hosts) * p.connsPer
+}
+
+// WorkerStats snapshots per-worker fleet accounting for the admin plane.
+func (p *WorkerPool) WorkerStats() []telemetry.WorkerStatus {
+	p.mu.Lock()
+	hosts := append([]*workerHost(nil), p.hosts...)
+	p.mu.Unlock()
+	out := make([]telemetry.WorkerStatus, 0, len(hosts))
+	for _, h := range hosts {
+		h.mu.Lock()
+		conns := len(h.all)
+		h.mu.Unlock()
+		out = append(out, telemetry.WorkerStatus{
+			Addr:      h.addr,
+			Conns:     conns,
+			MaxConns:  cap(h.slots),
+			Inflight:  h.inflight.Load(),
+			Done:      h.done.Load(),
+			Failed:    h.failed.Load(),
+			Unhealthy: h.sick.Load(),
+		})
+	}
+	return out
 }
 
 // Chamber returns a sandbox.Chamber that executes blocks on the pool's
-// workers, round-robin. Safe for concurrent use up to one in-flight block
-// per worker; the engine's parallelism should be set to Size(). tr, when
-// non-nil, receives the worker-side spans each reply ships back (labeled
-// "worker:<addr>"); its id should already be on spec.TraceID.
+// workers. Blocks carrying an index (the engine's sandbox.BlockChamber
+// path) are rendezvous-assigned a home worker; index-less Execute calls
+// pick the least-loaded worker. Safe for concurrent use up to
+// Parallelism() in-flight blocks. tr, when non-nil, receives the
+// worker-side spans each reply ships back (labeled "worker:<addr>"); its
+// id should already be on spec.TraceID.
 func (p *WorkerPool) Chamber(spec WorkSpec, tr *telemetry.Trace) sandbox.Chamber {
 	return &poolChamber{pool: p, spec: spec, tr: tr}
 }
@@ -398,14 +660,36 @@ type poolChamber struct {
 	tr   *telemetry.Trace
 }
 
-// Execute implements sandbox.Chamber. Transport-level failures (worker
-// restart, network blip, corrupted reply) are retried — first by redialing
-// the same worker, then by failing over to each remaining worker in the
-// pool once — so a flaky or dead worker degrades accuracy (the engine
-// substitutes blocks only when the whole pool is unusable) rather than
-// aborting the query. Application-level errors come back as resp.Error and
-// are never retried: the worker is healthy, the computation itself failed.
+// ReadOnlyBlocks declares the zero-copy contract: the pool chamber only
+// reads block rows (straight into the wire encoder's contiguous float
+// path), so the engine may hand it partition views without cloning.
+func (c *poolChamber) ReadOnlyBlocks() bool { return true }
+
+// Execute implements sandbox.Chamber for callers without a block index:
+// the block goes to the least-loaded healthy worker.
 func (c *poolChamber) Execute(ctx context.Context, block []mathutil.Vec) (mathutil.Vec, error) {
+	return c.run(ctx, -1, block)
+}
+
+// ExecuteBlock implements sandbox.BlockChamber: block idx is
+// rendezvous-assigned its home worker so assignment is stable under fleet
+// membership changes (only blocks homed on a removed worker move).
+func (c *poolChamber) ExecuteBlock(ctx context.Context, idx int, block []mathutil.Vec) (mathutil.Vec, error) {
+	return c.run(ctx, idx, block)
+}
+
+// run dispatches one block. Transport-level failures (worker restart,
+// network blip, corrupted reply) are retried — first by the connection's
+// own redial, then by failing over down the candidate ranking, each
+// remaining worker once — so a flaky or dead worker degrades accuracy (the
+// engine substitutes blocks only when the whole fleet is unusable) rather
+// than aborting the query. When StragglerAfter is set and the first worker
+// has not answered in time, the block is duplicated to the next-ranked
+// worker and the first result wins; the loser's exchange completes in the
+// background, keeping its connection synchronized. Application-level
+// errors come back as resp.Error and are never retried: the worker is
+// healthy, the computation itself failed.
+func (c *poolChamber) run(ctx context.Context, idx int, block []mathutil.Vec) (mathutil.Vec, error) {
 	req := WorkRequest{Spec: c.spec, Block: make([][]float64, len(block))}
 	for i, r := range block {
 		req.Block[i] = r
@@ -415,39 +699,151 @@ func (c *poolChamber) Execute(ctx context.Context, block []mathutil.Vec) (mathut
 	inflight.Inc()
 	defer inflight.Dec()
 
-	tries := c.pool.Size()
-	if tries < 1 {
-		tries = 1
+	cands := c.pool.candidates(idx)
+	if len(cands) == 0 {
+		return nil, errPoolClosed
 	}
+
+	type result struct {
+		host *workerHost
+		resp *WorkResponse
+		err  error
+	}
+	results := make(chan result, len(cands))
+	next := 0
+	launch := func() bool {
+		if next >= len(cands) {
+			return false
+		}
+		h := cands[next]
+		next++
+		go func() {
+			resp, err := h.do(ctx, &req)
+			results <- result{h, resp, err}
+		}()
+		return true
+	}
+	launch()
+	var straggler <-chan time.Time
+	if d := c.pool.stragglerAfter; d > 0 && len(cands) > 1 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		straggler = t.C
+	}
+	pending := 1
 	var lastErr error
-	for attempt := 0; attempt < tries; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	for {
+		select {
+		case <-ctx.Done():
+			// Outstanding exchanges run to completion in the background
+			// (bounded by the connection deadline) so their streams stay
+			// request/response synchronized.
+			return nil, ctx.Err()
+		case <-straggler:
+			straggler = nil
+			if launch() {
+				pending++
+				c.pool.counter("compman.pool.straggler_redispatch").Inc()
+			}
+		case r := <-results:
+			pending--
+			if r.err != nil {
+				lastErr = r.err // transport-level: retryable on another worker
+				if launch() {
+					pending++
+					c.pool.counter("compman.pool.failovers").Inc()
+				} else if pending == 0 {
+					return nil, lastErr
+				}
+				continue
+			}
+			// The reply's spans merge into the query trace whether the block
+			// succeeded or failed — a failing chamber is exactly what the
+			// operator wants visible in the span tree.
+			c.tr.AddRemoteSpans("worker:"+r.host.addr, r.resp.Spans)
+			if r.resp.Error != "" {
+				// Application-level: the worker is healthy, the computation
+				// itself failed. Never retried.
+				return nil, fmt.Errorf("compman: worker %s: %s", r.host.addr, r.resp.Error)
+			}
+			return mathutil.Vec(r.resp.Output), nil
 		}
-		if attempt > 0 {
-			c.pool.counter("compman.pool.failovers").Inc()
-		}
-		wc, err := c.pool.pick()
-		if err != nil {
-			return nil, err
-		}
-		resp, err := wc.execute(ctx, &req)
-		if err != nil {
-			lastErr = err // transport-level: retryable on another worker
-			continue
-		}
-		// The reply's spans merge into the query trace whether the block
-		// succeeded or failed — a failing chamber is exactly what the
-		// operator wants visible in the span tree.
-		c.tr.AddRemoteSpans("worker:"+wc.addr, resp.Spans)
-		if resp.Error != "" {
-			// Application-level: the worker is healthy, the computation
-			// itself failed. Never retried.
-			return nil, fmt.Errorf("compman: worker %s: %s", wc.addr, resp.Error)
-		}
-		return mathutil.Vec(resp.Output), nil
 	}
-	return nil, lastErr
+}
+
+// candidates returns the hosts to try for a block, in dispatch order. For
+// an indexed block the order is the rendezvous (highest-random-weight)
+// ranking of hash(worker, idx) — a deterministic per-block permutation, so
+// the home assignment is stable under membership changes and failover
+// walks a fixed secondary ranking. Index-less blocks rank by current load.
+// Unhealthy hosts are demoted to the end (kept as last resorts: the redial
+// machinery may still revive them), and a saturated or unhealthy home is
+// spilled to the least-loaded healthy host with free capacity.
+func (p *WorkerPool) candidates(idx int) []*workerHost {
+	p.mu.Lock()
+	hosts := append([]*workerHost(nil), p.hosts...)
+	p.mu.Unlock()
+	if len(hosts) == 0 {
+		return nil
+	}
+	if idx >= 0 {
+		sort.SliceStable(hosts, func(a, b int) bool {
+			return rendezvousScore(hosts[a].addr, idx) > rendezvousScore(hosts[b].addr, idx)
+		})
+	} else {
+		sort.SliceStable(hosts, func(a, b int) bool {
+			return hosts[a].inflight.Load() < hosts[b].inflight.Load()
+		})
+	}
+	// Demote unhealthy hosts, preserving relative order within each class.
+	cands := make([]*workerHost, 0, len(hosts))
+	var sick []*workerHost
+	for _, h := range hosts {
+		if h.sick.Load() {
+			sick = append(sick, h)
+		} else {
+			cands = append(cands, h)
+		}
+	}
+	cands = append(cands, sick...)
+	// Least-loaded spill: a busy home must not queue a block while another
+	// healthy worker sits idle.
+	if len(cands) > 1 && (cands[0].saturated() || cands[0].sick.Load()) {
+		best := -1
+		for i := 1; i < len(cands); i++ {
+			h := cands[i]
+			if h.sick.Load() || h.saturated() {
+				continue
+			}
+			if best < 0 || h.inflight.Load() < cands[best].inflight.Load() {
+				best = i
+			}
+		}
+		if best > 0 {
+			promoted := cands[best]
+			copy(cands[1:best+1], cands[:best])
+			cands[0] = promoted
+		}
+	}
+	return cands
+}
+
+// rendezvousScore is the highest-random-weight hash for block→worker
+// assignment: FNV-1a over the worker address, mixed with the block index
+// by a splitmix64 finalizer. Deterministic across processes and runs.
+func rendezvousScore(addr string, idx int) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	h += uint64(idx)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
 }
 
 // execute runs one exchange on this worker, redialing a broken connection
@@ -547,15 +943,4 @@ func (p *WorkerPool) gauge(name string) *telemetry.Gauge {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.tel.Gauge(name)
-}
-
-func (p *WorkerPool) pick() (*workerConn, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.conns) == 0 {
-		return nil, errors.New("compman: worker pool is closed")
-	}
-	wc := p.conns[p.next%len(p.conns)]
-	p.next++
-	return wc, nil
 }

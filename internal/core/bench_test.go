@@ -48,6 +48,68 @@ func BenchmarkRunMeanQuery(b *testing.B) {
 	}
 }
 
+// TestViewAllocations pins the zero-copy hand-off contract: View performs
+// exactly one allocation (the header slice aliasing the dataset's rows),
+// regardless of block size. Materialize clones every row, so its allocation
+// count grows with the block — the cost View exists to avoid on the worker
+// wire path, where the encoder reads the row floats directly.
+func TestViewAllocations(t *testing.T) {
+	rng := mathutil.NewRNG(7)
+	rows := benchRows(10000)
+	part, err := MakePartition(rng, len(rows), 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink []mathutil.Vec
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = part.View(rows, 0)
+	})
+	if allocs != 1 {
+		t.Fatalf("View allocates %.0f times per call, want exactly 1", allocs)
+	}
+	_ = sink
+
+	// The views must alias, not copy: mutating a row through the dataset
+	// must be visible through the view (this is why only chambers that
+	// declare ReadOnlyBlocks get views).
+	v := part.View(rows, 0)
+	if &v[0][0] != &rows[part.Blocks[0][0]][0] {
+		t.Fatal("View copied row storage instead of aliasing it")
+	}
+}
+
+func BenchmarkPartitionView(b *testing.B) {
+	rng := mathutil.NewRNG(7)
+	rows := benchRows(30000)
+	part, err := MakePartition(rng, len(rows), 450, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < part.NumBlocks(); j++ {
+			_ = part.View(rows, j)
+		}
+	}
+}
+
+func BenchmarkPartitionMaterialize(b *testing.B) {
+	rng := mathutil.NewRNG(7)
+	rows := benchRows(30000)
+	part, err := MakePartition(rng, len(rows), 450, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < part.NumBlocks(); j++ {
+			_ = part.Materialize(rows, j)
+		}
+	}
+}
+
 func BenchmarkRunLooseMode(b *testing.B) {
 	rows := benchRows(30000)
 	spec := RangeSpec{Mode: ModeLoose, Output: []dp.Range{{Lo: 0, Hi: 300}}}

@@ -304,6 +304,17 @@ func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.V
 	pol := sandbox.Policy{Quantum: opts.Quantum, Metrics: opts.Metrics}
 	chamber := opts.NewChamber(program, pol)
 
+	// Chambers that take a block index (the distributed pool) get it for
+	// consistent block→worker assignment; the index never affects results —
+	// block outputs are keyed by index in the output matrix regardless.
+	blockChamber, _ := chamber.(sandbox.BlockChamber)
+	// Chambers declaring they never mutate rows get zero-copy views of the
+	// partition instead of per-block clones.
+	zeroCopy := false
+	if ro, ok := chamber.(sandbox.ReadOnlyChamber); ok {
+		zeroCopy = ro.ReadOnlyBlocks()
+	}
+
 	// Block-outcome counters and the occupancy gauge. All nil-safe: with
 	// opts.Metrics nil each event costs one branch.
 	blocksOK := opts.Metrics.Counter("engine.blocks_ok")
@@ -335,8 +346,20 @@ func runBlocks(ctx context.Context, program analytics.Program, rows []mathutil.V
 			if opts.BlockTimeout > 0 {
 				bctx, cancel = context.WithTimeout(ctx, opts.BlockTimeout)
 			}
+			var block []mathutil.Vec
+			if zeroCopy {
+				block = part.View(rows, i)
+			} else {
+				block = part.Materialize(rows, i)
+			}
 			inflight.Inc()
-			out, err := chamber.Execute(bctx, part.Materialize(rows, i))
+			var out mathutil.Vec
+			var err error
+			if blockChamber != nil {
+				out, err = blockChamber.ExecuteBlock(bctx, i, block)
+			} else {
+				out, err = chamber.Execute(bctx, block)
+			}
 			inflight.Dec()
 			if err != nil && bctx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
 				// The per-block deadline expired while the parent context was

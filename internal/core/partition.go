@@ -212,3 +212,17 @@ func (p *Partition) Materialize(rows []mathutil.Vec, i int) []mathutil.Vec {
 	}
 	return out
 }
+
+// View returns the rows of block i aliasing rows directly — one slice
+// header allocation, zero row copies. Only hand views to chambers that
+// declare sandbox.ReadOnlyChamber: a mutating consumer would corrupt the
+// dataset for every other block sharing those rows (γ > 1) and for every
+// later query.
+func (p *Partition) View(rows []mathutil.Vec, i int) []mathutil.Vec {
+	idx := p.Blocks[i]
+	out := make([]mathutil.Vec, len(idx))
+	for j, r := range idx {
+		out[j] = rows[r]
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"gupt/internal/compman"
+	"gupt/internal/dataset"
+	"gupt/internal/dp"
+	"gupt/internal/workload"
+)
+
+// FanoutPoint is one worker-count on the scaling curve.
+type FanoutPoint struct {
+	// Workers is the fleet size; ConnsPerWorker the per-worker pipeline
+	// width, so Workers*ConnsPerWorker blocks are in flight at once.
+	Workers        int
+	ConnsPerWorker int
+	// Queries is how many full DP queries the point timed.
+	Queries int
+	// QPS and BlocksPerSec are the point's throughput; MeanQueryMillis the
+	// mean end-to-end latency.
+	QPS             float64
+	BlocksPerSec    float64
+	MeanQueryMillis float64
+	// P99BucketMillis is the p99 latency snapped up to the next bucket
+	// bound — bucketed like every duration this system exports (§6.3):
+	// the bench must not normalize publishing raw per-query timings.
+	P99BucketMillis int64
+}
+
+// FanoutScalingResult measures the sharded block executor and the
+// deadline-aware scheduler:
+//
+//   - Scaling curve: the same quantum-padded query against 1, 2 and 4
+//     workers. The timing-defense quantum (§6.3) makes every block cost
+//     exactly QuantumMillis of wall time on its worker, so the curve
+//     isolates the dispatcher: if sharding works, blocks/sec grows with
+//     the fleet; if it serializes, the curve is flat.
+//   - Overload: a burst of deadline-carrying queries against a server
+//     whose scheduler admits one at a time with a short queue. The
+//     sharding claim under overload is *refusal, not lateness*: surplus
+//     queries get an immediate RetryAfterMillis hint at zero ε, and no
+//     admitted query blows its deadline.
+type FanoutScalingResult struct {
+	// Rows, BlockSize and Blocks pin the workload; QuantumMillis is the
+	// per-block padding that makes the curve deterministic.
+	Rows          int
+	BlockSize     int
+	Blocks        int
+	QuantumMillis int64
+	Epsilon       float64
+
+	// Curve holds one point per fleet size, ascending.
+	Curve []FanoutPoint
+
+	// Overload run: a Burst of queries with DeadlineMillis against
+	// MaxConcurrent=1/MaxQueue=2 admission.
+	OverloadBurst          int
+	OverloadDeadlineMillis int64
+	OverloadServed         int
+	OverloadRefused        int
+	// OverloadRetryHints counts refusals carrying a positive
+	// RetryAfterMillis — the acceptance bar is RetryHints == Refused.
+	OverloadRetryHints int
+	// OverloadLateAnswers counts served queries that finished after their
+	// deadline, and OverloadOtherErrors anything that was neither served
+	// nor cleanly refused. Both must be zero.
+	OverloadLateAnswers int
+	OverloadOtherErrors int
+}
+
+// Speedup is the blocks/sec ratio between the largest and smallest fleet.
+func (r *FanoutScalingResult) Speedup() float64 {
+	if len(r.Curve) < 2 || r.Curve[0].BlocksPerSec <= 0 {
+		return 0
+	}
+	return r.Curve[len(r.Curve)-1].BlocksPerSec / r.Curve[0].BlocksPerSec
+}
+
+func (r *FanoutScalingResult) Table() string {
+	t := newTable("workers", "queries", "qps", "blocks/s", "mean", "p99 bucket")
+	for _, p := range r.Curve {
+		t.addRow(
+			fmt.Sprint(p.Workers),
+			fmt.Sprint(p.Queries),
+			fmt.Sprintf("%.2f", p.QPS),
+			fmt.Sprintf("%.1f", p.BlocksPerSec),
+			fmt.Sprintf("%.0fms", p.MeanQueryMillis),
+			fmt.Sprintf("<=%dms", p.P99BucketMillis),
+		)
+	}
+	return fmt.Sprintf("Fan-out scaling (%d rows, %d blocks of %d, %dms quantum per block)\n",
+		r.Rows, r.Blocks, r.BlockSize, r.QuantumMillis) +
+		t.String() +
+		fmt.Sprintf("speedup %d->%d workers: %.2fx blocks/s\n",
+			r.Curve[0].Workers, r.Curve[len(r.Curve)-1].Workers, r.Speedup()) +
+		fmt.Sprintf("overload: %d-query burst, %dms deadlines -> %d served, %d refused (%d with retry hints), %d late, %d other errors\n",
+			r.OverloadBurst, r.OverloadDeadlineMillis, r.OverloadServed,
+			r.OverloadRefused, r.OverloadRetryHints, r.OverloadLateAnswers, r.OverloadOtherErrors)
+}
+
+func (r *FanoutScalingResult) CSV() string {
+	var c csvBuilder
+	c.row("series", "step", "value")
+	for _, p := range r.Curve {
+		step := fmt.Sprint(p.Workers)
+		c.row("qps", step, fmt.Sprintf("%g", p.QPS))
+		c.row("blocks_per_sec", step, fmt.Sprintf("%g", p.BlocksPerSec))
+		c.row("mean_query_millis", step, fmt.Sprintf("%g", p.MeanQueryMillis))
+		c.row("p99_bucket_millis", step, fmt.Sprint(p.P99BucketMillis))
+	}
+	c.row("speedup_blocks_per_sec", "0", fmt.Sprintf("%g", r.Speedup()))
+	c.row("overload_served", "0", fmt.Sprint(r.OverloadServed))
+	c.row("overload_refused", "0", fmt.Sprint(r.OverloadRefused))
+	c.row("overload_retry_hints", "0", fmt.Sprint(r.OverloadRetryHints))
+	c.row("overload_late_answers", "0", fmt.Sprint(r.OverloadLateAnswers))
+	c.row("overload_other_errors", "0", fmt.Sprint(r.OverloadOtherErrors))
+	return c.String()
+}
+
+// latencyBuckets is the §6.3 export ladder the bench snaps its p99 to.
+var latencyBuckets = []int64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+func p99Bucket(latencies []time.Duration) int64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	p99 := sorted[(len(sorted)*99)/100].Milliseconds()
+	for _, b := range latencyBuckets {
+		if p99 <= b {
+			return b
+		}
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// fanoutFleet starts n in-process worker daemons on loopback listeners.
+// Blocks are quantum-padded, so in-process workers still exercise the real
+// dispatch pipeline: wire framing, rendezvous routing, per-worker slots.
+func fanoutFleet(n int) (addrs []string, closer func(), err error) {
+	var workers []*compman.Worker
+	var listeners []net.Listener
+	closer = func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		w := compman.NewWorker(compman.WorkerConfig{})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closer()
+			return nil, nil, err
+		}
+		go w.Serve(l)
+		workers = append(workers, w)
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	_ = listeners
+	return addrs, closer, nil
+}
+
+// fanoutServer starts a compman server over a fresh census registry,
+// backed by the given worker fleet.
+func fanoutServer(cfg Config, r *FanoutScalingResult, sc compman.ServerConfig) (*compman.Client, *compman.Server, error) {
+	reg := dataset.NewRegistry()
+	if _, err := reg.Register("census", workload.CensusIncome(cfg.Seed, r.Rows), dataset.RegisterOptions{
+		TotalBudget: 1e6,
+		Ranges:      []dp.Range{workload.CensusLooseRange()},
+		Seed:        cfg.Seed,
+	}); err != nil {
+		return nil, nil, err
+	}
+	srv := compman.NewServer(reg, sc)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	go srv.Serve(l)
+	client, err := compman.Dial(l.Addr().String())
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	return client, srv, nil
+}
+
+func fanoutQuery(cfg Config, r *FanoutScalingResult, idx int) *compman.Request {
+	return &compman.Request{
+		Dataset:       "census",
+		Program:       &compman.ProgramSpec{Type: "mean", Col: 0},
+		OutputRanges:  []compman.RangeSpec{{Lo: 0, Hi: 150}},
+		Epsilon:       r.Epsilon,
+		BlockSize:     r.BlockSize,
+		QuantumMillis: r.QuantumMillis,
+		Seed:          cfg.Seed + int64(idx),
+	}
+}
+
+// FanoutScaling runs the measurement.
+func FanoutScaling(cfg Config) (*FanoutScalingResult, error) {
+	r := &FanoutScalingResult{
+		Rows:          cfg.scale(5000, 2000),
+		BlockSize:     100,
+		QuantumMillis: int64(cfg.scale(10, 5)),
+		Epsilon:       0.02,
+	}
+	r.Blocks = r.Rows / r.BlockSize
+	queries := cfg.scale(5, 2)
+
+	for _, workers := range []int{1, 2, 4} {
+		point, err := fanoutPoint(cfg, r, workers, queries)
+		if err != nil {
+			return nil, fmt.Errorf("%d workers: %w", workers, err)
+		}
+		r.Curve = append(r.Curve, *point)
+	}
+	if err := fanoutOverload(cfg, r); err != nil {
+		return nil, fmt.Errorf("overload: %w", err)
+	}
+	return r, nil
+}
+
+func fanoutPoint(cfg Config, r *FanoutScalingResult, workers, queries int) (*FanoutPoint, error) {
+	addrs, stopFleet, err := fanoutFleet(workers)
+	if err != nil {
+		return nil, err
+	}
+	defer stopFleet()
+	client, srv, err := fanoutServer(cfg, r, compman.ServerConfig{WorkerAddrs: addrs})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	defer client.Close()
+
+	// One warm-up query primes every worker connection off the clock.
+	if _, err := client.Query(fanoutQuery(cfg, r, 1000)); err != nil {
+		return nil, err
+	}
+
+	var latencies []time.Duration
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		qs := time.Now()
+		resp, err := client.Query(fanoutQuery(cfg, r, i))
+		if err != nil {
+			return nil, err
+		}
+		if resp.FailedBlocks != 0 {
+			return nil, fmt.Errorf("healthy fleet substituted %d blocks", resp.FailedBlocks)
+		}
+		latencies = append(latencies, time.Since(qs))
+	}
+	total := time.Since(start)
+
+	var meanMillis float64
+	for _, l := range latencies {
+		meanMillis += float64(l.Milliseconds())
+	}
+	meanMillis /= float64(len(latencies))
+	return &FanoutPoint{
+		Workers:         workers,
+		ConnsPerWorker:  1,
+		Queries:         queries,
+		QPS:             float64(queries) / total.Seconds(),
+		BlocksPerSec:    float64(queries*r.Blocks) / total.Seconds(),
+		MeanQueryMillis: meanMillis,
+		P99BucketMillis: p99Bucket(latencies),
+	}, nil
+}
+
+// fanoutOverload drives a concurrent burst with answer-by deadlines at a
+// deliberately starved scheduler (one slot, two queue entries). Expected
+// split: ~3 served within deadline, the rest refused instantly with a
+// retry hint and zero ε — never a late answer.
+func fanoutOverload(cfg Config, r *FanoutScalingResult) error {
+	addrs, stopFleet, err := fanoutFleet(1)
+	if err != nil {
+		return err
+	}
+	defer stopFleet()
+	client, srv, err := fanoutServer(cfg, r, compman.ServerConfig{
+		WorkerAddrs: addrs,
+		Sched:       compman.SchedConfig{MaxConcurrent: 1, MaxQueue: 2},
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	client.Close() // each burst query needs its own connection
+
+	// Service time is deterministic: Blocks * Quantum on a single
+	// worker/conn. The deadline admits the slot-holder plus a full queue.
+	service := time.Duration(int64(r.Blocks)*r.QuantumMillis) * time.Millisecond
+	deadline := 7 * service / 2
+	r.OverloadDeadlineMillis = deadline.Milliseconds()
+	r.OverloadBurst = cfg.scale(10, 6)
+
+	addr := srv.Addr().String()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < r.OverloadBurst; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			cl, err := compman.Dial(addr)
+			if err != nil {
+				mu.Lock()
+				r.OverloadOtherErrors++
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			req := fanoutQuery(cfg, r, 2000+idx)
+			req.DeadlineMillis = deadline.Milliseconds()
+			qs := time.Now()
+			_, err = cl.Query(req)
+			elapsed := time.Since(qs)
+			mu.Lock()
+			defer mu.Unlock()
+			switch qe, ok := err.(*compman.QueryError); {
+			case err == nil:
+				r.OverloadServed++
+				if elapsed > deadline {
+					r.OverloadLateAnswers++
+				}
+			case ok && qe.RetryAfterMillis > 0 && qe.EpsilonCharged == 0:
+				r.OverloadRefused++
+				r.OverloadRetryHints++
+			case ok:
+				r.OverloadRefused++
+			default:
+				r.OverloadOtherErrors++
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if r.OverloadServed == 0 {
+		return fmt.Errorf("overload burst served nothing")
+	}
+	if r.OverloadRefused == 0 {
+		return fmt.Errorf("burst of %d never overloaded a 1-slot scheduler", r.OverloadBurst)
+	}
+	return nil
+}

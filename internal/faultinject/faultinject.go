@@ -207,17 +207,48 @@ type Chamber struct {
 	OutputDims int
 }
 
+// ReadOnlyBlocks implements sandbox.ReadOnlyChamber by delegation: the
+// fault chamber itself only forges outputs, errors and delays — it never
+// touches block rows — so the zero-copy contract is exactly the inner
+// chamber's.
+func (c *Chamber) ReadOnlyBlocks() bool {
+	if ro, ok := c.Inner.(sandbox.ReadOnlyChamber); ok {
+		return ro.ReadOnlyBlocks()
+	}
+	return false
+}
+
 // Execute implements sandbox.Chamber.
 func (c *Chamber) Execute(ctx context.Context, block []mathutil.Vec) (mathutil.Vec, error) {
+	return c.execute(ctx, func(ctx context.Context) (mathutil.Vec, error) {
+		return c.Inner.Execute(ctx, block)
+	})
+}
+
+// ExecuteBlock implements sandbox.BlockChamber, forwarding the block index
+// to an index-aware inner chamber (the distributed pool keeps its
+// block→worker assignment under fault injection). An index-oblivious inner
+// chamber just gets Execute.
+func (c *Chamber) ExecuteBlock(ctx context.Context, idx int, block []mathutil.Vec) (mathutil.Vec, error) {
+	return c.execute(ctx, func(ctx context.Context) (mathutil.Vec, error) {
+		if bc, ok := c.Inner.(sandbox.BlockChamber); ok {
+			return bc.ExecuteBlock(ctx, idx, block)
+		}
+		return c.Inner.Execute(ctx, block)
+	})
+}
+
+// execute injects the scheduled fault around one inner run.
+func (c *Chamber) execute(ctx context.Context, inner func(context.Context) (mathutil.Vec, error)) (mathutil.Vec, error) {
 	switch k := c.Schedule.next(); k {
 	case None:
-		return c.Inner.Execute(ctx, block)
+		return inner(ctx)
 	case CrashBefore:
 		return nil, fmt.Errorf("%w: %s", ErrInjected, k)
 	case CrashAfter:
 		// Run the real computation first so the crash happens after data
 		// was touched — the worst case for state leakage.
-		_, _ = c.Inner.Execute(ctx, block)
+		_, _ = inner(ctx)
 		return nil, fmt.Errorf("%w: %s", ErrInjected, k)
 	case Hang:
 		t := time.NewTimer(c.Schedule.hangFor())
@@ -260,7 +291,7 @@ func (c *Chamber) Execute(ctx context.Context, block []mathutil.Vec) (mathutil.V
 			return nil, ctx.Err()
 		case <-t.C:
 		}
-		return c.Inner.Execute(ctx, block)
+		return inner(ctx)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %v", ErrInjected, k)
 	}

@@ -40,6 +40,30 @@ type Chamber interface {
 	Execute(ctx context.Context, block []mathutil.Vec) (mathutil.Vec, error)
 }
 
+// BlockChamber is an optional Chamber extension for implementations that
+// want the block's index within its query — the hook distributed chambers
+// use for consistent block→worker assignment. The engine calls
+// ExecuteBlock when a chamber implements it and falls back to Execute
+// otherwise. The index must not influence the computation's result: it is
+// routing metadata only.
+type BlockChamber interface {
+	Chamber
+	ExecuteBlock(ctx context.Context, idx int, block []mathutil.Vec) (mathutil.Vec, error)
+}
+
+// ReadOnlyChamber is an optional Chamber extension declaring that Execute
+// never mutates the rows of the block it is handed (and does not retain
+// them after returning). The engine hands such chambers zero-copy views of
+// the dataset partition instead of per-block clones — the block rows flow
+// straight into the wire encoder or the chamber's own private copy.
+// Chambers that cannot make this promise simply don't implement it.
+type ReadOnlyChamber interface {
+	// ReadOnlyBlocks returns true when the chamber treats block rows as
+	// immutable. A false return disables the zero-copy path (useful for
+	// wrappers that forward to an unknown inner chamber).
+	ReadOnlyBlocks() bool
+}
+
 // ErrKilled is returned (wrapped) when a computation exceeded its quantum
 // and no substitute output was configured.
 var ErrKilled = errors.New("sandbox: computation exceeded its time quantum")
@@ -109,6 +133,11 @@ type InProcess struct {
 	Program analytics.Program
 	Policy  Policy
 }
+
+// ReadOnlyBlocks implements ReadOnlyChamber: Execute clones the block into
+// a private copy before the program runs, so the caller's rows are never
+// touched and the engine may skip its own per-block clone.
+func (c *InProcess) ReadOnlyBlocks() bool { return true }
 
 // Execute implements Chamber.
 func (c *InProcess) Execute(ctx context.Context, block []mathutil.Vec) (mathutil.Vec, error) {

@@ -46,6 +46,10 @@ type Subprocess struct {
 	ExtraEnv []string
 }
 
+// ReadOnlyBlocks implements ReadOnlyChamber: the block is serialized onto
+// the child's stdin and never mutated in this process.
+func (c *Subprocess) ReadOnlyBlocks() bool { return true }
+
 // Execute implements Chamber.
 func (c *Subprocess) Execute(ctx context.Context, block []mathutil.Vec) (mathutil.Vec, error) {
 	if c.Path == "" {

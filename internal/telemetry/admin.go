@@ -87,6 +87,30 @@ type CacheStatus struct {
 	Invalidations int64 `json:"invalidations"`
 }
 
+// WorkerStatus is one worker's row in the fleet view served at /workers.
+// It is defined here (not in compman, which depends on this package) so
+// the pool can hand snapshots to the admin plane without an import cycle.
+// Everything is platform-side accounting — addresses, counts, health —
+// never record values or query parameters.
+type WorkerStatus struct {
+	// Addr is the worker daemon's dial address.
+	Addr string `json:"addr"`
+	// Conns is how many connections have been dialed to this worker;
+	// MaxConns is its connection budget (the per-worker concurrency cap).
+	Conns    int `json:"conns"`
+	MaxConns int `json:"maxConns"`
+	// Inflight is the number of blocks currently dispatched to this worker.
+	Inflight int64 `json:"inflight"`
+	// Done counts answered blocks (including application-level errors:
+	// those replies prove the worker healthy). Failed counts
+	// transport-level failures.
+	Done   int64 `json:"done"`
+	Failed int64 `json:"failed"`
+	// Unhealthy reports that consecutive transport failures have demoted
+	// this worker to last-resort in block assignment until it answers again.
+	Unhealthy bool `json:"unhealthy"`
+}
+
 // AdminConfig wires the admin HTTP handler to a live server.
 type AdminConfig struct {
 	// Registry is the metrics registry served at /metrics.
@@ -108,6 +132,9 @@ type AdminConfig struct {
 	// Queries supplies the in-flight query table for /queries; nil serves
 	// an empty list.
 	Queries func() []InflightSnapshot
+	// Workers supplies the per-worker fleet rows for /workers; nil serves
+	// an empty list (local execution, no fleet).
+	Workers func() []WorkerStatus
 	// SkipRuntimeMetrics disables sampling Go runtime health
 	// (runtime.goroutines, runtime.heap_objects_bytes, runtime.gc_cycles,
 	// runtime.gc_pause_millis) into the registry on each /metrics scrape.
@@ -133,9 +160,12 @@ type AdminConfig struct {
 //	/ledger        JSON LedgerStatus for the durable budget ledger
 //	/cache         JSON CacheStatus for the noisy-answer cache
 //	/traces        JSON []TraceSnapshot, newest first (ring buffer of
-//	               completed cross-process traces, durations bucketed)
+//	               completed cross-process traces, durations bucketed);
+//	               ?tenant=<id> narrows to one tenant's queries
 //	/queries       JSON []InflightSnapshot (live queries: stage + elapsed
 //	               bucket)
+//	/workers       JSON []WorkerStatus (fleet skew: per-worker in-flight,
+//	               answered/failed counts, health)
 //	/debug/pprof/  the standard net/http/pprof profiling surface
 //
 // The handler is for the operator's loopback/ops network. It intentionally
@@ -176,6 +206,18 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 		if cfg.Traces != nil {
 			traces = cfg.Traces()
 		}
+		// ?tenant=<id> narrows the view to one tenant's queries — the
+		// tenant id is operator-visible metadata the audit log and ledger
+		// already record per query.
+		if tenant := req.URL.Query().Get("tenant"); tenant != "" {
+			kept := make([]TraceSnapshot, 0, len(traces))
+			for _, t := range traces {
+				if t.Tenant == tenant {
+					kept = append(kept, t)
+				}
+			}
+			traces = kept
+		}
 		if traces == nil {
 			traces = []TraceSnapshot{}
 		}
@@ -191,6 +233,17 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 			queries = []InflightSnapshot{}
 		}
 		writeJSON(w, queries)
+	})
+
+	mux.HandleFunc("/workers", func(w http.ResponseWriter, req *http.Request) {
+		var workers []WorkerStatus
+		if cfg.Workers != nil {
+			workers = cfg.Workers()
+		}
+		if workers == nil {
+			workers = []WorkerStatus{}
+		}
+		writeJSON(w, workers)
 	})
 
 	mux.HandleFunc("/ledger", func(w http.ResponseWriter, req *http.Request) {

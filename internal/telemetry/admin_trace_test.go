@@ -163,10 +163,96 @@ func TestAdminQueriesEndpoint(t *testing.T) {
 func TestAdminTracesQueriesEmpty(t *testing.T) {
 	srv := httptest.NewServer(AdminHandler(AdminConfig{Registry: NewRegistry(), SkipRuntimeMetrics: true}))
 	defer srv.Close()
-	for _, path := range []string{"/traces", "/queries"} {
+	for _, path := range []string{"/traces", "/queries", "/workers"} {
 		code, body := adminGet(t, srv, path)
 		if code != http.StatusOK || strings.TrimSpace(string(body)) != "[]" {
 			t.Fatalf("%s = %d %q, want empty JSON array", path, code, body)
 		}
+	}
+}
+
+func TestAdminTracesTenantFilter(t *testing.T) {
+	buf := NewTraceBuffer(8)
+	for _, c := range []struct{ id, tenant string }{
+		{"t-acme-1", "acme"}, {"t-globex", "globex"}, {"t-acme-2", "acme"}, {"t-solo", ""},
+	} {
+		tr := NewTrace(nil, c.id, "census")
+		tr.Tenant = c.tenant
+		buf.Add(tr, "ok")
+	}
+	srv := httptest.NewServer(AdminHandler(AdminConfig{
+		Registry:           NewRegistry(),
+		SkipRuntimeMetrics: true,
+		Traces:             buf.Snapshots,
+	}))
+	defer srv.Close()
+
+	code, body := adminGet(t, srv, "/traces?tenant=acme")
+	if code != http.StatusOK {
+		t.Fatalf("/traces?tenant=acme = %d", code)
+	}
+	var traces []TraceSnapshot
+	if err := json.Unmarshal(body, &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("tenant filter kept %d traces, want 2: %+v", len(traces), traces)
+	}
+	for _, tr := range traces {
+		if tr.Tenant != "acme" {
+			t.Fatalf("tenant filter leaked trace %+v", tr)
+		}
+	}
+
+	// Unknown tenant: empty array, not an error — the filter must not
+	// confirm which tenants exist by responding differently.
+	code, body = adminGet(t, srv, "/traces?tenant=nosuch")
+	if code != http.StatusOK || strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("/traces?tenant=nosuch = %d %q", code, body)
+	}
+
+	// No filter still serves everything.
+	code, body = adminGet(t, srv, "/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces = %d", code)
+	}
+	traces = nil
+	if err := json.Unmarshal(body, &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 {
+		t.Fatalf("unfiltered /traces kept %d traces, want 4", len(traces))
+	}
+}
+
+func TestAdminWorkersEndpoint(t *testing.T) {
+	srv := httptest.NewServer(AdminHandler(AdminConfig{
+		Registry:           NewRegistry(),
+		SkipRuntimeMetrics: true,
+		Workers: func() []WorkerStatus {
+			return []WorkerStatus{
+				{Addr: "10.0.0.1:7200", Conns: 2, MaxConns: 4, Inflight: 1, Done: 17, Failed: 0},
+				{Addr: "10.0.0.2:7200", Conns: 1, MaxConns: 4, Inflight: 0, Done: 9, Failed: 3, Unhealthy: true},
+			}
+		},
+	}))
+	defer srv.Close()
+
+	code, body := adminGet(t, srv, "/workers")
+	if code != http.StatusOK {
+		t.Fatalf("/workers = %d", code)
+	}
+	var workers []WorkerStatus
+	if err := json.Unmarshal(body, &workers); err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 2 {
+		t.Fatalf("/workers = %+v", workers)
+	}
+	if workers[0].Addr != "10.0.0.1:7200" || workers[0].Inflight != 1 || workers[0].Done != 17 {
+		t.Fatalf("worker row 0 = %+v", workers[0])
+	}
+	if !workers[1].Unhealthy || workers[1].Failed != 3 {
+		t.Fatalf("worker row 1 = %+v", workers[1])
 	}
 }
