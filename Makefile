@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check fuzz bench bench-telemetry bench-wire bench-cache bench-tenant bench-fanout fanout-race ledger-kill audit-kill
+.PHONY: all build test race vet check fuzz bench bench-telemetry bench-wire bench-cache bench-tenant bench-fanout bench-obs fanout-race ledger-kill audit-kill prom-lint
 
 all: check
 
@@ -90,3 +90,15 @@ bench-tenant:
 # checked-in report.
 bench-fanout:
 	$(GO) run ./cmd/gupt-bench -quick -exp fanout -json BENCH_PR9.json
+
+# bench-obs measures what the query flight recorder, the ε burn-down
+# plane, and the per-block fan-out spans add on top of the tracing
+# baseline BENCH_PR5.json pinned, and regenerates the checked-in report.
+bench-obs:
+	$(GO) run ./cmd/gupt-bench -quick -exp obs -json BENCH_PR10.json
+
+# prom-lint runs the exposition-format gates by name: the /metrics text
+# must parse as valid Prometheus 0.0.4 and no raw duration may appear
+# outside a bucketed histogram (§6.3), over the full metric registry.
+prom-lint:
+	$(GO) test -count=1 -run 'TestLint' ./internal/telemetry

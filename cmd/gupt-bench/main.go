@@ -64,6 +64,9 @@ func runners() map[string]runner {
 		"telemetry": func(cfg experiments.Config) (tabler, error) {
 			return experiments.TelemetryOverhead(cfg)
 		},
+		"obs": func(cfg experiments.Config) (tabler, error) {
+			return experiments.ObservabilityOverhead(cfg)
+		},
 		"wire": func(cfg experiments.Config) (tabler, error) {
 			return experiments.WireOverhead(cfg)
 		},

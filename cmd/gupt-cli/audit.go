@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"text/tabwriter"
+	"time"
 
 	"gupt/internal/telemetry/audit"
 )
@@ -13,15 +16,19 @@ import (
 //
 //	gupt-cli audit verify -dir /var/lib/gupt/audit
 //	gupt-cli audit verify /var/lib/gupt/audit
+//	gupt-cli audit tail -tenant acme -n 20 /var/lib/gupt/audit
 //
 // verify recomputes the hash chain over every segment and checks the head
 // sidecar against the chain tip; any edit, deletion, insertion, or
 // truncation fails with a non-zero exit and a message naming the first
 // broken link. A crash artifact (torn final line, head one record behind)
 // verifies cleanly but is called out so the operator knows why.
+//
+// tail renders the most recent audit records, optionally sliced to one
+// tenant — the per-tenant audit view of the burn-down plane.
 func runAudit(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: gupt-cli audit verify [-dir] <audit-dir>")
+		return fmt.Errorf("usage: gupt-cli audit {verify|tail} [-dir] <audit-dir>")
 	}
 	switch args[0] {
 	case "verify":
@@ -37,9 +44,69 @@ func runAudit(args []string) error {
 			return fmt.Errorf("usage: gupt-cli audit verify [-dir] <audit-dir>")
 		}
 		return runAuditVerify(*dir, os.Stdout)
+	case "tail":
+		fs := flag.NewFlagSet("gupt-cli audit tail", flag.ExitOnError)
+		dir := fs.String("dir", "", "audit log directory (or pass it as the positional argument)")
+		tenantID := fs.String("tenant", "", "only records attributed to this tenant id")
+		n := fs.Int("n", 20, "show the last N matching records (0 = all)")
+		asJSON := fs.Bool("json", false, "emit matching records as JSON lines instead of a table")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *dir == "" && fs.NArg() == 1 {
+			*dir = fs.Arg(0)
+		}
+		if *dir == "" || fs.NArg() > 1 {
+			return fmt.Errorf("usage: gupt-cli audit tail [-tenant id] [-n N] [-json] [-dir] <audit-dir>")
+		}
+		return runAuditTail(*dir, *tenantID, *n, *asJSON, os.Stdout)
 	default:
-		return fmt.Errorf("unknown audit subcommand %q (want verify)", args[0])
+		return fmt.Errorf("unknown audit subcommand %q (want verify or tail)", args[0])
 	}
+}
+
+// runAuditTail renders the last n audit records, sliced to one tenant when
+// tenantID is non-empty. The audit log is operator-private, so this view
+// runs against the files directly (same trust boundary as verify).
+func runAuditTail(dir, tenantID string, n int, asJSON bool, w io.Writer) error {
+	var filter func(audit.Record) bool
+	if tenantID != "" {
+		filter = func(rec audit.Record) bool { return rec.Tenant == tenantID }
+	}
+	recs, err := audit.Read(dir, filter)
+	if err != nil {
+		return err
+	}
+	if n > 0 && len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SEQ\tTIME\tTYPE\tTENANT\tDATASET\tOUTCOME\tε\tREASON\tDETAIL")
+	for _, rec := range recs {
+		eps := ""
+		if rec.EpsilonCharged != 0 {
+			eps = fmt.Sprintf("%g", rec.EpsilonCharged)
+		}
+		reason := rec.Reason
+		if rec.RetryAfterMillis > 0 {
+			reason = fmt.Sprintf("%s (retry %dms)", reason, rec.RetryAfterMillis)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			rec.Seq, time.Unix(rec.Time, 0).UTC().Format(time.RFC3339), rec.Type,
+			rec.Tenant, rec.Dataset, rec.Outcome, eps, reason, rec.Detail)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "%d record(s)\n", len(recs))
+	return nil
 }
 
 // runAuditVerify verifies one audit directory and renders the report. The

@@ -12,6 +12,8 @@
 //	gupt-cli -op query -dataset census -program mean -col 0 \
 //	         -range 0,150 -accuracy 0.9 -confidence 0.9
 //	gupt-cli audit verify /var/lib/gupt/audit   # check the audit log's hash chain
+//	gupt-cli audit tail -tenant acme /var/lib/gupt/audit
+//	gupt-cli top -admin 127.0.0.1:7114          # live fleet/queue/budget view
 package main
 
 import (
@@ -51,8 +53,8 @@ func main() {
 	log.SetPrefix("gupt-cli: ")
 	log.SetFlags(0)
 
-	// The audit and tenant subcommands are operator tooling (local files /
-	// the admin HTTP plane); they dispatch before flag parsing.
+	// The audit, tenant, and top subcommands are operator tooling (local
+	// files / the admin HTTP plane); they dispatch before flag parsing.
 	if len(os.Args) > 1 && os.Args[1] == "audit" {
 		if err := runAudit(os.Args[2:]); err != nil {
 			log.Fatal(err)
@@ -61,6 +63,12 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "tenant" {
 		if err := runTenant(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		if err := runTop(os.Args[2:]); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"gupt/internal/telemetry"
+)
+
+// runTop renders the operator's live fleet/queue/budget view:
+//
+//	gupt-cli top -admin 127.0.0.1:7114 [-interval 2s] [-once] [-tenant id]
+//
+// Every frame polls the admin plane (/queries, /workers, /budget, /flight,
+// /metrics) and renders four panes: in-flight queries with their current
+// lifecycle stage, the worker fleet with health and dispatch accounting,
+// the ε burn-down table with time-to-exhaustion forecasts, and the flight
+// recorder's most recent query timelines. -once prints a single frame and
+// exits (scripting and tests); -tenant slices every pane that carries
+// tenant attribution. All timings shown are the admin plane's bucketed
+// exports — top adds no new observability surface.
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("gupt-cli top", flag.ExitOnError)
+	admin := fs.String("admin", "127.0.0.1:7114", "guptd admin endpoint")
+	token := fs.String("admin-token", os.Getenv("GUPT_ADMIN_TOKEN"), "admin token (default $GUPT_ADMIN_TOKEN)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one frame and exit")
+	tenantID := fs.String("tenant", "", "slice tenant-attributed panes to this tenant id")
+	flights := fs.Int("flights", 8, "recent flights to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("usage: gupt-cli top [-admin host:port] [-interval d] [-once] [-tenant id]")
+	}
+	for {
+		var frame strings.Builder
+		if err := renderTopFrame(&frame, *admin, *token, *tenantID, *flights); err != nil {
+			return err
+		}
+		if *once {
+			_, err := io.WriteString(os.Stdout, frame.String())
+			return err
+		}
+		// Clear + home between frames so the view updates in place.
+		fmt.Print("\033[2J\033[H" + frame.String())
+		time.Sleep(*interval)
+	}
+}
+
+// renderTopFrame fetches every pane and renders one frame to w.
+func renderTopFrame(w io.Writer, admin, token, tenantID string, maxFlights int) error {
+	slice := ""
+	if tenantID != "" {
+		slice = "?tenant=" + url.QueryEscape(tenantID)
+	}
+	var (
+		queries []telemetry.InflightSnapshot
+		workers []telemetry.WorkerStatus
+		budget  []telemetry.BudgetRow
+		flight  []telemetry.FlightRecord
+		metrics telemetry.Snapshot
+	)
+	if err := adminGetJSON(admin, token, "/queries"+slice, &queries); err != nil {
+		return err
+	}
+	if err := adminGetJSON(admin, token, "/workers", &workers); err != nil {
+		return err
+	}
+	if err := adminGetJSON(admin, token, "/budget"+slice, &budget); err != nil {
+		return err
+	}
+	if err := adminGetJSON(admin, token, "/flight"+slice, &flight); err != nil {
+		return err
+	}
+	if err := adminGetJSON(admin, token, "/metrics", &metrics); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "gupt top — %s", admin)
+	if tenantID != "" {
+		fmt.Fprintf(w, "  tenant=%s", tenantID)
+	}
+	fmt.Fprintf(w, "  %s\n", time.Now().Format(time.TimeOnly))
+	fmt.Fprintf(w, "fleet: inflight %d  failovers %d  stragglers %d  demotions %d  sched refusals %d\n\n",
+		metrics.Gauges["compman.pool.inflight"],
+		metrics.Counters["compman.pool.failovers"],
+		metrics.Counters["compman.pool.straggler_redispatch"],
+		metrics.Counters["compman.pool.demotions"],
+		metrics.Counters["compman.queries_overloaded"])
+
+	renderTopQueries(w, queries)
+	renderTopWorkers(w, workers)
+	renderTopBudget(w, budget)
+	renderTopFlights(w, flight, maxFlights)
+	return nil
+}
+
+func renderTopQueries(w io.Writer, queries []telemetry.InflightSnapshot) {
+	fmt.Fprintf(w, "IN FLIGHT (%d)\n", len(queries))
+	if len(queries) == 0 {
+		fmt.Fprintln(w)
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  ID\tTENANT\tDATASET\tSTAGE\tAGE ≤ms\tSTUCK")
+	for _, q := range queries {
+		stuck := ""
+		if q.Stuck {
+			stuck = "STUCK"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\t%s\n",
+			q.ID, q.Tenant, q.Dataset, q.Stage, bucketLabel(q.ElapsedBucketMillis), stuck)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func renderTopWorkers(w io.Writer, workers []telemetry.WorkerStatus) {
+	if len(workers) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "WORKERS (%d)\n", len(workers))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  ADDR\tCONNS\tINFLIGHT\tDONE\tFAILED\tHEALTH")
+	for _, ws := range workers {
+		health := "ok"
+		if ws.Unhealthy {
+			health = "UNHEALTHY"
+		}
+		fmt.Fprintf(tw, "  %s\t%d/%d\t%d\t%d\t%d\t%s\n",
+			ws.Addr, ws.Conns, ws.MaxConns, ws.Inflight, ws.Done, ws.Failed, health)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func renderTopBudget(w io.Writer, rows []telemetry.BudgetRow) {
+	fmt.Fprintf(w, "ε BURN-DOWN (%d rows)\n", len(rows))
+	if len(rows) == 0 {
+		fmt.Fprintln(w)
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  DATASET\tTENANT\tREMAINING ε\tSPENT ε\tBURN ε/min\tWINDOW ε\tEXHAUSTED IN\tCROSSED")
+	for _, r := range rows {
+		tenant := r.Tenant
+		if tenant == "" {
+			tenant = "(global)"
+		}
+		remaining := "∞"
+		if !r.Unlimited {
+			remaining = fmt.Sprintf("%.4g of %.4g", r.EpsilonRemaining, r.EpsilonTotal)
+		}
+		eta := "-"
+		if r.SecondsToExhaustion > 0 {
+			eta = (time.Duration(r.SecondsToExhaustion) * time.Second).String()
+		}
+		crossed := make([]string, 0, len(r.ThresholdsCrossed))
+		for _, th := range r.ThresholdsCrossed {
+			crossed = append(crossed, fmt.Sprintf("%g%%", th*100))
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%.4g\t%.4g\t%.4g\t%s\t%s\n",
+			r.Dataset, tenant, remaining, r.EpsilonSpent, r.BurnPerMinute,
+			r.WindowEpsilon, eta, strings.Join(crossed, " "))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func renderTopFlights(w io.Writer, flights []telemetry.FlightRecord, max int) {
+	fmt.Fprintf(w, "RECENT FLIGHTS (%d recorded)\n", len(flights))
+	if len(flights) == 0 {
+		return
+	}
+	if max > 0 && len(flights) > max {
+		flights = flights[:max]
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  TRACE\tTENANT\tDATASET\tOUTCOME\tε\tBLOCKS\t≤ms\tWORKERS\tNOTE")
+	for _, f := range flights {
+		note := f.Reason
+		if f.RetryAfterMillis > 0 {
+			note = fmt.Sprintf("%s retry %dms", note, f.RetryAfterMillis)
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%g\t%d\t%s\t%s\t%s\n",
+			f.ID, f.Tenant, f.Dataset, f.Outcome, f.EpsilonCharged, f.Blocks,
+			bucketLabel(f.ElapsedBucketMillis), flightWorkerLabel(f.Workers), note)
+	}
+	tw.Flush()
+}
+
+// flightWorkerLabel compresses a flight's worker summaries into one cell:
+// "2 (3 disp, 1 stragg, 1 err)" — counts only, full detail is in /flight.
+func flightWorkerLabel(workers []telemetry.FlightWorker) string {
+	if len(workers) == 0 {
+		return "-"
+	}
+	var disp, stragg, fail, errs int
+	for _, fw := range workers {
+		disp += fw.Dispatches
+		stragg += fw.Stragglers
+		fail += fw.Failovers
+		errs += fw.Errors
+	}
+	parts := []string{fmt.Sprintf("%d disp", disp)}
+	if stragg > 0 {
+		parts = append(parts, fmt.Sprintf("%d stragg", stragg))
+	}
+	if fail > 0 {
+		parts = append(parts, fmt.Sprintf("%d failover", fail))
+	}
+	if errs > 0 {
+		parts = append(parts, fmt.Sprintf("%d err", errs))
+	}
+	return fmt.Sprintf("%d (%s)", len(workers), strings.Join(parts, ", "))
+}
+
+// bucketLabel renders a bucket upper bound: "≤100" or ">5000" for the
+// overflow bucket (-1).
+func bucketLabel(bound float64) string {
+	if bound < 0 {
+		return fmt.Sprintf(">%g", telemetry.DefaultLatencyBuckets[len(telemetry.DefaultLatencyBuckets)-1])
+	}
+	return fmt.Sprintf("≤%g", bound)
+}

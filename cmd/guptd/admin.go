@@ -17,13 +17,22 @@ import (
 // newAdminHandler assembles guptd's admin endpoint: the shared telemetry
 // registry at /metrics (JSON or Prometheus text by content negotiation),
 // per-dataset budget state at /datasets, the durable ledger's status at
-// /ledger, completed query traces at /traces, the live query table at
-// /queries, tenant administration at /tenants (tenancy mode only),
-// /healthz, and /debug/pprof/. A non-empty token gates everything but
-// /healthz. The endpoint is operator-facing — bind it to loopback or an
-// ops network, never the analyst-facing address (see SECURITY.md,
-// "Telemetry and the observability side channel").
+// /ledger (per-tenant spend slices via ?tenant=), completed query traces at
+// /traces, the live query table at /queries, the ε burn-down plane at
+// /budget, the flight recorder's recent query timelines at /flight, tenant
+// administration at /tenants (tenancy mode only), /healthz, and
+// /debug/pprof/. A non-empty token gates everything but /healthz. The
+// endpoint is operator-facing — bind it to loopback or an ops network,
+// never the analyst-facing address (see SECURITY.md, "Telemetry and the
+// observability side channel").
 func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry, led *ledger.Ledger, srv *compman.Server, tenants *tenant.Registry, token string) http.Handler {
+	return telemetry.AdminHandler(newAdminConfig(tel, reg, led, srv, tenants, token))
+}
+
+// newAdminConfig builds the admin plane's wiring; split from
+// newAdminHandler so tests can enumerate the exact route set via
+// telemetry.AdminRoutePatterns and assert the token gate over all of it.
+func newAdminConfig(tel *telemetry.Registry, reg *dataset.Registry, led *ledger.Ledger, srv *compman.Server, tenants *tenant.Registry, token string) telemetry.AdminConfig {
 	cfg := telemetry.AdminConfig{
 		Registry: tel,
 		Health:   func() error { return nil },
@@ -36,11 +45,31 @@ func newAdminHandler(tel *telemetry.Registry, reg *dataset.Registry, led *ledger
 		cfg.Queries = srv.LiveQueries
 		cfg.Cache = func() telemetry.CacheStatus { return cacheStatus(srv.CacheStats()) }
 		cfg.Workers = srv.WorkerStats
+		cfg.Budget = srv.BudgetRows
+		cfg.Flight = srv.Flights
 	}
 	if tenants != nil {
 		cfg.Extra = tenantHandlers(tenants)
+		cfg.TenantSpend = func(id string) []telemetry.TenantSpendRow { return tenantSpend(tenants, id) }
 	}
-	return telemetry.AdminHandler(cfg)
+	return cfg
+}
+
+// tenantSpend builds one tenant's /ledger?tenant= slice: ε spent per
+// dataset, with the quota ceiling where one is configured.
+func tenantSpend(tenants *tenant.Registry, id string) []telemetry.TenantSpendRow {
+	spent := tenants.SpentByDataset(id)
+	rows := make([]telemetry.TenantSpendRow, 0, len(spent))
+	for ds, s := range spent {
+		_, quota, limited := tenants.QuotaState(id, ds)
+		rows = append(rows, telemetry.TenantSpendRow{
+			Dataset:      ds,
+			SpentEpsilon: s,
+			QuotaEpsilon: quota,
+			Unlimited:    !limited,
+		})
+	}
+	return rows
 }
 
 // cacheStatus maps the noisy-answer cache's counters onto the admin wire

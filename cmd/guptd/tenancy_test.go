@@ -75,27 +75,67 @@ func adminDo(t *testing.T, method, url, token string, body []byte) (int, []byte)
 	return resp.StatusCode, data
 }
 
-// TestAdminTokenGate: with -admin-token set, every route refuses without
-// the token (uniform 401) and serves with it — except /healthz, which
-// stays open for load-balancer probes.
+// TestAdminTokenGate: with -admin-token set, EVERY route the admin plane
+// serves — enumerated from the handler's own route table via
+// telemetry.AdminRoutePatterns, so a newly added route cannot ship
+// ungated — refuses without the token and with a wrong token (uniform
+// 401) and answers with it. /healthz alone stays open for load-balancer
+// probes.
 func TestAdminTokenGate(t *testing.T) {
 	const token = "sekrit"
-	_, admin := startTenantGuptd(t, censusRegistry(t), nil, token)
+	tenants, err := tenant.Load(filepath.Join(t.TempDir(), "tenants.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := censusRegistry(t)
+	_, admin := startTenantGuptd(t, reg, tenants, token)
 	base := "http://" + admin
 
-	for _, path := range []string{"/metrics", "/datasets", "/ledger", "/cache", "/traces", "/queries"} {
+	patterns := telemetry.AdminRoutePatterns(newAdminConfig(telemetry.NewRegistry(), reg, nil, nil, tenants, token))
+	// The enumeration is only trustworthy if it still carries the full
+	// surface; a refactor that drops routes from the table would otherwise
+	// silently shrink this test.
+	for _, want := range []string{
+		"/metrics", "/traces", "/queries", "/budget", "/flight", "/workers",
+		"/ledger", "/cache", "/datasets", "/healthz", "/debug/pprof/",
+		"/tenants", "/tenants/grant", "/tenants/quota", "/tenants/limits",
+	} {
+		found := false
+		for _, p := range patterns {
+			if p == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("route table lost %s: %v", want, patterns)
+		}
+	}
+
+	for _, path := range patterns {
+		if path == "/healthz" {
+			if code, _ := adminDo(t, http.MethodGet, base+path, "", nil); code != http.StatusOK {
+				t.Errorf("/healthz must stay open, got %d", code)
+			}
+			continue
+		}
 		if code, _ := adminDo(t, http.MethodGet, base+path, "", nil); code != http.StatusUnauthorized {
 			t.Errorf("GET %s without token = %d, want 401", path, code)
 		}
 		if code, _ := adminDo(t, http.MethodGet, base+path, "wrong", nil); code != http.StatusUnauthorized {
 			t.Errorf("GET %s with wrong token = %d, want 401", path, code)
 		}
-		if code, _ := adminDo(t, http.MethodGet, base+path, token, nil); code != http.StatusOK {
-			t.Errorf("GET %s with token = %d, want 200", path, code)
+		// With the token the route must answer — 200, or 405 for the
+		// POST-only tenant mutations — never 401. The profilers get a
+		// 1-second bound so the sweep stays fast.
+		fetch := path
+		switch path {
+		case "/debug/pprof/profile", "/debug/pprof/trace":
+			fetch = path + "?seconds=1"
 		}
-	}
-	if code, _ := adminDo(t, http.MethodGet, base+"/healthz", "", nil); code != http.StatusOK {
-		t.Errorf("/healthz must stay open, got %d", code)
+		if code, _ := adminDo(t, http.MethodGet, base+fetch, token, nil); code == http.StatusUnauthorized {
+			t.Errorf("GET %s with correct token still 401", path)
+		}
 	}
 
 	// The Bearer carrier works too.

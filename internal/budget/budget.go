@@ -82,12 +82,21 @@ type QuotaKeeper interface {
 	Release(tenant, dataset string, eps float64)
 }
 
+// QuotaReporter is optionally implemented by the QuotaKeeper
+// (tenant.Registry does): authoritative post-charge quota state, read by
+// the ε burn-down plane so tenant rows track the real balance instead of
+// re-deriving it from charge deltas.
+type QuotaReporter interface {
+	QuotaState(tenant, dataset string) (spent, quota float64, limited bool)
+}
+
 // Manager charges privacy spends to datasets in a registry. All spends
 // flow through here; analyst-side code never sees an accountant.
 type Manager struct {
 	reg    *dataset.Registry
 	tel    *telemetry.Registry
 	quotas QuotaKeeper
+	plane  *telemetry.BudgetPlane
 }
 
 // NewManager returns a manager over the given registry.
@@ -107,6 +116,34 @@ func (m *Manager) Instrument(tel *telemetry.Registry) {
 // empty tenant id (embedded platform, single-tenant mode) bypass quotas.
 func (m *Manager) SetQuotas(q QuotaKeeper) {
 	m.quotas = q
+}
+
+// SetBurnDown routes every successful charge into the ε burn-down plane
+// (PR 10). Call before serving; nil disables the plane.
+func (m *Manager) SetBurnDown(p *telemetry.BudgetPlane) {
+	m.plane = p
+}
+
+// burn feeds the plane after a successful charge against r: the dataset's
+// global row always, plus the tenant's row when the charge was
+// tenant-attributed. State is read back from the accountant and the quota
+// keeper, so refunds and concurrent charges can never drift the plane.
+func (m *Manager) burn(tenant, datasetName string, eps float64, r *dataset.Registered) {
+	if m.plane == nil {
+		return
+	}
+	m.plane.Observe("", datasetName, eps, r.Accountant.Spent(), r.Accountant.Total())
+	if tenant == "" {
+		return
+	}
+	spent, quota, limited := 0.0, 0.0, false
+	if rep, ok := m.quotas.(QuotaReporter); ok {
+		spent, quota, limited = rep.QuotaState(tenant, datasetName)
+	}
+	if !limited {
+		quota = 0 // unlimited row: the plane tracks spend without a ceiling
+	}
+	m.plane.Observe(tenant, datasetName, eps, spent, quota)
 }
 
 // Charge debits eps from the named dataset's budget, labeled for audit.
@@ -136,6 +173,9 @@ func (m *Manager) ChargeAs(tenant, datasetName, label string, eps float64) error
 	err = m.record(datasetName, r.SpendAs(tenant, label, eps))
 	if err != nil && tenant != "" && m.quotas != nil {
 		m.quotas.Release(tenant, datasetName, eps)
+	}
+	if err == nil {
+		m.burn(tenant, datasetName, eps, r)
 	}
 	return err
 }
@@ -227,5 +267,6 @@ func (m *Manager) ChargeForAccuracyAs(tenant, datasetName, label string, program
 		}
 		return aging.EpsilonEstimate{}, err
 	}
+	m.burn(tenant, datasetName, est.Epsilon, r)
 	return est, nil
 }

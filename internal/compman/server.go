@@ -97,6 +97,10 @@ type ServerConfig struct {
 	// TraceBufferSize caps the /traces ring buffer of completed query
 	// traces; zero means telemetry.DefaultTraceBufferSize.
 	TraceBufferSize int
+	// FlightRecorderSize caps the /flight ring of recent query flights
+	// (bucketed timeline + fan-out attribution + cost per query, including
+	// refused queries); zero means telemetry.DefaultFlightRecorderSize.
+	FlightRecorderSize int
 	// CacheEntries bounds the noisy-answer cache (internal/qcache): repeat
 	// queries whose fingerprint matches a previously released answer are
 	// served that same answer at zero additional ε. Zero or negative
@@ -140,11 +144,13 @@ type Server struct {
 	poolErr  error       // non-nil when WorkerAddrs were set but unreachable
 	tel      *telemetry.Registry
 	stats    *statsCollector
-	traces   *telemetry.TraceBuffer // completed query traces, for /traces
-	inflight *telemetry.Inflight    // live query table, for /queries
-	cache    *qcache.Cache          // noisy-answer cache; nil when disabled
-	limiter  *ratelimit.Limiter     // per-tenant admission gate; nil when tenancy off
-	sched    *scheduler             // deadline-aware admission; nil when disabled
+	traces   *telemetry.TraceBuffer    // completed query traces, for /traces
+	inflight *telemetry.Inflight       // live query table, for /queries
+	flight   *telemetry.FlightRecorder // recent query flights, for /flight
+	plane    *telemetry.BudgetPlane    // ε burn-down rows, for /budget
+	cache    *qcache.Cache             // noisy-answer cache; nil when disabled
+	limiter  *ratelimit.Limiter        // per-tenant admission gate; nil when tenancy off
+	sched    *scheduler                // deadline-aware admission; nil when disabled
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -168,10 +174,38 @@ func NewServer(reg *dataset.Registry, cfg ServerConfig) *Server {
 		stats:    newStatsCollector(tel),
 		traces:   telemetry.NewTraceBuffer(cfg.TraceBufferSize),
 		inflight: telemetry.NewInflight(tel.Counter("compman.queries_slow")),
+		flight:   telemetry.NewFlightRecorder(cfg.FlightRecorderSize),
+		plane:    telemetry.NewBudgetPlane(tel),
 		cache:    qcache.New(qcache.Config{MaxEntries: cfg.CacheEntries, TTL: cfg.CacheTTL, Telemetry: tel}),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.mgr.Instrument(tel)
+	s.mgr.SetBurnDown(s.plane)
+	// Threshold crossings become tamper-evident audit records: "tenant X
+	// fell below a quarter of its quota on Y" is exactly the event an
+	// operator wants on the books before exhaustion, not after.
+	s.plane.SetOnEvent(func(ev telemetry.BudgetEvent) {
+		if s.cfg.Audit == nil {
+			return
+		}
+		err := s.cfg.Audit.Append(audit.Record{
+			Type:    audit.TypeBudgetThreshold,
+			Dataset: ev.Dataset,
+			Tenant:  ev.Tenant,
+			Reason:  fmt.Sprintf("remaining_below_%g", ev.Fraction),
+			Detail:  fmt.Sprintf("remaining %g of %g", ev.EpsilonRemaining, ev.EpsilonTotal),
+		})
+		if err != nil {
+			s.logf("compman: audit append: %v", err)
+		}
+	})
+	// Seed the burn-down plane's global rows so /budget shows every
+	// registered dataset before its first charge.
+	for _, name := range reg.Names() {
+		if r, err := reg.Lookup(name); err == nil {
+			s.plane.Seed("", name, r.Accountant.Spent(), r.Accountant.Total())
+		}
+	}
 	s.sched = newScheduler(cfg.Sched, tel)
 	if cfg.Tenants != nil {
 		s.mgr.SetQuotas(cfg.Tenants)
@@ -218,6 +252,15 @@ func (s *Server) Traces() []telemetry.TraceSnapshot { return s.traces.Snapshots(
 // LiveQueries returns the in-flight query table (stage + elapsed bucket),
 // the /queries admin endpoint's data source.
 func (s *Server) LiveQueries() []telemetry.InflightSnapshot { return s.inflight.Snapshots() }
+
+// Flights returns the query flight recorder's ring, newest first — the
+// /flight admin endpoint's data source. Every timing inside is bucketed.
+func (s *Server) Flights() []telemetry.FlightRecord { return s.flight.Snapshots() }
+
+// BudgetRows returns the ε burn-down plane's rows (remaining budget, EWMA
+// burn rate, time-to-exhaustion per tenant/dataset) — the /budget admin
+// endpoint's data source.
+func (s *Server) BudgetRows() []telemetry.BudgetRow { return s.plane.Rows() }
 
 // CacheStats snapshots the noisy-answer cache's counters — the /cache
 // admin endpoint's data source. All zeros when caching is disabled.
@@ -457,52 +500,106 @@ func (s *Server) admit(tenantID string) (release func(), retryAfter time.Duratio
 }
 
 // rateLimited builds the zero-ε rejection for a rate-limit refusal and
-// audits it: rejections are part of the query record even though no budget
-// moved, so a flood shows up in the books.
-func (s *Server) rateLimited(tenantID, datasetName string, retryAfter time.Duration) Response {
+// audits it (with the reason and retry hint): rejections are part of the
+// query record even though no budget moved, so a flood shows up in the
+// books. When the caller started a trace, the refusal gets a span, a ring
+// entry and a flight record too — refused queries are observable queries.
+func (s *Server) rateLimited(tenantID, datasetName string, retryAfter time.Duration, tr *telemetry.Trace) Response {
 	resp := Response{
 		Error:            "rate limited: tenant " + tenantID + " over its admission policy",
 		RetryAfterMillis: maxInt64(retryAfter.Milliseconds(), 1),
-		TraceID:          telemetry.NewTraceID(),
+		TraceID:          traceIDOrNew(tr),
 	}
-	s.auditRecordAs(tenantID, datasetName, &resp, "rate_limited", 0)
+	tr.StartSpan(telemetry.StageSchedDecision).End("rate_limited")
+	s.auditRefusalAs(tenantID, datasetName, &resp, "rate_limited", "rate_limited")
+	s.recordRefusedTrace(tr, "rate_limited", "rate_limited", resp.RetryAfterMillis)
 	return resp
+}
+
+// traceIDOrNew returns the trace's id, minting a bare one for paths that
+// run untraced (sessions, direct tests).
+func traceIDOrNew(tr *telemetry.Trace) string {
+	if tr != nil {
+		return tr.ID
+	}
+	return telemetry.NewTraceID()
+}
+
+// recordRefusedTrace publishes a refused query's trace to the ring and the
+// flight recorder, so a refusal is as observable as a served query.
+func (s *Server) recordRefusedTrace(tr *telemetry.Trace, outcome, reason string, retryAfterMillis int64) {
+	if tr == nil {
+		return
+	}
+	s.traces.Add(tr, outcome)
+	s.flight.Record(tr, outcome, telemetry.FlightExtra{
+		Reason:           reason,
+		RetryAfterMillis: retryAfterMillis,
+	})
 }
 
 // schedule passes the request through the deadline-aware scheduler. A nil
 // second return means the query was admitted and holds a slot until
 // release is called; otherwise the refusal response is final — built and
-// audited here, always before any ε moved. The returned deadline is the
-// absolute answer-by time derived from req.DeadlineMillis (zero when the
-// client set none); execution must not outlive it.
-func (s *Server) schedule(ctx context.Context, tenantID string, req *Request) (release func(), deadline time.Time, refusal *Response) {
+// audited here (reason and retry hint included), always before any ε
+// moved. The returned deadline is the absolute answer-by time derived from
+// req.DeadlineMillis (zero when the client set none); execution must not
+// outlive it.
+//
+// tr, when non-nil, gets the scheduler's self-observation spans: a
+// sched.queue span covering the time spent in the admission queue and a
+// sched.decision span whose status carries the verdict. Refusals publish
+// the trace to the ring and flight recorder before returning.
+func (s *Server) schedule(ctx context.Context, tenantID string, req *Request, tr *telemetry.Trace) (release func(), deadline time.Time, refusal *Response) {
 	if req.DeadlineMillis > 0 {
 		deadline = time.Now().Add(time.Duration(req.DeadlineMillis) * time.Millisecond)
 	}
+	queue := tr.StartSpan(telemetry.StageSchedQueue)
 	release, retryAfter, verdict := s.sched.admit(ctx, req.Dataset, tenantID, deadline)
+	queue.End(telemetry.StatusOK)
+	decision := tr.StartSpan(telemetry.StageSchedDecision)
 	switch verdict {
 	case schedAdmitted:
+		decision.End(telemetry.StatusOK)
+		// Deadline slack at admission — how much headroom admitted queries
+		// actually have — feeds a bucketed histogram (§6.3: counts only).
+		if !deadline.IsZero() {
+			slack := time.Until(deadline)
+			if slack < 0 {
+				slack = 0
+			}
+			s.tel.Histogram("compman.sched.deadline_slack.millis", telemetry.DefaultLatencyBuckets).Observe(slack)
+		}
 		return release, deadline, nil
 	case schedBusy:
+		decision.End(telemetry.StatusRefusedBusy)
 		resp := Response{
 			Error:            "server overloaded: query queue is full",
 			RetryAfterMillis: maxInt64(retryAfter.Milliseconds(), 1),
-			TraceID:          telemetry.NewTraceID(),
+			TraceID:          traceIDOrNew(tr),
 		}
 		s.stats.recordOverloaded()
-		s.auditRecordAs(tenantID, req.Dataset, &resp, "overloaded", 0)
+		s.auditRefusalAs(tenantID, req.Dataset, &resp, "overloaded", "queue_full")
+		s.recordRefusedTrace(tr, "overloaded", "queue_full", resp.RetryAfterMillis)
 		return nil, deadline, &resp
 	case schedExpired:
+		decision.End(telemetry.StatusRefusedExpired)
 		resp := Response{
 			Error:            "deadline unmeetable: query would expire before a slot frees up",
 			RetryAfterMillis: maxInt64(retryAfter.Milliseconds(), 1),
-			TraceID:          telemetry.NewTraceID(),
+			TraceID:          traceIDOrNew(tr),
 		}
 		s.stats.recordOverloaded()
-		s.auditRecordAs(tenantID, req.Dataset, &resp, "overloaded", 0)
+		s.auditRefusalAs(tenantID, req.Dataset, &resp, "overloaded", "deadline_unmeetable")
+		s.recordRefusedTrace(tr, "overloaded", "deadline_unmeetable", resp.RetryAfterMillis)
 		return nil, deadline, &resp
-	default: // schedCancelled: the connection went away; any response is unsendable
-		resp := Response{Error: "query cancelled while queued", TraceID: telemetry.NewTraceID()}
+	default: // schedCancelled: the connection went away; the response is unsendable
+		decision.End(telemetry.StatusCancelled)
+		resp := Response{Error: "query cancelled while queued", TraceID: traceIDOrNew(tr)}
+		// The client cannot see this response, but the books still should:
+		// a cancelled-while-queued query is a scheduler refusal too.
+		s.auditRefusalAs(tenantID, req.Dataset, &resp, "cancelled", "cancelled_while_queued")
+		s.recordRefusedTrace(tr, "cancelled", "cancelled_while_queued", 0)
 		return nil, deadline, &resp
 	}
 }
@@ -548,10 +645,10 @@ func (s *Server) dispatchAs(tenantID string, req *Request) Response {
 		}
 		releaseSlot, retryAfter, ok := s.admit(tenantID)
 		if !ok {
-			return s.rateLimited(tenantID, req.Dataset, retryAfter)
+			return s.rateLimited(tenantID, req.Dataset, retryAfter, nil)
 		}
 		defer releaseSlot()
-		schedRelease, deadline, refusal := s.schedule(context.Background(), tenantID, req)
+		schedRelease, deadline, refusal := s.schedule(context.Background(), tenantID, req, nil)
 		if refusal != nil {
 			return *refusal
 		}
@@ -574,12 +671,21 @@ func (s *Server) dispatchAs(tenantID string, req *Request) Response {
 		if refusal := s.authorizeDataset(tenantID, req.Dataset); refusal != nil {
 			return *refusal
 		}
+		// The trace id is a random 128-bit hex string: unique across
+		// restarts and instances, operator-meaningful for correlation,
+		// never derived from analyst input. It propagates to the workers
+		// over the WorkSpec and comes back to the analyst on the response.
+		// The trace starts BEFORE admission so refused queries get traces
+		// too — a refusal's trace carries its sched.queue/sched.decision
+		// spans and lands in the ring and the flight recorder.
+		tr := telemetry.NewTrace(s.tel, telemetry.NewTraceID(), req.Dataset)
+		tr.Tenant = tenantID
 		releaseSlot, retryAfter, ok := s.admit(tenantID)
 		if !ok {
-			return s.rateLimited(tenantID, req.Dataset, retryAfter)
+			return s.rateLimited(tenantID, req.Dataset, retryAfter, tr)
 		}
 		defer releaseSlot()
-		schedRelease, deadline, refusal := s.schedule(context.Background(), tenantID, req)
+		schedRelease, deadline, refusal := s.schedule(context.Background(), tenantID, req, tr)
 		if refusal != nil {
 			return *refusal
 		}
@@ -587,12 +693,6 @@ func (s *Server) dispatchAs(tenantID string, req *Request) Response {
 		start := time.Now()
 		inflight := s.tel.Gauge("compman.queries_inflight")
 		inflight.Inc()
-		// The trace id is a random 128-bit hex string: unique across
-		// restarts and instances, operator-meaningful for correlation,
-		// never derived from analyst input. It propagates to the workers
-		// over the WorkSpec and comes back to the analyst on the response.
-		tr := telemetry.NewTrace(s.tel, telemetry.NewTraceID(), req.Dataset)
-		tr.Tenant = tenantID
 		live := s.inflight.BeginTenant(tr.ID, req.Dataset, tenantID)
 		tr.OnStage = live.SetStage
 		resp := s.handleQuery(req, tenantID, tr, deadline)
@@ -611,6 +711,10 @@ func (s *Server) dispatchAs(tenantID string, req *Request) Response {
 				resp.EpsilonCharged > 0)
 		}
 		s.traces.Add(tr, outcome)
+		s.flight.Record(tr, outcome, telemetry.FlightExtra{
+			EpsilonCharged: resp.EpsilonCharged,
+			Blocks:         resp.NumBlocks,
+		})
 		s.auditRecordAs(tenantID, req.Dataset, &resp, outcome, tr.Elapsed())
 		s.logTrace(tr)
 		return resp
@@ -683,6 +787,28 @@ func (s *Server) auditRecordAs(tenantID, dataset string, resp *Response, outcome
 		EpsilonCharged:      resp.EpsilonCharged,
 		Blocks:              resp.NumBlocks,
 		LatencyBucketMillis: telemetry.BucketUpperMillis(float64(elapsed)/float64(time.Millisecond), telemetry.DefaultLatencyBuckets),
+	})
+	if err != nil {
+		s.logf("compman: audit append: %v", err)
+	}
+}
+
+// auditRefusalAs is auditRecordAs for refusals: no latency bucket (nothing
+// ran), but the machine-readable reason and the retry hint the client was
+// given, so `gupt-cli audit verify` replay sees every refusal with enough
+// context to explain it.
+func (s *Server) auditRefusalAs(tenantID, dataset string, resp *Response, outcome, reason string) {
+	if s.cfg.Audit == nil {
+		return
+	}
+	err := s.cfg.Audit.Append(audit.Record{
+		Type:             audit.TypeQuery,
+		TraceID:          resp.TraceID,
+		Dataset:          dataset,
+		Tenant:           tenantID,
+		Outcome:          outcome,
+		Reason:           reason,
+		RetryAfterMillis: resp.RetryAfterMillis,
 	})
 	if err != nil {
 		s.logf("compman: audit append: %v", err)
@@ -1148,6 +1274,9 @@ func (s *Server) handleRegister(req *Request) Response {
 	// cache entries are already unreachable; dropping them eagerly just
 	// reclaims the memory.
 	s.cache.Invalidate(spec.Name)
+	if r, err := s.reg.Lookup(spec.Name); err == nil {
+		s.plane.Seed("", spec.Name, r.Accountant.Spent(), r.Accountant.Total())
+	}
 	s.journalBudgets()
 	return Response{OK: true}
 }

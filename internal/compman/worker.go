@@ -319,7 +319,9 @@ type PoolConfig struct {
 // Instrument routes pool health counters into a telemetry registry:
 // compman.pool.redials (transport-level reconnects), compman.pool.failovers
 // (blocks retried on a different worker), compman.pool.straggler_redispatch
-// (duplicate dispatches racing a slow home worker), the compman.pool.inflight
+// (duplicate dispatches racing a slow home worker), compman.pool.demotions
+// (workers demoted to last-resort after consecutive transport failures), the
+// compman.pool.inflight
 // depth gauge, and the per-worker compman.pool.worker.inflight.<addr> /
 // compman.pool.worker.unhealthy.<addr> gauges. Nil-safe throughout; call
 // before serving.
@@ -471,6 +473,7 @@ func (h *workerHost) noteFailure() {
 	h.failed.Add(1)
 	if h.streak.Add(1) >= unhealthyAfter && !h.sick.Swap(true) {
 		h.unhealthyGauge().Set(1)
+		h.pool.counter("compman.pool.demotions").Inc()
 	}
 }
 
@@ -705,25 +708,32 @@ func (c *poolChamber) run(ctx context.Context, idx int, block []mathutil.Vec) (m
 	}
 
 	type result struct {
-		host *workerHost
-		resp *WorkResponse
-		err  error
+		host  *workerHost
+		resp  *WorkResponse
+		err   error
+		stage string    // which dispatch kind launched this exchange
+		start time.Time // when it was dispatched
 	}
 	results := make(chan result, len(cands))
 	next := 0
-	launch := func() bool {
+	// launch dispatches the block to the next-ranked candidate, tagging the
+	// exchange with its dispatch kind (first try, straggler duplicate, or
+	// failover) so the observed outcome becomes a per-worker fan-out span in
+	// the query trace.
+	launch := func(stage string) bool {
 		if next >= len(cands) {
 			return false
 		}
 		h := cands[next]
 		next++
+		start := time.Now()
 		go func() {
 			resp, err := h.do(ctx, &req)
-			results <- result{h, resp, err}
+			results <- result{h, resp, err, stage, start}
 		}()
 		return true
 	}
-	launch()
+	launch(telemetry.StageFanoutDispatch)
 	var straggler <-chan time.Time
 	if d := c.pool.stragglerAfter; d > 0 && len(cands) > 1 {
 		t := time.NewTimer(d)
@@ -741,15 +751,16 @@ func (c *poolChamber) run(ctx context.Context, idx int, block []mathutil.Vec) (m
 			return nil, ctx.Err()
 		case <-straggler:
 			straggler = nil
-			if launch() {
+			if launch(telemetry.StageFanoutStraggler) {
 				pending++
 				c.pool.counter("compman.pool.straggler_redispatch").Inc()
 			}
 		case r := <-results:
 			pending--
+			c.noteDispatch(r.host, r.stage, r.start, r.err == nil && r.resp.Error == "")
 			if r.err != nil {
 				lastErr = r.err // transport-level: retryable on another worker
-				if launch() {
+				if launch(telemetry.StageFanoutFailover) {
 					pending++
 					c.pool.counter("compman.pool.failovers").Inc()
 				} else if pending == 0 {
@@ -769,6 +780,24 @@ func (c *poolChamber) run(ctx context.Context, idx int, block []mathutil.Vec) (m
 			return mathutil.Vec(r.resp.Output), nil
 		}
 	}
+}
+
+// noteDispatch closes one fan-out dispatch as a worker-attributed span in
+// the query trace: the stage says how the exchange was launched (first
+// dispatch, straggler duplicate, failover), the process label names the
+// worker, and the duration covers dispatch to observed outcome. Dispatches
+// that lose the first-result-wins race finish in the background unobserved
+// and record no span. Nil-trace safe.
+func (c *poolChamber) noteDispatch(h *workerHost, stage string, start time.Time, ok bool) {
+	status := telemetry.StatusOK
+	if !ok {
+		status = telemetry.StatusError
+	}
+	c.tr.AddRemoteSpans("worker:"+h.addr, []telemetry.RemoteSpan{{
+		Stage:  stage,
+		Status: status,
+		Millis: float64(time.Since(start)) / float64(time.Millisecond),
+	}})
 }
 
 // candidates returns the hosts to try for a block, in dispatch order. For

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gupt/internal/analytics"
+	"gupt/internal/core"
+	"gupt/internal/dp"
+	"gupt/internal/mathutil"
+	"gupt/internal/telemetry"
+)
+
+// ObservabilityOverheadResult quantifies what the flight recorder, the
+// ε burn-down plane, and the per-block fan-out spans add on top of the
+// tracing baseline BENCH_PR5.json already pinned. The "traced"
+// configuration is that baseline (metrics registry + per-query trace +
+// trace ring); each subsequent configuration layers one PR 10 addition
+// onto it, ending at "full-obs" — the configuration guptd now runs in.
+// The claim BENCH_PR10.json pins is that full-obs stays within
+// run-to-run noise of traced: the recorder and the plane are O(1) work
+// per query against the engine's O(rows) work.
+type ObservabilityOverheadResult struct {
+	// Rows and Queries pin the workload: Queries timed queries over a
+	// Rows-record table per configuration, best of several passes.
+	Rows    int
+	Queries int
+	// Spans is the number of fan-out dispatch spans fabricated per query
+	// in the configurations that record them — one per block, matching
+	// what a sharded execution over Rows/BlockSize blocks would emit.
+	Spans int
+	// Configs lists the measured configurations in run order: traced,
+	// flight, burndown, fanout-spans, full-obs.
+	Configs []string
+	// NsPerQuery is the per-configuration cost, indexed like Configs.
+	NsPerQuery []float64
+	// OverheadPct is the percent increase over the traced baseline,
+	// indexed like Configs (0 for the baseline itself).
+	OverheadPct []float64
+}
+
+// ObservabilityOverhead runs the measurement. Each configuration executes
+// the same deterministic query sequence; the reported figure is the best
+// of three passes, which filters scheduler noise better than an average
+// on a loaded machine.
+func ObservabilityOverhead(cfg Config) (*ObservabilityOverheadResult, error) {
+	n := cfg.scale(20000, 4000)
+	queries := cfg.scale(40, 10)
+	spans := 20 // one dispatch span per block at the default fan-out shape
+	const passes = 3
+
+	rng := mathutil.NewRNG(cfg.Seed)
+	rows := make([]mathutil.Vec, n)
+	for i := range rows {
+		rows[i] = mathutil.Vec{mathutil.Clamp(40+10*rng.NormFloat64(), 0, 150)}
+	}
+	prog := analytics.Mean{Col: 0}
+	spec := core.RangeSpec{Mode: core.ModeTight, Output: []dp.Range{{Lo: 0, Hi: 150}}}
+
+	// Fabricated worker results: what the fan-out path feeds into
+	// AddRemoteSpans once per observed block result. Deterministic millis
+	// so every pass does identical bucketing work.
+	workerSpans := make([]telemetry.RemoteSpan, spans)
+	for i := range workerSpans {
+		workerSpans[i] = telemetry.RemoteSpan{
+			Stage:  telemetry.StageFanoutDispatch,
+			Status: telemetry.StatusOK,
+			Millis: float64(i%7) + 0.5,
+		}
+	}
+
+	// perQuery returns the options for one query under the configuration
+	// and an after-hook mirroring what the server does once the query
+	// settles under that configuration.
+	type setup struct {
+		name     string
+		perQuery func(q int) (core.Options, func())
+	}
+	baseOpts := func(q int) core.Options {
+		return core.Options{Epsilon: 0.5, Seed: cfg.Seed + int64(q), Parallelism: 1}
+	}
+	// Each configuration gets its own registry so bucket maps never carry
+	// state across configurations.
+	tracedSetup := func(reg *telemetry.Registry, after func(*telemetry.Trace)) func(q int) (core.Options, func()) {
+		ring := telemetry.NewTraceBuffer(telemetry.DefaultTraceBufferSize)
+		return func(q int) (core.Options, func()) {
+			o := baseOpts(q)
+			o.Metrics = reg
+			tr := telemetry.NewTrace(reg, telemetry.NewTraceID(), "bench")
+			o.Trace = tr
+			return o, func() {
+				ring.Add(tr, "ok")
+				if after != nil {
+					after(tr)
+				}
+			}
+		}
+	}
+	flightReg := telemetry.NewRegistry()
+	flightRec := telemetry.NewFlightRecorder(0)
+	burnReg := telemetry.NewRegistry()
+	burnPlane := telemetry.NewBudgetPlane(burnReg)
+	burnPlane.Seed("", "bench", 0, 1e9)
+	spanReg := telemetry.NewRegistry()
+	fullReg := telemetry.NewRegistry()
+	fullRec := telemetry.NewFlightRecorder(0)
+	fullPlane := telemetry.NewBudgetPlane(fullReg)
+	fullPlane.Seed("", "bench", 0, 1e9)
+	var burnSpent, fullSpent float64
+	configs := []setup{
+		{"traced", tracedSetup(telemetry.NewRegistry(), nil)},
+		{"flight", tracedSetup(flightReg, func(tr *telemetry.Trace) {
+			flightRec.Record(tr, "ok", telemetry.FlightExtra{EpsilonCharged: 0.5, Blocks: spans})
+		})},
+		{"burndown", tracedSetup(burnReg, func(*telemetry.Trace) {
+			burnSpent += 0.5
+			burnPlane.Observe("", "bench", 0.5, burnSpent, 1e9)
+		})},
+		{"fanout-spans", tracedSetup(spanReg, func(tr *telemetry.Trace) {
+			tr.AddRemoteSpans("worker:bench", workerSpans)
+		})},
+		{"full-obs", tracedSetup(fullReg, func(tr *telemetry.Trace) {
+			tr.AddRemoteSpans("worker:bench", workerSpans)
+			fullRec.Record(tr, "ok", telemetry.FlightExtra{EpsilonCharged: 0.5, Blocks: spans})
+			fullSpent += 0.5
+			fullPlane.Observe("", "bench", 0.5, fullSpent, 1e9)
+		})},
+	}
+
+	res := &ObservabilityOverheadResult{Rows: n, Queries: queries, Spans: spans}
+	for _, sc := range configs {
+		// One untimed pass first: without it the first configuration pays
+		// all the cache/allocator warmup and the comparison skews.
+		for q := 0; q < queries; q++ {
+			opts, done := sc.perQuery(q)
+			if _, err := core.Run(context.Background(), prog, rows, spec, opts); err != nil {
+				return nil, fmt.Errorf("observability overhead warmup %s: %w", sc.name, err)
+			}
+			done()
+		}
+		best := time.Duration(1<<63 - 1)
+		for p := 0; p < passes; p++ {
+			start := time.Now()
+			for q := 0; q < queries; q++ {
+				opts, done := sc.perQuery(q)
+				if _, err := core.Run(context.Background(), prog, rows, spec, opts); err != nil {
+					return nil, fmt.Errorf("observability overhead %s: %w", sc.name, err)
+				}
+				done()
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		res.Configs = append(res.Configs, sc.name)
+		res.NsPerQuery = append(res.NsPerQuery, float64(best.Nanoseconds())/float64(queries))
+	}
+	base := res.NsPerQuery[0]
+	for _, ns := range res.NsPerQuery {
+		res.OverheadPct = append(res.OverheadPct, 100*(ns-base)/base)
+	}
+	return res, nil
+}
+
+// Table renders the measurement.
+func (r *ObservabilityOverheadResult) Table() string {
+	t := newTable("configuration", "per-query", "vs traced")
+	for i, name := range r.Configs {
+		t.addRow(name,
+			time.Duration(r.NsPerQuery[i]).Round(time.Microsecond).String(),
+			fmt.Sprintf("%+.1f%%", r.OverheadPct[i]))
+	}
+	return fmt.Sprintf("Flight recorder / burn-down / fan-out span overhead (%d queries over %d rows, %d spans per query, best of 3)\n",
+		r.Queries, r.Rows, r.Spans) + t.String()
+}
+
+// CSV renders the series as config,ns_per_query,overhead_pct.
+func (r *ObservabilityOverheadResult) CSV() string {
+	var c csvBuilder
+	c.row("config", "ns_per_query", "overhead_pct")
+	for i, name := range r.Configs {
+		c.row(name, fmt.Sprintf("%g", r.NsPerQuery[i]), fmt.Sprintf("%g", r.OverheadPct[i]))
+	}
+	return c.String()
+}

@@ -111,6 +111,25 @@ type WorkerStatus struct {
 	Unhealthy bool `json:"unhealthy"`
 }
 
+// TenantSpendRow is one dataset's row in the per-tenant /ledger?tenant=
+// slice: how much ε the tenant has spent there and what its quota is.
+type TenantSpendRow struct {
+	Dataset      string  `json:"dataset"`
+	SpentEpsilon float64 `json:"spentEpsilon"`
+	// QuotaEpsilon is the tenant's ε quota on the dataset; Unlimited marks
+	// a grant without a quota.
+	QuotaEpsilon float64 `json:"quotaEpsilon,omitempty"`
+	Unlimited    bool    `json:"unlimited,omitempty"`
+}
+
+// TenantLedgerSlice is the /ledger?tenant=<id> response: the tenant's
+// per-dataset spend, recovered from the same WAL replay that seeds the
+// quota keeper.
+type TenantLedgerSlice struct {
+	Tenant   string           `json:"tenant"`
+	Datasets []TenantSpendRow `json:"datasets"`
+}
+
 // AdminConfig wires the admin HTTP handler to a live server.
 type AdminConfig struct {
 	// Registry is the metrics registry served at /metrics.
@@ -135,6 +154,16 @@ type AdminConfig struct {
 	// Workers supplies the per-worker fleet rows for /workers; nil serves
 	// an empty list (local execution, no fleet).
 	Workers func() []WorkerStatus
+	// Budget supplies the ε burn-down rows for /budget; nil serves an
+	// empty list.
+	Budget func() []BudgetRow
+	// Flight supplies the flight-recorder ring for /flight, newest first;
+	// nil serves an empty list.
+	Flight func() []FlightRecord
+	// TenantSpend supplies one tenant's per-dataset spend for
+	// /ledger?tenant=<id>; nil means the tenant slice is unavailable and
+	// /ledger always serves the global LedgerStatus.
+	TenantSpend func(tenant string) []TenantSpendRow
 	// SkipRuntimeMetrics disables sampling Go runtime health
 	// (runtime.goroutines, runtime.heap_objects_bytes, runtime.gc_cycles,
 	// runtime.gc_pause_millis) into the registry on each /metrics scrape.
@@ -157,15 +186,21 @@ type AdminConfig struct {
 //	               bucketed timings only, in both formats
 //	/healthz       200 "ok" or 503 with the health error
 //	/datasets      JSON []DatasetStats, sorted by name
-//	/ledger        JSON LedgerStatus for the durable budget ledger
+//	/ledger        JSON LedgerStatus for the durable budget ledger;
+//	               ?tenant=<id> serves that tenant's per-dataset spend
 //	/cache         JSON CacheStatus for the noisy-answer cache
 //	/traces        JSON []TraceSnapshot, newest first (ring buffer of
 //	               completed cross-process traces, durations bucketed);
 //	               ?tenant=<id> narrows to one tenant's queries
 //	/queries       JSON []InflightSnapshot (live queries: stage + elapsed
-//	               bucket)
+//	               bucket); ?tenant=<id> narrows
 //	/workers       JSON []WorkerStatus (fleet skew: per-worker in-flight,
 //	               answered/failed counts, health)
+//	/budget        JSON []BudgetRow (ε burn-down: remaining budget, EWMA
+//	               burn rate, time-to-exhaustion per tenant/dataset);
+//	               ?tenant=<id> narrows
+//	/flight        JSON []FlightRecord (the query flight recorder, newest
+//	               first); ?tenant=<id> narrows
 //	/debug/pprof/  the standard net/http/pprof profiling surface
 //
 // The handler is for the operator's loopback/ops network. It intentionally
@@ -174,8 +209,35 @@ type AdminConfig struct {
 // it any wider.
 func AdminHandler(cfg AdminConfig) http.Handler {
 	mux := http.NewServeMux()
+	for pattern, h := range adminRoutes(cfg) {
+		mux.Handle(pattern, h)
+	}
+	if cfg.Token == "" {
+		return mux
+	}
+	return tokenGate(cfg.Token, mux)
+}
 
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+// AdminRoutePatterns lists every route pattern the handler serves for the
+// given config, sorted — the source of truth for guptd's startup log and
+// for the token-gating test that asserts no route ships ungated.
+func AdminRoutePatterns(cfg AdminConfig) []string {
+	routes := adminRoutes(cfg)
+	patterns := make([]string, 0, len(routes))
+	for p := range routes {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	return patterns
+}
+
+// adminRoutes builds the route table; AdminHandler registers it and
+// AdminRoutePatterns enumerates it, so the two can never drift.
+func adminRoutes(cfg AdminConfig) map[string]http.Handler {
+	routes := map[string]http.Handler{}
+	handle := func(pattern string, h http.HandlerFunc) { routes[pattern] = h }
+
+	handle("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		if cfg.Health != nil {
 			if err := cfg.Health(); err != nil {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -190,7 +252,7 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 	if !cfg.SkipRuntimeMetrics {
 		sampler = NewRuntimeSampler(cfg.Registry)
 	}
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+	handle("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		sampler.Sample()
 		snap := cfg.Registry.Snapshot()
 		if wantsPrometheus(req) {
@@ -201,41 +263,33 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 		writeJSON(w, snap)
 	})
 
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
+	handle("/traces", func(w http.ResponseWriter, req *http.Request) {
 		var traces []TraceSnapshot
 		if cfg.Traces != nil {
 			traces = cfg.Traces()
 		}
-		// ?tenant=<id> narrows the view to one tenant's queries — the
-		// tenant id is operator-visible metadata the audit log and ledger
-		// already record per query.
-		if tenant := req.URL.Query().Get("tenant"); tenant != "" {
-			kept := make([]TraceSnapshot, 0, len(traces))
-			for _, t := range traces {
-				if t.Tenant == tenant {
-					kept = append(kept, t)
-				}
-			}
-			traces = kept
-		}
+		traces = filterTenant(traces, tenantParam(req),
+			func(t TraceSnapshot) string { return t.Tenant })
 		if traces == nil {
 			traces = []TraceSnapshot{}
 		}
 		writeJSON(w, traces)
 	})
 
-	mux.HandleFunc("/queries", func(w http.ResponseWriter, req *http.Request) {
+	handle("/queries", func(w http.ResponseWriter, req *http.Request) {
 		var queries []InflightSnapshot
 		if cfg.Queries != nil {
 			queries = cfg.Queries()
 		}
+		queries = filterTenant(queries, tenantParam(req),
+			func(q InflightSnapshot) string { return q.Tenant })
 		if queries == nil {
 			queries = []InflightSnapshot{}
 		}
 		writeJSON(w, queries)
 	})
 
-	mux.HandleFunc("/workers", func(w http.ResponseWriter, req *http.Request) {
+	handle("/workers", func(w http.ResponseWriter, req *http.Request) {
 		var workers []WorkerStatus
 		if cfg.Workers != nil {
 			workers = cfg.Workers()
@@ -246,7 +300,42 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 		writeJSON(w, workers)
 	})
 
-	mux.HandleFunc("/ledger", func(w http.ResponseWriter, req *http.Request) {
+	handle("/budget", func(w http.ResponseWriter, req *http.Request) {
+		var rows []BudgetRow
+		if cfg.Budget != nil {
+			rows = cfg.Budget()
+		}
+		rows = filterTenant(rows, tenantParam(req),
+			func(r BudgetRow) string { return r.Tenant })
+		if rows == nil {
+			rows = []BudgetRow{}
+		}
+		writeJSON(w, rows)
+	})
+
+	handle("/flight", func(w http.ResponseWriter, req *http.Request) {
+		var flights []FlightRecord
+		if cfg.Flight != nil {
+			flights = cfg.Flight()
+		}
+		flights = filterTenant(flights, tenantParam(req),
+			func(f FlightRecord) string { return f.Tenant })
+		if flights == nil {
+			flights = []FlightRecord{}
+		}
+		writeJSON(w, flights)
+	})
+
+	handle("/ledger", func(w http.ResponseWriter, req *http.Request) {
+		if tenant := tenantParam(req); tenant != "" && cfg.TenantSpend != nil {
+			rows := cfg.TenantSpend(tenant)
+			if rows == nil {
+				rows = []TenantSpendRow{}
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].Dataset < rows[j].Dataset })
+			writeJSON(w, TenantLedgerSlice{Tenant: tenant, Datasets: rows})
+			return
+		}
 		var st LedgerStatus
 		if cfg.Ledger != nil {
 			st = cfg.Ledger()
@@ -254,7 +343,7 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 		writeJSON(w, st)
 	})
 
-	mux.HandleFunc("/cache", func(w http.ResponseWriter, req *http.Request) {
+	handle("/cache", func(w http.ResponseWriter, req *http.Request) {
 		var st CacheStatus
 		if cfg.Cache != nil {
 			st = cfg.Cache()
@@ -262,7 +351,7 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 		writeJSON(w, st)
 	})
 
-	mux.HandleFunc("/datasets", func(w http.ResponseWriter, req *http.Request) {
+	handle("/datasets", func(w http.ResponseWriter, req *http.Request) {
 		var stats []DatasetStats
 		if cfg.Datasets != nil {
 			stats = cfg.Datasets()
@@ -274,20 +363,37 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 		writeJSON(w, stats)
 	})
 
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	handle("/debug/pprof/", pprof.Index)
+	handle("/debug/pprof/cmdline", pprof.Cmdline)
+	handle("/debug/pprof/profile", pprof.Profile)
+	handle("/debug/pprof/symbol", pprof.Symbol)
+	handle("/debug/pprof/trace", pprof.Trace)
 
 	for pattern, h := range cfg.Extra {
-		mux.Handle(pattern, h)
+		routes[pattern] = h
 	}
+	return routes
+}
 
-	if cfg.Token == "" {
-		return mux
+// tenantParam extracts the shared ?tenant=<id> narrowing parameter.
+func tenantParam(req *http.Request) string {
+	return req.URL.Query().Get("tenant")
+}
+
+// filterTenant keeps the items belonging to tenant; an empty tenant keeps
+// everything. The tenant id is operator-visible metadata the audit log and
+// ledger already record per query, so narrowing by it reveals nothing new.
+func filterTenant[T any](items []T, tenant string, of func(T) string) []T {
+	if tenant == "" {
+		return items
 	}
-	return tokenGate(cfg.Token, mux)
+	kept := make([]T, 0, len(items))
+	for _, it := range items {
+		if of(it) == tenant {
+			kept = append(kept, it)
+		}
+	}
+	return kept
 }
 
 // tokenGate requires the admin token on every route except /healthz. Both

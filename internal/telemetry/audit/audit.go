@@ -41,6 +41,11 @@ const (
 	// trace sink. Records of this type always have UnsafeRaw true; their
 	// Detail carries the §6.3-sensitive payload.
 	TypeUnsafeTrace = "unsafe_trace"
+	// TypeBudgetThreshold is a burn-down threshold crossing: a tenant's or
+	// dataset's remaining ε dropped below a fraction of its total for the
+	// first time. Detail carries the fraction; the ε fields carry the
+	// remaining/total pair.
+	TypeBudgetThreshold = "budget_threshold"
 )
 
 // Crash points for fault-injection tests (same idiom as the ledger).
@@ -76,6 +81,12 @@ type Record struct {
 	// LatencyBucketMillis is the query's latency bucket upper bound; -1
 	// means beyond the coarsest bucket. Never a raw duration.
 	LatencyBucketMillis float64 `json:"latencyBucketMillis,omitempty"`
+	// Reason classifies refusals ("queue_full", "deadline_unmeetable",
+	// "rate_limited") and budget-threshold crossings; empty elsewhere.
+	Reason string `json:"reason,omitempty"`
+	// RetryAfterMillis is the retry hint the refusal carried back to the
+	// client — a scheduler estimate, not a measured duration.
+	RetryAfterMillis int64 `json:"retryAfterMillis,omitempty"`
 	// UnsafeRaw marks records whose Detail carries raw timing data from the
 	// opt-in unsafe trace sink.
 	UnsafeRaw bool   `json:"unsafe_raw,omitempty"`

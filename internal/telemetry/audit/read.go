@@ -1,0 +1,56 @@
+package audit
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Read walks every segment in dir in chain order and returns the records
+// that pass the filter (nil keeps everything). It is a viewer, not a
+// verifier: hashes are not rechecked (use Verify for that), but records are
+// still decoded strictly, and a torn final fragment — the crash-mid-append
+// artifact Verify tolerates — is skipped rather than reported as an error.
+// Callers slicing per tenant pass a filter on Record.Tenant; the audit log
+// is operator-private, so the slice inherits its access control.
+func Read(dir string, filter func(Record) bool) ([]Record, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for si, seg := range segs {
+		path := filepath.Join(dir, seg)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("audit: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		lastSegment := si == len(segs)-1
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec Record
+			if err := decodeStrict(line, &rec); err != nil {
+				if lastSegment && !sc.Scan() && tailUnterminated(path) {
+					break // torn tail: crash mid-append, chain before it intact
+				}
+				f.Close()
+				return nil, fmt.Errorf("audit: %s: malformed record: %v", seg, err)
+			}
+			if filter == nil || filter(rec) {
+				out = append(out, rec)
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("audit: %s: %w", seg, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+)
+
+// The query flight recorder: a bounded ring of recent query timelines,
+// one FlightRecord per settled (or refused) query. Where /traces answers
+// "what stages did this query pass through", the flight recorder answers
+// the operator's triage questions directly: which workers ran its blocks,
+// whether stragglers or failovers fired, what the query cost in ε, and —
+// for refusals — why it was turned away and when to retry. Served at
+// /flight and rendered live by `gupt-cli top`.
+//
+// Export discipline matches /traces: every timing inside a FlightRecord
+// is already bucketed by the TraceSnapshot it embeds, and the extra
+// fields (ε, block counts, worker attribution, retry hints) are values
+// the analyst already receives in their response. See DESIGN.md §14.
+
+// DefaultFlightRecorderSize is the ring capacity guptd uses.
+const DefaultFlightRecorderSize = 128
+
+// FlightWorker summarizes one process's contribution to a query's
+// fan-out: how many block dispatches it won, how many duplicates the
+// straggler timer fired at it, how many failover retries landed on it,
+// and how many of its spans ended in error.
+type FlightWorker struct {
+	// Process is the span attribution ("worker:<addr>"; empty never
+	// appears — local spans are not per-worker).
+	Process string `json:"process"`
+	// Dispatches counts fanout.dispatch spans attributed to the worker;
+	// Executed counts worker.execute spans it shipped back.
+	Dispatches int `json:"dispatches,omitempty"`
+	Executed   int `json:"executed,omitempty"`
+	Stragglers int `json:"stragglers,omitempty"`
+	Failovers  int `json:"failovers,omitempty"`
+	Errors     int `json:"errors,omitempty"`
+}
+
+// FlightExtra carries the per-query facts the trace itself does not hold;
+// the server fills it when it records the flight.
+type FlightExtra struct {
+	// EpsilonCharged is the privacy budget the query consumed (0 for
+	// cache hits and refusals).
+	EpsilonCharged float64
+	// Blocks is the block count the query executed over.
+	Blocks int
+	// Reason is the refusal reason for queries the scheduler or rate
+	// limiter turned away ("queue_full", "deadline_unmeetable",
+	// "rate_limited"); empty for served queries.
+	Reason string
+	// RetryAfterMillis is the retry hint returned with a refusal.
+	RetryAfterMillis int64
+}
+
+// FlightRecord is one query's flight: its bucketed stage timeline plus
+// cost, fan-out attribution, and (for refusals) the refusal reason.
+type FlightRecord struct {
+	TraceSnapshot
+	EpsilonCharged   float64        `json:"epsilonCharged,omitempty"`
+	Blocks           int            `json:"blocks,omitempty"`
+	Reason           string         `json:"reason,omitempty"`
+	RetryAfterMillis int64          `json:"retryAfterMillis,omitempty"`
+	Workers          []FlightWorker `json:"workers,omitempty"`
+}
+
+// FlightRecorder is a fixed-size ring of FlightRecords. Nil-safe like
+// every telemetry type: a nil recorder records nothing.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	buf  []FlightRecord
+	next int
+	n    int
+}
+
+// NewFlightRecorder builds a ring holding the last size flights;
+// size <= 0 falls back to DefaultFlightRecorderSize.
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightRecorderSize
+	}
+	return &FlightRecorder{buf: make([]FlightRecord, size)}
+}
+
+// Record captures the trace's exported snapshot plus the extra facts and
+// pushes the flight into the ring. Nil-safe on both the recorder and the
+// trace.
+func (f *FlightRecorder) Record(tr *Trace, outcome string, extra FlightExtra) {
+	if f == nil || tr == nil {
+		return
+	}
+	snap := tr.snapshot(outcome)
+	rec := FlightRecord{
+		TraceSnapshot:    snap,
+		EpsilonCharged:   extra.EpsilonCharged,
+		Blocks:           extra.Blocks,
+		Reason:           extra.Reason,
+		RetryAfterMillis: extra.RetryAfterMillis,
+		Workers:          flightWorkers(snap.Spans),
+	}
+	f.mu.Lock()
+	f.buf[f.next] = rec
+	f.next = (f.next + 1) % len(f.buf)
+	if f.n < len(f.buf) {
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+// flightWorkers folds the per-process spans into per-worker summaries,
+// in first-appearance order.
+func flightWorkers(spans []SpanSnapshot) []FlightWorker {
+	var workers []FlightWorker
+	idx := map[string]int{}
+	get := func(process string) *FlightWorker {
+		if i, ok := idx[process]; ok {
+			return &workers[i]
+		}
+		idx[process] = len(workers)
+		workers = append(workers, FlightWorker{Process: process})
+		return &workers[len(workers)-1]
+	}
+	for _, s := range spans {
+		if s.Process == "" {
+			continue
+		}
+		w := get(s.Process)
+		switch s.Stage {
+		case StageFanoutDispatch:
+			w.Dispatches++
+		case StageFanoutStraggler:
+			w.Stragglers++
+		case StageFanoutFailover:
+			w.Failovers++
+		case StageWorkerExecute:
+			w.Executed++
+		}
+		if s.Status == StatusError || s.Status == StatusTimeout ||
+			strings.HasPrefix(s.Status, "refused") {
+			w.Errors++
+		}
+	}
+	return workers
+}
+
+// Snapshots returns the recorded flights, newest first. Nil-safe.
+func (f *FlightRecorder) Snapshots() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightRecord, 0, f.n)
+	for i := 0; i < f.n; i++ {
+		idx := (f.next - 1 - i + len(f.buf)*2) % len(f.buf)
+		out = append(out, f.buf[idx])
+	}
+	return out
+}

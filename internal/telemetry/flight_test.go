@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		tr := NewTrace(nil, fmt.Sprintf("t%d", i), "d")
+		f.Record(tr, StatusOK, FlightExtra{})
+	}
+	got := f.Snapshots()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(got))
+	}
+	// Newest first: t4, t3, t2.
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if got[i].ID != want {
+			t.Fatalf("snapshot %d = %s, want %s", i, got[i].ID, want)
+		}
+	}
+}
+
+func TestFlightRecordWorkersAndExtras(t *testing.T) {
+	f := NewFlightRecorder(0) // default size
+	tr := NewTrace(nil, "q1", "census")
+	tr.Tenant = "acme"
+	tr.StartSpan(StageSchedQueue).End(StatusOK)
+	tr.StartSpan(StageSchedDecision).End(StatusOK)
+	tr.AddRemoteSpans("worker:a", []RemoteSpan{
+		{Stage: StageFanoutDispatch, Status: StatusOK, Millis: 2},
+		{Stage: StageWorkerExecute, Status: StatusOK, Millis: 1.5},
+	})
+	tr.AddRemoteSpans("worker:b", []RemoteSpan{
+		{Stage: StageFanoutDispatch, Status: StatusError, Millis: 9},
+		{Stage: StageFanoutStraggler, Status: StatusOK, Millis: 3},
+		{Stage: StageFanoutFailover, Status: StatusOK, Millis: 1},
+	})
+	f.Record(tr, "ok", FlightExtra{EpsilonCharged: 0.25, Blocks: 4})
+
+	recs := f.Snapshots()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.ID != "q1" || r.Tenant != "acme" || r.EpsilonCharged != 0.25 || r.Blocks != 4 {
+		t.Fatalf("record = %+v", r)
+	}
+	if len(r.Workers) != 2 {
+		t.Fatalf("workers = %+v, want 2", r.Workers)
+	}
+	a, b := r.Workers[0], r.Workers[1]
+	if a.Process != "worker:a" || a.Dispatches != 1 || a.Executed != 1 || a.Errors != 0 {
+		t.Fatalf("worker a = %+v", a)
+	}
+	if b.Process != "worker:b" || b.Dispatches != 1 || b.Stragglers != 1 || b.Failovers != 1 || b.Errors != 1 {
+		t.Fatalf("worker b = %+v", b)
+	}
+}
+
+func TestFlightRecordRefusal(t *testing.T) {
+	f := NewFlightRecorder(4)
+	tr := NewTrace(nil, "ref1", "census")
+	tr.StartSpan(StageSchedDecision).End(StatusRefusedBusy)
+	f.Record(tr, "overloaded", FlightExtra{Reason: "queue_full", RetryAfterMillis: 40})
+
+	r := f.Snapshots()[0]
+	if r.Outcome != "overloaded" || r.Reason != "queue_full" || r.RetryAfterMillis != 40 {
+		t.Fatalf("refusal record = %+v", r)
+	}
+	if r.EpsilonCharged != 0 {
+		t.Fatalf("refusal charged ε: %+v", r)
+	}
+	if len(r.Spans) != 1 || r.Spans[0].Status != StatusRefusedBusy {
+		t.Fatalf("refusal spans = %+v", r.Spans)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(NewTrace(nil, "x", "d"), "ok", FlightExtra{})
+	if got := f.Snapshots(); got != nil {
+		t.Fatalf("nil recorder snapshots = %v", got)
+	}
+	// A nil trace records nothing rather than a zero record.
+	f2 := NewFlightRecorder(2)
+	f2.Record(nil, "ok", FlightExtra{})
+	if got := f2.Snapshots(); len(got) != 0 {
+		t.Fatalf("nil trace recorded: %v", got)
+	}
+}

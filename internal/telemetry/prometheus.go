@@ -52,6 +52,19 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 	}
 
 	names = names[:0]
+	for n := range snap.FloatGauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PrometheusName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn,
+			strconv.FormatFloat(snap.FloatGauges[n], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
 	for n := range snap.Histograms {
 		names = append(names, n)
 	}
@@ -85,6 +98,127 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 // shortest decimal form, no exponent for the magnitudes bucket layouts use.
 func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'f', -1, 64)
+}
+
+// looksDurationNamed reports whether a metric name claims to carry timing
+// data. The §6.3 export discipline keys off the name: anything
+// duration-named must be a bucketed histogram, never a raw counter or
+// gauge value.
+func looksDurationNamed(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "millis") || strings.Contains(l, "seconds") ||
+		strings.Contains(l, "duration") || strings.Contains(l, "_ms") ||
+		strings.Contains(l, "latency") || strings.Contains(l, "elapsed")
+}
+
+// LintNoRawDurations checks the §6.3 export invariant over a snapshot:
+// every duration-named metric must be a histogram (bucket counts only);
+// a duration-named counter, gauge, or float gauge would export a raw
+// timing value and widen the side channel. Run it over the full registry
+// in tests whenever a subsystem adds metrics.
+func LintNoRawDurations(snap Snapshot) error {
+	for n := range snap.Counters {
+		if looksDurationNamed(n) {
+			return fmt.Errorf("telemetry: counter %q is duration-named; durations must be bucketed histograms (§6.3)", n)
+		}
+	}
+	for n := range snap.Gauges {
+		if looksDurationNamed(n) {
+			return fmt.Errorf("telemetry: gauge %q is duration-named; durations must be bucketed histograms (§6.3)", n)
+		}
+	}
+	for n := range snap.FloatGauges {
+		if looksDurationNamed(n) {
+			return fmt.Errorf("telemetry: float gauge %q is duration-named; durations must be bucketed histograms (§6.3)", n)
+		}
+	}
+	return nil
+}
+
+// LintPrometheus structurally validates a text exposition against the
+// 0.0.4 grammar the renderer targets: TYPE comments with a known metric
+// type, each sample line a bare name or name{le="..."} followed by exactly
+// one numeric value, every sample preceded by its TYPE comment, and — the
+// platform's own invariant — no _sum series anywhere (§6.3: a cumulative
+// duration sum can be differenced across scrapes into one query's exact
+// latency).
+func LintPrometheus(text string) error {
+	typed := make(map[string]string) // base name -> declared type
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || parts[1] != "TYPE" {
+				return fmt.Errorf("telemetry: line %d: bad comment %q (only TYPE comments are emitted)", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				return fmt.Errorf("telemetry: line %d: unknown metric type %q", ln+1, parts[3])
+			}
+			if prev, ok := typed[parts[2]]; ok && prev != parts[3] {
+				return fmt.Errorf("telemetry: line %d: %s re-declared as %s (was %s)", ln+1, parts[2], parts[3], prev)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("telemetry: line %d: sample %q is not 'name value'", ln+1, line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			labels := name[i:]
+			name = name[:i]
+			if !strings.HasPrefix(labels, `{le="`) || !strings.HasSuffix(labels, `"}`) {
+				return fmt.Errorf("telemetry: line %d: unexpected label set %q (only le is emitted)", ln+1, labels)
+			}
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && typed[b] == "histogram" {
+				base = b
+				break
+			}
+		}
+		if strings.HasSuffix(name, "_sum") {
+			if _, ok := typed[strings.TrimSuffix(name, "_sum")]; ok {
+				return fmt.Errorf("telemetry: line %d: %q is a _sum series (§6.3 forbids cumulative duration sums)", ln+1, name)
+			}
+		}
+		t, ok := typed[base]
+		if !ok {
+			return fmt.Errorf("telemetry: line %d: sample %q has no preceding TYPE comment", ln+1, name)
+		}
+		if t == "histogram" && base == name {
+			return fmt.Errorf("telemetry: line %d: histogram %q emitted a bare sample (want _bucket/_count only)", ln+1, name)
+		}
+		if !validPrometheusName(name) {
+			return fmt.Errorf("telemetry: line %d: %q violates the metric name grammar", ln+1, name)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("telemetry: line %d: value %q is not a number", ln+1, fields[1])
+		}
+	}
+	return nil
+}
+
+// validPrometheusName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPrometheusName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // PrometheusName maps a registry metric name onto the Prometheus name

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fullRegistry builds a registry carrying one of every metric family the
+// platform exports, including the PR 10 additions (float gauges from the
+// burn-down plane, scheduler/fan-out stage histograms).
+func fullRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("compman.queries_ok").Add(3)
+	reg.Counter("compman.pool.demotions").Inc()
+	reg.Gauge("compman.pool.inflight").Set(2)
+	reg.Histogram("compman.query_latency_millis", DefaultLatencyBuckets).Observe(12 * time.Millisecond)
+	reg.Histogram("trace.stage."+StageSchedQueue+".millis", DefaultLatencyBuckets).Observe(time.Millisecond)
+	reg.Histogram("trace.stage."+StageFanoutDispatch+".millis", DefaultLatencyBuckets).Observe(3 * time.Millisecond)
+	reg.Histogram("compman.sched.deadline_slack.millis", DefaultLatencyBuckets).Observe(40 * time.Millisecond)
+
+	p := NewBudgetPlane(reg)
+	p.Seed("", "census", 0.5, 2)
+	p.Observe("acme", "census", 0.25, 0.25, 1)
+	return reg
+}
+
+// The no-raw-durations invariant over every metric family: duration-named
+// metrics may only exist as bucketed histograms. This is the regression
+// gate for every future metric addition — a raw duration gauge anywhere in
+// the registry fails it.
+func TestLintNoRawDurationsOverFullRegistry(t *testing.T) {
+	reg := fullRegistry(t)
+	if err := LintNoRawDurations(reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintNoRawDurationsCatchesViolations(t *testing.T) {
+	cases := []func(*Registry){
+		func(r *Registry) { r.Counter("compman.total_query_millis").Add(100) },
+		func(r *Registry) { r.Gauge("sched.queue_wait_seconds").Set(3) },
+		func(r *Registry) { r.FloatGauge("worker.mean_latency").Set(1.5) },
+		func(r *Registry) { r.Gauge("block.elapsed_ms").Set(9) },
+	}
+	for i, plant := range cases {
+		r := NewRegistry()
+		plant(r)
+		if err := LintNoRawDurations(r.Snapshot()); err == nil {
+			t.Errorf("case %d: raw-duration metric passed the lint", i)
+		}
+	}
+}
+
+// The full-registry exposition must be valid 0.0.4 text: typed, grammatical
+// names, numeric values, histogram series only via _bucket/_count, and no
+// _sum anywhere.
+func TestLintPrometheusOverFullRegistry(t *testing.T) {
+	reg := fullRegistry(t)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(sb.String()); err != nil {
+		t.Fatalf("%v\nexposition:\n%s", err, sb.String())
+	}
+	// The new float gauges must actually appear in the exposition.
+	out := sb.String()
+	for _, want := range []string{
+		"budget_remaining_epsilon_census ",
+		"budget_burn_epsilon_per_minute_census_tenant_acme ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestLintPrometheusCatchesMalformedText(t *testing.T) {
+	cases := map[string]string{
+		"untyped sample":    "foo 1\n",
+		"bad type":          "# TYPE foo summary\nfoo 1\n",
+		"bad name":          "# TYPE 9foo counter\n9foo 1\n",
+		"bad value":         "# TYPE foo counter\nfoo one\n",
+		"histogram bare":    "# TYPE h histogram\nh 3\n",
+		"sum series":        "# TYPE h histogram\nh_sum 12\n",
+		"stray label":       "# TYPE g gauge\ng{job=\"x\"} 1\n",
+		"three-field line":  "# TYPE g gauge\ng 1 2\n",
+		"malformed comment": "# HELP g something\ng 1\n",
+	}
+	for name, text := range cases {
+		if err := LintPrometheus(text); err == nil {
+			t.Errorf("%s: lint accepted %q", name, text)
+		}
+	}
+}
+
+func TestLintPrometheusAcceptsRealExposition(t *testing.T) {
+	// A histogram's own series must pass: buckets, +Inf, count.
+	reg := NewRegistry()
+	reg.Histogram("lat.millis", []float64{1, 10}).ObserveMillis(4)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheus(sb.String()); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+}

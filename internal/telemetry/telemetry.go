@@ -19,6 +19,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -78,23 +79,49 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is an atomic instantaneous float64 value. It exists for
+// quantities that are genuinely fractional — remaining privacy budget,
+// burn rates in ε/minute — never for durations: timings must go through
+// bucketed histograms (§6.3), and the Prometheus lint test enforces that
+// no float gauge carries a duration-shaped name.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Registry holds named metrics. Lookup takes a short read-locked map access;
 // the metrics themselves are updated lock-free, so hot paths hoist the
 // lookup (instrumented components resolve their counters once at
 // construction) and pay only an atomic add per event.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		floatGauges: make(map[string]*FloatGauge),
+		histograms:  make(map[string]*Histogram),
 	}
 }
 
@@ -139,6 +166,26 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.floatGauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.floatGauges[name]; g == nil {
+		g = &FloatGauge{}
+		r.floatGauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the named histogram, creating it with the given bucket
 // upper bounds (milliseconds) on first use. Later calls with a different
 // bounds slice return the existing histogram unchanged: bucket layouts are
@@ -167,9 +214,13 @@ func (r *Registry) Histogram(name string, boundsMillis []float64) *Histogram {
 // keys marshal in sorted order, so identical registry states produce
 // byte-identical JSON.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters"`
-	Gauges     map[string]int64             `json:"gauges"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+	// FloatGauges holds fractional instantaneous values (remaining ε,
+	// burn rates); omitted when no float gauge is registered so older
+	// snapshot consumers see unchanged JSON.
+	FloatGauges map[string]float64           `json:"floatGauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms"`
 }
 
 // Snapshot captures every metric. The counters are read individually with
@@ -193,6 +244,12 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		snap.Gauges[name] = g.Value()
 	}
+	if len(r.floatGauges) > 0 {
+		snap.FloatGauges = make(map[string]float64, len(r.floatGauges))
+		for name, g := range r.floatGauges {
+			snap.FloatGauges[name] = g.Value()
+		}
+	}
 	for name, h := range r.histograms {
 		snap.Histograms[name] = h.Snapshot()
 	}
@@ -207,11 +264,14 @@ func (r *Registry) MetricNames() []string {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.floatGauges)+len(r.histograms))
 	for n := range r.counters {
 		names = append(names, n)
 	}
 	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.floatGauges {
 		names = append(names, n)
 	}
 	for n := range r.histograms {

@@ -29,11 +29,33 @@ const (
 	StageWorkerExecute = "worker.execute" // one block execution inside the chamber
 )
 
+// Scheduler and fan-out stages, recorded server-side around admission and
+// block dispatch. A refused query's trace ends after StageSchedDecision; an
+// admitted query that waited carries a StageSchedQueue span covering the
+// time it sat in the EDF queue.
+const (
+	StageSchedQueue    = "sched.queue"    // wait in the admission queue (absent if admitted immediately)
+	StageSchedDecision = "sched.decision" // the admit/refuse verdict itself
+	// StageFanoutDispatch is one block's dispatch to one worker; the span's
+	// Process carries the worker attribution ("worker:<addr>").
+	StageFanoutDispatch = "fanout.dispatch"
+	// StageFanoutStraggler is a duplicate dispatch fired by the straggler
+	// timer; StageFanoutFailover is a retry after a transport failure.
+	StageFanoutStraggler = "fanout.straggler"
+	StageFanoutFailover  = "fanout.failover"
+)
+
 // Span statuses.
 const (
 	StatusOK      = "ok"
 	StatusError   = "error"
 	StatusTimeout = "timeout"
+	// Scheduler-decision statuses: the refusal reason rides on the
+	// StageSchedDecision span so a refused query's trace is
+	// self-explanatory.
+	StatusRefusedBusy    = "refused_busy"    // admission queue full
+	StatusRefusedExpired = "refused_expired" // deadline unmeetable given queue state
+	StatusCancelled      = "cancelled"       // caller went away while queued
 )
 
 // Span is one stage of a query's lifecycle. Its raw duration stays inside

@@ -447,6 +447,43 @@ func (r *Registry) Spent(id, dataset string) float64 {
 	return 0
 }
 
+// QuotaState reports the tenant's quota position on one dataset: ε spent,
+// the quota ceiling, and whether a ceiling exists at all (limited=false
+// means the tenant is bounded only by the dataset's global budget). The
+// burn-down plane reads this after each charge.
+func (r *Registry) QuotaState(id, dataset string) (spent, quota float64, limited bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st, ok := r.tenants[id]
+	if !ok {
+		return 0, 0, false
+	}
+	quota, limited = st.def.Quotas[dataset]
+	return st.spent[dataset], quota, limited
+}
+
+// SpentByDataset returns every dataset the tenant has quota-tracked spend
+// or a quota on, for the per-tenant /ledger slice. Datasets granted but
+// never touched and without a quota do not appear.
+func (r *Registry) SpentByDataset(id string) map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st, ok := r.tenants[id]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]float64, len(st.spent)+len(st.def.Quotas))
+	for ds, eps := range st.spent {
+		out[ds] = eps
+	}
+	for ds := range st.def.Quotas {
+		if _, seen := out[ds]; !seen {
+			out[ds] = 0
+		}
+	}
+	return out
+}
+
 // SeedSpent reinstates a recovered balance at boot, REPLACING the current
 // value (recovery is authoritative). Unknown tenant ids are an error so
 // callers can fail recovery closed: a WAL attributing spend to a tenant
